@@ -1,0 +1,335 @@
+package sensornet_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates its figure end-to-end on a reduced ("quick") grid so that
+// `go test -bench=.` doubles as a smoke reproduction of the whole
+// evaluation; run cmd/experiments for the full paper grids.
+
+import (
+	"testing"
+
+	"sensornet/internal/buckets"
+	"sensornet/internal/experiments"
+	"sensornet/internal/optimize"
+	"sensornet/internal/sim"
+)
+
+func benchPresetAnalytic() experiments.Preset {
+	pre := experiments.QuickAnalytic()
+	pre.Rhos = []float64{20, 80, 140}
+	pre.Grid = []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1}
+	return pre
+}
+
+func benchPresetSim() experiments.Preset {
+	pre := experiments.QuickSim()
+	pre.Rhos = []float64{20, 80}
+	pre.Grid = []float64{0.05, 0.2, 0.6, 1}
+	pre.Runs = 3
+	return pre
+}
+
+func analyticSurface(b *testing.B) *experiments.Surface {
+	b.Helper()
+	s, err := experiments.AnalyticSurface(benchPresetAnalytic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func simSurface(b *testing.B) *experiments.Surface {
+	b.Helper()
+	s, err := experiments.SimSurface(benchPresetSim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFig4Reachability regenerates Fig. 4: analytic reachability
+// of PB_CAM within 5 phases and the optimal-probability curve.
+func BenchmarkFig4Reachability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := analyticSurface(b)
+		f := experiments.Fig4(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig5Latency regenerates Fig. 5: analytic latency to the 72%
+// reachability target.
+func BenchmarkFig5Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := analyticSurface(b)
+		f := experiments.Fig5(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig6Energy regenerates Fig. 6: analytic broadcast count to
+// the 72% reachability target.
+func BenchmarkFig6Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := analyticSurface(b)
+		f := experiments.Fig6(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig7Budget regenerates Fig. 7: analytic reachability under a
+// 35-broadcast budget.
+func BenchmarkFig7Budget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := analyticSurface(b)
+		f := experiments.Fig7(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig8SimReachability regenerates Fig. 8: simulated
+// reachability of PB_CAM in 5 phases.
+func BenchmarkFig8SimReachability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := simSurface(b)
+		f := experiments.Fig8(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig9SimLatency regenerates Fig. 9: simulated latency to the
+// 63% reachability target.
+func BenchmarkFig9SimLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := simSurface(b)
+		f := experiments.Fig9(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig10SimEnergy regenerates Fig. 10: simulated broadcast
+// count to the 63% reachability target.
+func BenchmarkFig10SimEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := simSurface(b)
+		f := experiments.Fig10(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig11SimBudget regenerates Fig. 11: simulated reachability
+// under an 80-broadcast budget.
+func BenchmarkFig11SimBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := simSurface(b)
+		f := experiments.Fig11(s)
+		if len(f.Series["optimalP"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig12SuccessRate regenerates Fig. 12: the flooding success
+// rate vs optimal probability correlation.
+func BenchmarkFig12SuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := analyticSurface(b)
+		f, err := experiments.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Series["ratio"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkCFMBaseline regenerates the §4 CFM flooding closed forms
+// next to the CAM analysis.
+func BenchmarkCFMBaseline(b *testing.B) {
+	pre := benchPresetAnalytic()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CFMBaseline(pre); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCarrierSenseAblation regenerates the Appendix A collision
+// scope ablation.
+func BenchmarkCarrierSenseAblation(b *testing.B) {
+	pre := benchPresetAnalytic()
+	pre.Rhos = []float64{80}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CarrierSenseAblation(pre); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMuMode compares the real-valued μ extension modes on
+// one analytic sweep (the DESIGN.md "μ at non-integer K" decision).
+func BenchmarkAblationMuMode(b *testing.B) {
+	for _, mode := range []buckets.KMode{buckets.KLinear, buckets.KPoisson, buckets.KRound} {
+		b.Run(mode.String(), func(b *testing.B) {
+			pre := benchPresetAnalytic()
+			for i := 0; i < b.N; i++ {
+				for _, rho := range pre.Rhos {
+					cfg := pre.AnalyticConfig(rho)
+					cfg.KMode = mode
+					if _, err := optimize.SweepAnalytic(cfg, pre.Grid, pre.Constraints); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAsync compares the slot-aligned and asynchronous
+// simulation engines at one operating point.
+func BenchmarkAblationAsync(b *testing.B) {
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		b.Run(name, func(b *testing.B) {
+			pre := benchPresetSim()
+			pre.Async = async
+			for i := 0; i < b.N; i++ {
+				cfg := pre.SimConfig(80)
+				cfg.Seed = int64(i)
+				if _, err := optimize.SweepSim(cfg, []float64{0.2}, pre.Constraints, 2, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorDenseFlooding is the raw simulator cost at the
+// paper's largest configuration (rho=140, N=3500, flooding).
+func BenchmarkSimulatorDenseFlooding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{P: 5, S: 3, Rho: 140, Seed: int64(i)}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostFunctions regenerates the empirical CFM cost-function
+// table (the paper's §6 proposal realised by internal/reliable).
+func BenchmarkCostFunctions(b *testing.B) {
+	pre := benchPresetAnalytic()
+	pre.Rhos = []float64{20, 60}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CostFunctions(pre, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPercolation regenerates the grid+CFM percolation transition
+// (the related-work cross-check with p_c = 0.593).
+func BenchmarkPercolation(b *testing.B) {
+	grid := []float64{0.4, 0.55, 0.6, 0.65, 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Percolation(12, grid, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollisionProfile regenerates the collision-rate explanation
+// of the reachability bell curves.
+func BenchmarkCollisionProfile(b *testing.B) {
+	pre := benchPresetSim()
+	pre.Grid = []float64{0.1, 1}
+	pre.Runs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CollisionProfile(pre, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotSweep regenerates the backoff-window ablation.
+func BenchmarkSlotSweep(b *testing.B) {
+	grid := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	c := optimize.Constraints{Latency: 5, Reach: 0.72, Budget: 35}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SlotSweep(80, []int{1, 3, 8}, grid, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldScaling regenerates the O(P·r) latency scaling study.
+func BenchmarkFieldScaling(b *testing.B) {
+	c := optimize.Constraints{Latency: 5, Reach: 0.5, Budget: 35}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FieldScaling(80, []int{3, 6, 9}, 0.15, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchemeComparison regenerates the all-schemes table.
+func BenchmarkSchemeComparison(b *testing.B) {
+	pre := benchPresetSim()
+	pre.Runs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SchemeComparison(pre, []float64{40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeterogeneity regenerates the hotspot-field comparison.
+func BenchmarkHeterogeneity(b *testing.B) {
+	pre := benchPresetSim()
+	pre.Runs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Heterogeneity(pre, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefinedCFM regenerates the density-priced CFM table.
+func BenchmarkRefinedCFM(b *testing.B) {
+	pre := benchPresetAnalytic()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RefinedCFM(pre, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointDesign regenerates the joint (p, s) optimisation.
+func BenchmarkJointDesign(b *testing.B) {
+	pre := benchPresetSim()
+	pre.Runs = 2
+	pre.Grid = []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.JointDesign(pre, 100, 15, []int{1, 3, 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// of §4.2 (analytic) and §5 (simulated), the Fig. 12 success-rate
+// correlation, the CFM baseline, and the carrier-sensing ablation.
+//
+// Examples:
+//
+//	experiments -figure all -quick          # fast coarse-grid campaign
+//	experiments -figure fig4                # one figure, paper grids
+//	experiments -figure all -out report.txt # full campaign to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sensornet/internal/experiments"
+	"sensornet/internal/export"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all",
+			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|all")
+		quick   = flag.Bool("quick", false, "coarse grids and few runs (fast)")
+		skipSim = flag.Bool("skip-sim", false, "omit the simulated figures")
+		out     = flag.String("out", "", "write the report to a file instead of stdout")
+		csvDir  = flag.String("csv-dir", "", "additionally dump figure series as CSV files into this directory")
+		runs    = flag.Int("runs", 0, "override simulation runs per grid point")
+		async   = flag.Bool("async", false, "simulate with unaligned phase grids")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	pa, ps := experiments.PaperAnalytic(), experiments.PaperSim()
+	if *quick {
+		pa, ps = experiments.QuickAnalytic(), experiments.QuickSim()
+	}
+	if *runs > 0 {
+		ps.Runs = *runs
+	}
+	ps.Async = *async
+
+	if err := run(*figure, pa, ps, *skipSim, w, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpCSV writes each figure's density-indexed series to
+// <dir>/<figureID>.csv.
+func dumpCSV(dir string, rhos []float64, figs ...*experiments.FigureResult) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		fh, err := os.Create(filepath.Join(dir, f.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		err = export.SeriesCSV(fh, f, rhos)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(figure string, pa, ps experiments.Preset, skipSim bool, w io.Writer, csvDir string) error {
+	if figure == "all" {
+		c := experiments.Campaign{Analytic: pa, Sim: ps, SkipSim: skipSim, Extras: true}
+		figs, err := c.Run(w)
+		if err != nil {
+			return err
+		}
+		return dumpCSV(csvDir, pa.Rhos, figs...)
+	}
+
+	needAnalytic := map[string]bool{"fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig12": true}
+	needSim := map[string]bool{"fig8": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12sim": true}
+
+	var f *experiments.FigureResult
+	var err error
+	switch {
+	case needAnalytic[figure]:
+		var surf *experiments.Surface
+		surf, err = experiments.AnalyticSurface(pa)
+		if err != nil {
+			return err
+		}
+		switch figure {
+		case "fig4":
+			f = experiments.Fig4(surf)
+		case "fig5":
+			f = experiments.Fig5(surf)
+		case "fig6":
+			f = experiments.Fig6(surf)
+		case "fig7":
+			f = experiments.Fig7(surf)
+		case "fig12":
+			f, err = experiments.Fig12(surf)
+		}
+	case needSim[figure]:
+		var surf *experiments.Surface
+		surf, err = experiments.SimSurface(ps)
+		if err != nil {
+			return err
+		}
+		switch figure {
+		case "fig8":
+			f = experiments.Fig8(surf)
+		case "fig9":
+			f = experiments.Fig9(surf)
+		case "fig10":
+			f = experiments.Fig10(surf)
+		case "fig11":
+			f = experiments.Fig11(surf)
+		case "fig12sim":
+			f, err = experiments.SimSuccessRate(ps, surf)
+		}
+	case figure == "cfm":
+		f, err = experiments.CFMBaseline(pa)
+	case figure == "carrier":
+		f, err = experiments.CarrierSenseAblation(pa)
+	case figure == "costfn":
+		f, err = experiments.CostFunctions(pa, 5)
+	case figure == "collisions":
+		f, err = experiments.CollisionProfile(ps, 100)
+	case figure == "schemes":
+		f, err = experiments.SchemeComparison(ps, []float64{40, 100})
+	case figure == "hetero":
+		f, err = experiments.Heterogeneity(ps, 80)
+	case figure == "refinedcfm":
+		f, err = experiments.RefinedCFM(pa, 5)
+	case figure == "joint":
+		f, err = experiments.JointDesign(ps, 100, 15, []int{1, 2, 3, 4, 6, 9})
+	case figure == "mumode":
+		f, err = experiments.MuModeAblation(pa)
+	case figure == "slots":
+		f, err = experiments.SlotSweep(80, []int{1, 2, 3, 4, 6, 8, 12}, pa.Grid, pa.Constraints)
+	case figure == "field":
+		f, err = experiments.FieldScaling(80, []int{3, 5, 8, 12, 16}, 0.15, pa.Constraints)
+	case figure == "percolation":
+		var grid []float64
+		for p := 0.35; p <= 0.9; p += 0.05 {
+			grid = append(grid, p)
+		}
+		f, err = experiments.Percolation(18, grid, 10, 1)
+	default:
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Render(w); err != nil {
+		return err
+	}
+	return dumpCSV(csvDir, pa.Rhos, f)
+}

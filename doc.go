@@ -1,0 +1,13 @@
+// Package sensornet reproduces "On Communication Models for Algorithm
+// Design in Networked Sensor Systems: A Case Study" (Yu, Hong,
+// Prasanna, 2005): formal Collision Free (CFM) and Collision Aware
+// (CAM) link models, the PB_CAM probability-based broadcasting scheme,
+// the paper's analytical optimisation framework, and a discrete-event
+// network simulator that validates it.
+//
+// The public entry point is sensornet/internal/core (NetworkModel and
+// the Fig. 1(b) analyse-optimise-simulate loop); cmd/analyze,
+// cmd/simulate and cmd/experiments expose it on the command line, and
+// examples/ holds runnable scenarios. The root-level benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation.
+package sensornet

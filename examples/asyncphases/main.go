@@ -1,0 +1,57 @@
+// Asyncphases probes the synchronisation assumption: the paper's
+// analysis aligns all time phases network-wide, but the PB_CAM
+// algorithm itself never requires it. This example runs the same
+// configurations through the slot-aligned engine and the asynchronous
+// engine (every node keeps a private random phase offset, collisions
+// resolved in continuous time) and compares the outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sensornet/internal/core"
+)
+
+func main() {
+	m := core.DefaultModel()
+	m.Rho = 100
+
+	fmt.Printf("sync vs async PB_CAM, rho=%g, N=%.0f, mean of 10 runs\n\n", m.Rho, m.N())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tsync reach@6\tasync reach@6\tsync broadcasts\tasync broadcasts")
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		sr, sb := run(m, p, false)
+		ar, ab := run(m, p, true)
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.3f\t%.0f\t%.0f\n", p, sr, ar, sb, ab)
+	}
+	tw.Flush()
+	fmt.Println("\nUnaligned transmissions can straddle two slots, so asynchrony widens the")
+	fmt.Println("collision window and costs some reachability — but the bell shape and the")
+	fmt.Println("location of the optimal probability persist, so the analysis carried out under")
+	fmt.Println("the synchronisation assumption still guides the choice of p in a free-running network.")
+}
+
+func run(m core.NetworkModel, p float64, async bool) (reach, broadcasts float64) {
+	const runs = 10
+	for seed := int64(0); seed < runs; seed++ {
+		if async {
+			r, err := m.SimulateAsync(p, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reach += r.Timeline.ReachabilityAtPhase(6)
+			broadcasts += float64(r.Broadcasts)
+		} else {
+			r, err := m.Simulate(p, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reach += r.Timeline.ReachabilityAtPhase(6)
+			broadcasts += float64(r.Broadcasts)
+		}
+	}
+	return reach / runs, broadcasts / runs
+}

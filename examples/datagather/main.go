@@ -1,0 +1,63 @@
+// Datagather runs the library's second case study: aggregating data
+// collection (convergecast), the application class the paper's related
+// work designs under CFM. Every node's reading flows up a BFS tree to
+// the sink, aggregated along the way.
+//
+// Designing against CFM gives the textbook schedule — one slot per tree
+// level, N-1 transmissions. Running the same algorithm over CAM
+// requires contention windows and acknowledgments, and this example
+// measures how the gap between the two models grows with density:
+// exactly the "CFM analysis can be misleading" argument of the paper,
+// for unicast traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+	"sensornet/internal/gather"
+)
+
+func main() {
+	fmt.Println("aggregating data collection: CFM schedule vs CAM execution")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rho\tnodes\tCFM slots\tCAM slots\tCFM tx\tCAM tx\tCAM coverage")
+	for _, rho := range []float64{10, 20, 40, 80} {
+		var cfmSlots, camSlots, cfmTx, camTx, coverage float64
+		const runs = 5
+		for seed := int64(0); seed < runs; seed++ {
+			dep, err := deploy.Generate(deploy.Config{P: 4, Rho: rho},
+				rand.New(rand.NewSource(seed)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfm, err := gather.Run(dep, gather.Config{Model: channel.CFM})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cam, err := gather.Run(dep, gather.Config{
+				Model: channel.CAM, Window: 3, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfmSlots += float64(cfm.Slots)
+			camSlots += float64(cam.Slots)
+			cfmTx += float64(cfm.Transmissions)
+			camTx += float64(cam.Transmissions)
+			coverage += cam.Coverage
+		}
+		n := rho * 16
+		fmt.Fprintf(tw, "%g\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+			rho, n, cfmSlots/runs, camSlots/runs, cfmTx/runs, camTx/runs, coverage/runs)
+	}
+	tw.Flush()
+	fmt.Println("\nThe CFM schedule is a lower bound; collision handling multiplies both the")
+	fmt.Println("time and the transmission count, and the time gap widens with density —")
+	fmt.Println("the cost CFM-level analysis silently ignores.")
+}

@@ -1,0 +1,107 @@
+// Energybudget plays out the paper's motivating scenario: an alarm
+// message must reach most of a dense sensor field while spending as
+// few transmissions as possible (each broadcast costs e_a on the
+// sender and every listening neighbour).
+//
+// It also demonstrates the "Refine" edge of the Fig. 1(b) methodology
+// loop: the analytical energy optimum is a mean-field prediction that
+// ignores stochastic die-out, so the example starts from it and raises
+// p until simulation confirms the coverage target, then compares the
+// refined PB_CAM against flooding and counter-based suppression.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sensornet/internal/core"
+	"sensornet/internal/protocol"
+)
+
+func main() {
+	m := core.DefaultModel()
+	m.Rho = 120 // dense field: collisions dominate
+
+	target := 0.70
+	c := core.Constraints{Latency: 5, Reach: target, Budget: 35}
+
+	// Step 1: analytic energy optimum (the design-time starting point).
+	opt, err := m.OptimalProbability(core.MinEnergy, c, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alarm dissemination over N=%.0f nodes (rho=%g), target reach %.0f%%\n",
+		m.N(), m.Rho, target*100)
+	fmt.Printf("analytic energy optimum: p=%.2f predicting %.0f broadcasts\n", opt.P, opt.Value)
+
+	// Step 2: refine against the simulator — raise p until the target
+	// coverage holds on average (mean-field analysis ignores die-out).
+	p := opt.P
+	for ; p < 1; p *= 1.5 {
+		if meanFinalReach(m, protocol.Probability{P: p}) >= target {
+			break
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	fmt.Printf("refined by simulation:   p=%.2f\n\n", p)
+
+	// Step 3: compare strategies.
+	costs := m.Costs()
+	perBroadcast := costs.Energy * (1 + m.Rho) // sender + expected listeners
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tfinal reach\tbroadcasts\tenergy (e_a units)\tphases to target")
+	schemes := []struct {
+		name string
+		p    protocol.Protocol
+	}{
+		{"flooding", protocol.Flooding{}},
+		{fmt.Sprintf("PB_CAM p=%.2f", p), protocol.Probability{P: p}},
+		{"counter(threshold=3)", protocol.Counter{Threshold: 3}},
+	}
+	for _, s := range schemes {
+		var reach, bcast, latency float64
+		var feasible int
+		const runs = 8
+		for seed := int64(0); seed < runs; seed++ {
+			res, err := m.SimulateProtocol(s.p, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reach += res.Timeline.FinalReachability()
+			bcast += float64(res.Broadcasts)
+			if l, ok := res.Timeline.LatencyToReach(target); ok {
+				latency += l
+				feasible++
+			}
+		}
+		reach /= runs
+		bcast /= runs
+		lat := "-"
+		if feasible > 0 {
+			lat = fmt.Sprintf("%.1f", latency/float64(feasible))
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%.0f\t%s\n",
+			s.name, reach, bcast, bcast*perBroadcast, lat)
+	}
+	tw.Flush()
+	fmt.Println("\nThe refined PB_CAM meets the coverage target at a fraction of flooding's")
+	fmt.Println("energy; counter-based suppression saves little in comparison.")
+}
+
+func meanFinalReach(m core.NetworkModel, pr protocol.Protocol) float64 {
+	const runs = 6
+	sum := 0.0
+	for seed := int64(100); seed < 100+runs; seed++ {
+		res, err := m.SimulateProtocol(pr, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += res.Timeline.FinalReachability()
+	}
+	return sum / runs
+}

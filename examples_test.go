@@ -1,0 +1,53 @@
+package sensornet_test
+
+// Examples are part of the public contract: each must build and run to
+// completion, producing the headline line its documentation promises.
+// The full set takes tens of seconds, so it is skipped in -short mode.
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = "."
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("example %s failed: %v\nstderr: %s", dir, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"analytic optimum", "simulated", "flooding"}},
+		{"tuneprobability", []string{"rho", "p* (analytic)", "flooding degrades"}},
+		{"energybudget", []string{"refined by simulation", "flooding", "PB_CAM"}},
+		{"adaptive", []string{"calibration", "adaptive p", "true p*"}},
+		{"asyncphases", []string{"sync reach@6", "async reach@6"}},
+		{"datagather", []string{"CFM slots", "CAM slots", "coverage"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			out := runExample(t, c.dir)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

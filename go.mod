@@ -1,0 +1,3 @@
+module sensornet
+
+go 1.22

@@ -1,0 +1,57 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCFMFloodingFullReachability(t *testing.T) {
+	tl := CFMFlooding(5, 60)
+	if !tl.Valid() {
+		t.Fatal("CFM timeline invalid")
+	}
+	if tl.FinalReachability() != 1 {
+		t.Fatalf("CFM flooding reach = %v, want 1", tl.FinalReachability())
+	}
+}
+
+func TestCFMFloodingLatencyIsP(t *testing.T) {
+	tl := CFMFlooding(5, 60)
+	lat, ok := tl.LatencyToReach(1)
+	if !ok {
+		t.Fatal("full reachability must be achieved")
+	}
+	if lat > 5 {
+		t.Fatalf("CFM flooding latency = %v, want <= P phases", lat)
+	}
+}
+
+func TestCFMFloodingEnergyIsN(t *testing.T) {
+	tl := CFMFlooding(5, 60)
+	n := 60.0 * 25
+	if math.Abs(tl.TotalBroadcasts()-(n+1)) > 1e-9 {
+		t.Fatalf("CFM flooding broadcasts = %v, want N+1 = %v", tl.TotalBroadcasts(), n+1)
+	}
+}
+
+func TestCFMFloodingDegenerate(t *testing.T) {
+	if len(CFMFlooding(0, 60).Phases) != 0 {
+		t.Fatal("P = 0 should give empty timeline")
+	}
+	if len(CFMFlooding(5, 0).Phases) != 0 {
+		t.Fatal("rho = 0 should give empty timeline")
+	}
+}
+
+func TestCFMBeatsCAMFloodingAtHighDensity(t *testing.T) {
+	// The whole point of the paper: CFM's prediction for flooding is
+	// wildly optimistic compared with the collision-aware analysis.
+	cfm := CFMFlooding(5, 140)
+	cam := mustRun(t, paperConfig(140, 1)).Timeline
+	if cfm.ReachabilityAtPhase(5) != 1 {
+		t.Fatalf("CFM reach@5 = %v, want 1", cfm.ReachabilityAtPhase(5))
+	}
+	if cam.ReachabilityAtPhase(5) > 0.7 {
+		t.Fatalf("CAM flooding reach@5 = %v, expected heavy collision loss", cam.ReachabilityAtPhase(5))
+	}
+}

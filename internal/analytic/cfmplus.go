@@ -1,0 +1,82 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+
+	"sensornet/internal/mathx"
+	"sensornet/internal/metrics"
+)
+
+// CostModel is the refined CFM the paper proposes in its conclusion:
+// transmissions still succeed atomically (preserving CFM's programming
+// simplicity), but each reliable broadcast is priced by
+// density-dependent cost functions t_f(ρ) and e_f(ρ) calibrated from
+// measurements of a real collision-resolving substrate (see the
+// reliable package). Time is in slots, energy in units of e_a.
+type CostModel struct {
+	Time   func(rho float64) float64
+	Energy func(rho float64) float64
+}
+
+// FitCostModel least-squares-fits affine cost functions through
+// measured (density, time, energy) samples — the calibration step that
+// turns reliable-broadcast measurements into a refined CFM.
+func FitCostModel(rhos, times, energies []float64) (CostModel, error) {
+	mt, bt, ok1 := mathx.LinearFit(rhos, times)
+	me, be, ok2 := mathx.LinearFit(rhos, energies)
+	if !ok1 || !ok2 {
+		return CostModel{}, errors.New("analytic: cost-model fit needs >= 2 distinct densities")
+	}
+	clampPos := func(v float64) float64 { return math.Max(1, v) }
+	return CostModel{
+		Time:   func(rho float64) float64 { return clampPos(mt*rho + bt) },
+		Energy: func(rho float64) float64 { return clampPos(me*rho + be) },
+	}, nil
+}
+
+// UnitCostModel is the naive CFM: every reliable broadcast costs one
+// slot and one transmission regardless of density.
+func UnitCostModel() CostModel {
+	one := func(float64) float64 { return 1 }
+	return CostModel{Time: one, Energy: one}
+}
+
+// CFMFloodingWithCosts prices simple flooding under the refined CFM:
+// the wavefront still crosses one ring per round and reaches everyone
+// (collision-free semantics), but each round takes t_f(ρ) slots and
+// each node's broadcast costs e_f(ρ). The returned timeline's Phases
+// axis is measured in slots divided by s·t_a — i.e. in the same
+// "phases" unit as the CAM analyses with s slots per phase — so the two
+// models can be read against each other.
+func CFMFloodingWithCosts(p int, s int, rho float64, cm CostModel) metrics.Timeline {
+	if p < 1 || s < 1 || rho <= 0 || cm.Time == nil || cm.Energy == nil {
+		return metrics.Timeline{}
+	}
+	n := rho * float64(p) * float64(p)
+	tf := cm.Time(rho)
+	ef := cm.Energy(rho)
+	phaseLen := float64(s)
+
+	tl := metrics.Timeline{N: n}
+	tl.Phases = append(tl.Phases, 0)
+	tl.CumReach = append(tl.CumReach, 1/n)
+	tl.CumBroadcasts = append(tl.CumBroadcasts, 0)
+	reached := 1.0
+	energy := 0.0
+	pending := 1.0
+	for round := 1; round <= p; round++ {
+		energy += pending * ef
+		fresh := rho * float64(2*round-1)
+		reached += fresh
+		pending = fresh
+		tl.Phases = append(tl.Phases, float64(round)*tf/phaseLen)
+		tl.CumReach = append(tl.CumReach, math.Min(1, reached/n))
+		tl.CumBroadcasts = append(tl.CumBroadcasts, energy)
+	}
+	energy += pending * ef
+	tl.Phases = append(tl.Phases, float64(p+1)*tf/phaseLen)
+	tl.CumReach = append(tl.CumReach, math.Min(1, reached/n))
+	tl.CumBroadcasts = append(tl.CumBroadcasts, energy)
+	return tl
+}

@@ -1,0 +1,104 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitCostModelRecoverLine(t *testing.T) {
+	rhos := []float64{20, 60, 100, 140}
+	times := make([]float64, len(rhos))
+	energies := make([]float64, len(rhos))
+	for i, r := range rhos {
+		times[i] = 2.5*r + 10
+		energies[i] = 2.4*r + 5
+	}
+	cm, err := FitCostModel(rhos, times, energies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.Time(80); math.Abs(got-(2.5*80+10)) > 1e-6 {
+		t.Fatalf("time fit at 80 = %v", got)
+	}
+	if got := cm.Energy(80); math.Abs(got-(2.4*80+5)) > 1e-6 {
+		t.Fatalf("energy fit at 80 = %v", got)
+	}
+}
+
+func TestFitCostModelClampsBelowOne(t *testing.T) {
+	cm, err := FitCostModel([]float64{10, 20}, []float64{-5, -2}, []float64{-1, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Time(15) < 1 || cm.Energy(15) < 1 {
+		t.Fatal("costs must clamp at 1 (a transmission cannot be free)")
+	}
+}
+
+func TestFitCostModelDegenerate(t *testing.T) {
+	if _, err := FitCostModel([]float64{10}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample should error")
+	}
+}
+
+func TestCFMFloodingWithUnitCostsMatchesNaive(t *testing.T) {
+	refined := CFMFloodingWithCosts(5, 1, 60, UnitCostModel())
+	naive := CFMFlooding(5, 60)
+	if !refined.Valid() {
+		t.Fatal("refined timeline invalid")
+	}
+	if math.Abs(refined.FinalReachability()-naive.FinalReachability()) > 1e-12 {
+		t.Fatal("unit-cost refined CFM should match naive CFM reach")
+	}
+	if math.Abs(refined.TotalBroadcasts()-naive.TotalBroadcasts()) > 1e-9 {
+		t.Fatalf("unit-cost energy %v vs naive %v",
+			refined.TotalBroadcasts(), naive.TotalBroadcasts())
+	}
+}
+
+func TestCFMPlusPredictsHonestLatency(t *testing.T) {
+	// With calibrated costs, the refined CFM's latency prediction for
+	// reliable flooding grows with density while the naive CFM's does
+	// not — the paper's point about CFM hiding collision pressure.
+	cm, err := FitCostModel(
+		[]float64{20, 60, 100, 140},
+		[]float64{53, 165, 289, 368}, // measured ACK t_f from costfn
+		[]float64{52, 163, 288, 366},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latAt := func(rho float64) float64 {
+		tl := CFMFloodingWithCosts(5, 3, rho, cm)
+		lat, ok := tl.LatencyToReach(0.99)
+		if !ok {
+			t.Fatal("refined CFM must reach everyone")
+		}
+		return lat
+	}
+	if !(latAt(140) > 3*latAt(20)) {
+		t.Fatalf("refined latency should grow strongly with density: %v vs %v",
+			latAt(20), latAt(140))
+	}
+	naive := CFMFlooding(5, 140)
+	nLat, _ := naive.LatencyToReach(0.99)
+	if !(latAt(140) > 10*nLat) {
+		t.Fatalf("honest costs should dwarf the naive prediction: %v vs %v",
+			latAt(140), nLat)
+	}
+}
+
+func TestCFMFloodingWithCostsDegenerate(t *testing.T) {
+	if len(CFMFloodingWithCosts(0, 3, 60, UnitCostModel()).Phases) != 0 {
+		t.Fatal("P=0 should give empty timeline")
+	}
+	if len(CFMFloodingWithCosts(5, 0, 60, UnitCostModel()).Phases) != 0 {
+		t.Fatal("s=0 should give empty timeline")
+	}
+	if len(CFMFloodingWithCosts(5, 3, 0, UnitCostModel()).Phases) != 0 {
+		t.Fatal("rho=0 should give empty timeline")
+	}
+	if len(CFMFloodingWithCosts(5, 3, 60, CostModel{}).Phases) != 0 {
+		t.Fatal("nil cost functions should give empty timeline")
+	}
+}

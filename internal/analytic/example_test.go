@@ -1,0 +1,60 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"sensornet/internal/analytic"
+)
+
+// One analytic evaluation gives the full execution timeline; the bell
+// curve of Fig. 4 appears by sweeping Prob.
+func ExampleRun() {
+	res, err := analytic.Run(analytic.Config{P: 5, S: 3, Rho: 100, Prob: 0.13})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("N = %.0f nodes\n", res.N)
+	fmt.Printf("reach@5 = %.2f\n", res.Timeline.ReachabilityAtPhase(5))
+	// Output:
+	// N = 2500 nodes
+	// reach@5 = 0.84
+}
+
+// The tuning law p* = C/rho collapses Fig. 4(b) into one constant.
+func ExampleCalibrateLaw() {
+	law, err := analytic.CalibrateLaw(5, 3, 60, 5, 0.01)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("p*(20)  = %.2f\n", law.P(20))
+	fmt.Printf("p*(140) = %.2f\n", law.P(140))
+	// Output:
+	// p*(20)  = 0.63
+	// p*(140) = 0.09
+}
+
+// The naive CFM promises P-phase flooding at any density; pricing it
+// with measured cost functions (the paper's §6 proposal) exposes the
+// real cost of reliability.
+func ExampleCFMFloodingWithCosts() {
+	cm, err := analytic.FitCostModel(
+		[]float64{20, 140},
+		[]float64{53, 368}, // measured ACK/retransmit slot costs
+		[]float64{52, 366},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	naive := analytic.CFMFlooding(5, 140)
+	refined := analytic.CFMFloodingWithCosts(5, 3, 140, cm)
+	nl, _ := naive.LatencyToReach(0.99)
+	rl, _ := refined.LatencyToReach(0.99)
+	fmt.Printf("naive latency:   %.0f phases\n", nl)
+	fmt.Printf("refined latency: %.0f phases\n", rl)
+	// Output:
+	// naive latency:   5 phases
+	// refined latency: 610 phases
+}

@@ -1,0 +1,9 @@
+package analytic
+
+import "sensornet/internal/mathx"
+
+// simpson wraps the composite Simpson rule used throughout the ring
+// recursion, isolating the quadrature choice in one place.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	return mathx.SimpsonN(f, a, b, n)
+}

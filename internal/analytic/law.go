@@ -1,0 +1,62 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+)
+
+// OptimalProbabilityLaw captures an empirical regularity of the
+// framework that the paper's Fig. 4(b) hints at: the latency-optimal
+// broadcast probability scales almost exactly as p*(ρ) = C/ρ, with C
+// depending only on the slot count and the latency budget. Calibrating
+// C once (at a reference density) therefore yields a closed-form tuning
+// rule for every density — the analytic twin of the Fig. 12
+// success-rate trick, and the rationale behind the degree-adaptive
+// protocol (each node privately sets p = C/degree).
+type OptimalProbabilityLaw struct {
+	// C is the calibrated constant: the target expected number of
+	// broadcasters per neighbourhood.
+	C float64
+	// S and Latency record the calibration context.
+	S       int
+	Latency float64
+}
+
+// CalibrateLaw sweeps the broadcast probability at the reference
+// density refRho and returns the law fitted through the located
+// optimum. The sweep uses the given grid resolution (e.g. 0.01).
+func CalibrateLaw(p, s int, refRho, latency, step float64) (OptimalProbabilityLaw, error) {
+	if step <= 0 || step > 0.5 {
+		return OptimalProbabilityLaw{}, errors.New("analytic: bad calibration step")
+	}
+	bestP, bestR := math.NaN(), -1.0
+	for prob := step; prob <= 1+1e-9; prob += step {
+		res, err := Run(Config{P: p, S: s, Rho: refRho, Prob: math.Min(prob, 1)})
+		if err != nil {
+			return OptimalProbabilityLaw{}, err
+		}
+		if r := res.Timeline.ReachabilityAtPhase(latency); r > bestR {
+			bestP, bestR = math.Min(prob, 1), r
+		}
+	}
+	if math.IsNaN(bestP) {
+		return OptimalProbabilityLaw{}, errors.New("analytic: calibration found no optimum")
+	}
+	return OptimalProbabilityLaw{C: bestP * refRho, S: s, Latency: latency}, nil
+}
+
+// P returns the law's predicted latency-optimal broadcast probability
+// at density rho, clamped to (0, 1].
+func (l OptimalProbabilityLaw) P(rho float64) float64 {
+	if rho <= 0 {
+		return 1
+	}
+	p := l.C / rho
+	if p > 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,70 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileUniformMatchesDefault(t *testing.T) {
+	// A constant profile must reproduce the homogeneous model exactly.
+	base := mustRun(t, paperConfig(60, 0.2))
+	cfg := paperConfig(60, 0.2)
+	cfg.Profile = func(float64) float64 { return 7 } // any constant
+	prof := mustRun(t, cfg)
+	a := base.Timeline.ReachabilityAtPhase(5)
+	b := prof.Timeline.ReachabilityAtPhase(5)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("constant profile changed the model: %v vs %v", a, b)
+	}
+}
+
+func TestProfilePreservesTotalPopulation(t *testing.T) {
+	cfg := paperConfig(60, 1)
+	cfg.Profile = func(r float64) float64 { return 1 - 0.8*r }
+	res := mustRun(t, cfg)
+	// Flooding eventually reaches essentially everyone; the timeline's
+	// final reach is bounded by 1 and the implied totals must match N.
+	if res.N != 60.0*25 {
+		t.Fatalf("N = %v, want 1500", res.N)
+	}
+	if res.Timeline.FinalReachability() > 1+1e-9 {
+		t.Fatalf("reach exceeded 1: %v", res.Timeline.FinalReachability())
+	}
+}
+
+func TestProfileHotspotSpeedsCentreSlowsEdge(t *testing.T) {
+	// Centre-heavy fields deliver the inner rings faster (denser
+	// relays) but starve the outer rings.
+	uni := mustRun(t, paperConfig(60, 0.15))
+	cfg := paperConfig(60, 0.15)
+	cfg.Profile = func(r float64) float64 { return math.Max(0.05, 1-1.2*r) }
+	hot := mustRun(t, cfg)
+
+	cum := func(res *Result, ring int) (got float64) {
+		for _, phase := range res.RingReceived {
+			got += phase[ring]
+		}
+		return got
+	}
+	// Compare coverage fractions directly: reached/placed per ring 5.
+	uniFrac := cum(uni, 4) / uni.RingNodes[4]
+	hotPlaced := hot.RingNodes[4]
+	hotFrac := cum(hot, 4) / hotPlaced
+	if hotPlaced >= uni.RingNodes[4] {
+		t.Fatalf("hotspot should thin the outer ring: %v vs %v", hotPlaced, uni.RingNodes[4])
+	}
+	if hotFrac > uniFrac+0.05 {
+		t.Fatalf("hotspot outer coverage %v should not beat uniform %v", hotFrac, uniFrac)
+	}
+}
+
+func TestProfileZeroIsIgnored(t *testing.T) {
+	cfg := paperConfig(60, 0.2)
+	cfg.Profile = func(float64) float64 { return 0 }
+	res := mustRun(t, cfg)
+	// Degenerate profiles keep the homogeneous populations.
+	base := mustRun(t, paperConfig(60, 0.2))
+	if math.Abs(res.Timeline.FinalReachability()-base.Timeline.FinalReachability()) > 1e-9 {
+		t.Fatal("zero profile should fall back to uniform")
+	}
+}

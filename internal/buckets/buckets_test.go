@@ -1,0 +1,279 @@
+package buckets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMuHandValues(t *testing.T) {
+	cases := []struct {
+		k, s int
+		want float64
+	}{
+		{1, 1, 1},
+		{1, 3, 1},
+		{2, 1, 0},
+		{2, 2, 0.5},     // the two items must land in different buckets
+		{2, 3, 2.0 / 3}, // P(different buckets) = 2/3
+		{3, 1, 0},
+		{0, 3, 0},
+		{-1, 3, 0},
+		{5, 0, 0},
+		{3, 3, 1 - 1.0/9}, // complement: all three in one bucket (1/9)... see below
+	}
+	// For k=3, s=3: outcomes without any singleton bucket are
+	// "all three together" (3/27) — any 2+1 split has a singleton, and
+	// 1+1+1 has three. So μ = 1 - 3/27 = 8/9.
+	cases[len(cases)-1].want = 8.0 / 9
+	for _, c := range cases {
+		if got := Mu(c.k, c.s); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mu(%d,%d) = %v, want %v", c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestMuMatchesPaperRecursionProperty(t *testing.T) {
+	f := func(kRaw, sRaw uint8) bool {
+		k := int(kRaw%25) + 1
+		s := int(sRaw%8) + 1
+		return almostEqual(Mu(k, s), MuRecursive(k, s), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ k, s int }{{4, 3}, {7, 3}, {12, 5}, {2, 2}, {30, 3}}
+	const trials = 200000
+	for _, c := range cases {
+		hits := 0
+		counts := make([]int, c.s)
+		for trial := 0; trial < trials; trial++ {
+			for i := range counts {
+				counts[i] = 0
+			}
+			for i := 0; i < c.k; i++ {
+				counts[rng.Intn(c.s)]++
+			}
+			for _, n := range counts {
+				if n == 1 {
+					hits++
+					break
+				}
+			}
+		}
+		got := float64(hits) / trials
+		want := Mu(c.k, c.s)
+		if !almostEqual(got, want, 0.005) {
+			t.Errorf("Mu(%d,%d): Monte Carlo %v vs analytic %v", c.k, c.s, got, want)
+		}
+	}
+}
+
+func TestMuInUnitIntervalProperty(t *testing.T) {
+	f := func(kRaw uint16, sRaw uint8) bool {
+		k := int(kRaw % 600)
+		s := int(sRaw % 20)
+		v := Mu(k, s)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuLargeKDecaysWithS3(t *testing.T) {
+	// With s = 3 slots and many senders, collisions dominate: μ must
+	// decay towards 0 monotonically for large K.
+	prev := Mu(10, 3)
+	for k := 11; k <= 200; k++ {
+		cur := Mu(k, 3)
+		if cur > prev+1e-12 {
+			t.Fatalf("μ(%d,3)=%v > μ(%d,3)=%v; expected decay", k, cur, k-1, prev)
+		}
+		prev = cur
+	}
+	if prev > 1e-6 {
+		t.Fatalf("μ(200,3)=%v, expected near 0", prev)
+	}
+}
+
+func TestMuMoreSlotsHelpProperty(t *testing.T) {
+	// For a fixed K >= 2, adding slots never hurts.
+	f := func(kRaw, sRaw uint8) bool {
+		k := int(kRaw%30) + 2
+		s := int(sRaw%10) + 1
+		return Mu(k, s+1)+1e-12 >= Mu(k, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuRealLinearEndpoints(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if got := MuReal(float64(k), 3, KLinear); !almostEqual(got, Mu(k, 3), 1e-12) {
+			t.Errorf("MuReal at integer %d = %v, want %v", k, got, Mu(k, 3))
+		}
+	}
+	// Between 0 and 1 the linear mode is the identity (μ(0)=0, μ(1)=1).
+	if got := MuReal(0.4, 3, KLinear); !almostEqual(got, 0.4, 1e-12) {
+		t.Fatalf("MuReal(0.4) = %v, want 0.4", got)
+	}
+}
+
+func TestMuRealMidpoint(t *testing.T) {
+	got := MuReal(2.5, 3, KLinear)
+	want := (Mu(2, 3) + Mu(3, 3)) / 2
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("MuReal(2.5,3) = %v, want %v", got, want)
+	}
+}
+
+func TestMuRealNegativeAndZero(t *testing.T) {
+	for _, mode := range []KMode{KLinear, KPoisson, KRound} {
+		if MuReal(0, 3, mode) != 0 || MuReal(-2, 3, mode) != 0 {
+			t.Errorf("mode %v: non-positive k should give 0", mode)
+		}
+	}
+}
+
+func TestMuRealRound(t *testing.T) {
+	if got := MuReal(2.4, 3, KRound); got != Mu(2, 3) {
+		t.Fatalf("KRound(2.4) = %v, want Mu(2,3)", got)
+	}
+	if got := MuReal(2.6, 3, KRound); got != Mu(3, 3) {
+		t.Fatalf("KRound(2.6) = %v, want Mu(3,3)", got)
+	}
+}
+
+func TestMuRealPoissonMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	lambda, s := 4.2, 3
+	const trials = 300000
+	hits := 0
+	counts := make([]int, s)
+	for trial := 0; trial < trials; trial++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		// Sample Poisson via Knuth (lambda is small).
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				break
+			}
+			k++
+		}
+		for i := 0; i < k; i++ {
+			counts[rng.Intn(s)]++
+		}
+		for _, n := range counts {
+			if n == 1 {
+				hits++
+				break
+			}
+		}
+	}
+	got := float64(hits) / trials
+	want := MuReal(lambda, s, KPoisson)
+	if !almostEqual(got, want, 0.005) {
+		t.Fatalf("Poisson mixture: Monte Carlo %v vs analytic %v", got, want)
+	}
+}
+
+func TestMuRealModesAgreeAtLargeK(t *testing.T) {
+	// All interpolation modes must agree in the collision-dominated
+	// regime where μ is nearly 0.
+	for _, mode := range []KMode{KLinear, KPoisson, KRound} {
+		if v := MuReal(150, 3, mode); v > 0.01 {
+			t.Errorf("mode %v at K=150: %v, expected ~0", mode, v)
+		}
+	}
+}
+
+func TestMuBinomialBasics(t *testing.T) {
+	// p = 1 degenerates to Mu(n, s).
+	if got := MuBinomial(5, 1, 3); !almostEqual(got, Mu(5, 3), 1e-12) {
+		t.Fatalf("MuBinomial(5,1,3) = %v, want Mu(5,3)", got)
+	}
+	if MuBinomial(0, 0.5, 3) != 0 || MuBinomial(5, 0, 3) != 0 {
+		t.Fatal("degenerate binomial mixtures should be 0")
+	}
+}
+
+func TestMuBinomialCloseToLinearAtSmallP(t *testing.T) {
+	// With n = 100, p = 0.03 the binomial is close to Poisson(3); both
+	// smooth modes should be within a few percent of each other.
+	nb := MuBinomial(100, 0.03, 3)
+	po := MuReal(3, 3, KPoisson)
+	if !almostEqual(nb, po, 0.02) {
+		t.Fatalf("binomial %v vs poisson %v diverge", nb, po)
+	}
+}
+
+func TestExpectedSingletons(t *testing.T) {
+	if got := ExpectedSingletons(1, 3); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("one item: %v, want 1", got)
+	}
+	// Two items, two buckets: E[#singletons] = 2 · (1/2) = 1.
+	if got := ExpectedSingletons(2, 2); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("2 items 2 buckets: %v, want 1", got)
+	}
+	if ExpectedSingletons(0, 3) != 0 || ExpectedSingletons(-1, 3) != 0 {
+		t.Fatal("non-positive k should give 0")
+	}
+}
+
+func TestExpectedSingletonsMatchesBinomialMean(t *testing.T) {
+	// For integer k, E[#singletons] = s · k · (1/s) · ((s-1)/s)^(k-1).
+	for _, c := range []struct{ k, s int }{{3, 3}, {7, 4}, {20, 5}} {
+		want := float64(c.s) * float64(c.k) * (1.0 / float64(c.s)) *
+			math.Pow(float64(c.s-1)/float64(c.s), float64(c.k-1))
+		got := ExpectedSingletons(float64(c.k), c.s)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("ExpectedSingletons(%d,%d) = %v, want %v", c.k, c.s, got, want)
+		}
+	}
+}
+
+func TestKModeString(t *testing.T) {
+	if KLinear.String() != "linear" || KPoisson.String() != "poisson" ||
+		KRound.String() != "round" || KMode(99).String() != "unknown" {
+		t.Fatal("KMode.String labels wrong")
+	}
+}
+
+func BenchmarkMuClosedForm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mu(1+i%140, 3)
+	}
+}
+
+func BenchmarkMuRecursive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MuRecursive(1+i%25, 3)
+	}
+}
+
+func BenchmarkMuRealLinear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MuReal(float64(i%140)+0.37, 3, KLinear)
+	}
+}
+
+func BenchmarkMuRealPoisson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MuReal(float64(i%40)+0.37, 3, KPoisson)
+	}
+}

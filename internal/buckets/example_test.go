@@ -1,0 +1,31 @@
+package buckets_test
+
+import (
+	"fmt"
+
+	"sensornet/internal/buckets"
+)
+
+// μ(K, s) is the probability that a receiver decodes at least one
+// packet when K neighbours each transmit in one of s random slots:
+// the contention kernel of the whole analytical framework.
+func ExampleMu() {
+	for _, k := range []int{1, 3, 10, 50} {
+		fmt.Printf("mu(%d, 3) = %.3f\n", k, buckets.Mu(k, 3))
+	}
+	// Output:
+	// mu(1, 3) = 1.000
+	// mu(3, 3) = 0.889
+	// mu(10, 3) = 0.256
+	// mu(50, 3) = 0.000
+}
+
+// The carrier-sensing variant additionally requires silence from the
+// annulus between r and 2r (Appendix A).
+func ExampleMuCS() {
+	fmt.Printf("in-range only:    %.3f\n", buckets.MuCS(3, 0, 3))
+	fmt.Printf("plus interferers: %.3f\n", buckets.MuCS(3, 5, 3))
+	// Output:
+	// in-range only:    0.889
+	// plus interferers: 0.173
+}

@@ -1,0 +1,66 @@
+package buckets
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMuInvariants checks the bucket-probability invariants for
+// arbitrary (K, s): range, interferers only hurt, and agreement between
+// the closed form and the paper's recursion on the small-argument
+// domain where the recursion is tractable.
+func FuzzMuInvariants(f *testing.F) {
+	f.Add(3, 3, 2)
+	f.Add(1, 1, 0)
+	f.Add(20, 5, 7)
+	f.Fuzz(func(t *testing.T, k, s, k2 int) {
+		if k < 0 || k > 300 || s < 0 || s > 40 || k2 < 0 || k2 > 300 {
+			t.Skip()
+		}
+		v := Mu(k, s)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("Mu(%d,%d) = %v", k, s, v)
+		}
+		cs := MuCS(k, k2, s)
+		if math.IsNaN(cs) || cs < 0 || cs > v+1e-12 {
+			t.Fatalf("MuCS(%d,%d,%d) = %v exceeds Mu = %v", k, k2, s, cs, v)
+		}
+		if k <= 18 && s <= 6 {
+			ref := MuRecursive(k, s)
+			if math.Abs(v-ref) > 1e-9 {
+				t.Fatalf("closed form %v != recursion %v at (%d,%d)", v, ref, k, s)
+			}
+		}
+		if k <= 8 && k2 <= 8 && s <= 4 {
+			ref := MuCSRecursive(k, k2, s)
+			if math.Abs(cs-ref) > 1e-9 {
+				t.Fatalf("CS closed form %v != recursion %v at (%d,%d,%d)", cs, ref, k, k2, s)
+			}
+		}
+	})
+}
+
+// FuzzMuRealModes checks that every real-K extension stays in [0, 1]
+// and agrees with the integer grid at integer arguments.
+func FuzzMuRealModes(f *testing.F) {
+	f.Add(2.5, 3)
+	f.Add(0.1, 1)
+	f.Add(140.0, 3)
+	f.Fuzz(func(t *testing.T, k float64, s int) {
+		if math.IsNaN(k) || math.IsInf(k, 0) || k < -10 || k > 500 || s < 0 || s > 20 {
+			t.Skip()
+		}
+		for _, mode := range []KMode{KLinear, KPoisson, KRound} {
+			v := MuReal(k, s, mode)
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("MuReal(%v,%d,%v) = %v", k, s, mode, v)
+			}
+		}
+		if k == math.Trunc(k) && k >= 0 && k < 400 {
+			want := Mu(int(k), s)
+			if got := MuReal(k, s, KLinear); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("linear mode at integer %v: %v != %v", k, got, want)
+			}
+		}
+	})
+}

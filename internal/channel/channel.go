@@ -1,0 +1,183 @@
+// Package channel implements the paper's two link-level communication
+// models over a fixed deployment.
+//
+// Under CFM (Collision Free Model, §3.2.1) every transmission is an
+// atomic operation delivered to all neighbours. Under CAM (Collision
+// Aware Model, §3.2.2, Assumption 6) a packet is received only when it
+// is the sole transmission audible at the receiver for its entire
+// duration; the carrier-sensing variant (Appendix A) additionally
+// requires silence from every node within twice the transmission
+// radius. Radios are half-duplex: a transmitting node receives nothing
+// during its own slot.
+package channel
+
+import (
+	"errors"
+	"fmt"
+
+	"sensornet/internal/deploy"
+)
+
+// Model selects the link-level communication model.
+type Model int
+
+const (
+	// CFM is the Collision Free Model: transmissions always succeed.
+	CFM Model = iota
+	// CAM is the Collision Aware Model: concurrent in-range
+	// transmissions to a common receiver all collide.
+	CAM
+	// CAMCarrierSense is CAM extended with a carrier-sensing range of
+	// twice the transmission radius (Appendix A).
+	CAMCarrierSense
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case CFM:
+		return "CFM"
+	case CAM:
+		return "CAM"
+	case CAMCarrierSense:
+		return "CAM+CS"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Costs carries the per-transmission cost constants of a model: (t_f,
+// e_f) for CFM and (t_a, e_a) for CAM, in arbitrary units. The analysis
+// counts broadcasts, so these are exposed for cost reporting only.
+type Costs struct {
+	Time   float64
+	Energy float64
+}
+
+// DefaultCosts returns unit costs with the paper's ordering
+// t_a <= t_f, e_a <= e_f: CFM's atomic reliable delivery is allowed to
+// be more expensive than a raw CAM transmission.
+func DefaultCosts(m Model) Costs {
+	if m == CFM {
+		return Costs{Time: 1.5, Energy: 1.5}
+	}
+	return Costs{Time: 1, Energy: 1}
+}
+
+// Resolver computes the outcome of slot-aligned concurrent
+// transmissions over one deployment. It is stateful only within a call
+// to ResolveSlot and reusable across slots and runs; epoch stamping
+// avoids O(N) clearing per slot.
+type Resolver struct {
+	model Model
+	dep   *deploy.Deployment
+
+	stamp    []uint32 // epoch of the last write to count/from
+	count    []int32  // in-range transmitters audible this slot
+	from     []int32  // the unique transmitter when count == 1
+	sense    []int32  // sensing-annulus transmitters audible this slot
+	txStamp  []uint32 // epoch marking nodes transmitting this slot
+	colStamp []uint32 // epoch deduplicating collision reports
+	epoch    uint32
+
+	unicastScratch []int32 // sender list reused by ResolveSlotUnicast
+}
+
+// NewResolver builds a resolver for the model over dep. Carrier sensing
+// requires the deployment to have been generated WithSensing.
+func NewResolver(model Model, dep *deploy.Deployment) (*Resolver, error) {
+	if dep == nil {
+		return nil, errors.New("channel: nil deployment")
+	}
+	if model == CAMCarrierSense && dep.Sensing == nil {
+		return nil, errors.New("channel: carrier-sense model needs deploy.Config.WithSensing")
+	}
+	n := dep.N()
+	return &Resolver{
+		model:    model,
+		dep:      dep,
+		stamp:    make([]uint32, n),
+		count:    make([]int32, n),
+		from:     make([]int32, n),
+		sense:    make([]int32, n),
+		txStamp:  make([]uint32, n),
+		colStamp: make([]uint32, n),
+	}, nil
+}
+
+// Model returns the resolver's communication model.
+func (r *Resolver) Model() Model { return r.model }
+
+// ResolveSlot determines which transmissions in one time slot are
+// delivered, invoking deliver(from, to) for every successful
+// (transmitter, receiver) pair. Transmitters never receive in their own
+// slot. The deliver callbacks are grouped by transmitter, in the order
+// transmitters appear in txs.
+func (r *Resolver) ResolveSlot(txs []int32, deliver func(from, to int32)) {
+	r.ResolveSlotTraced(txs, deliver, nil)
+}
+
+// ResolveSlotTraced is ResolveSlot with collision observability: when
+// collided is non-nil it is invoked once per receiver whose reception
+// was destroyed this slot, with the number of in-range transmitters it
+// heard (a carrier-sense kill with a single in-range transmitter
+// reports 1). CFM never collides.
+func (r *Resolver) ResolveSlotTraced(txs []int32, deliver func(from, to int32), collided func(to, heard int32)) {
+	if len(txs) == 0 {
+		return
+	}
+	r.epoch++
+	for _, s := range txs {
+		r.txStamp[s] = r.epoch
+	}
+	if r.model == CFM {
+		for _, s := range txs {
+			for _, v := range r.dep.Neighbors[s] {
+				if r.txStamp[v] != r.epoch {
+					deliver(s, v)
+				}
+			}
+		}
+		return
+	}
+	// Pass 1: tally audible transmitters per receiver.
+	for _, s := range txs {
+		for _, v := range r.dep.Neighbors[s] {
+			if r.stamp[v] != r.epoch {
+				r.stamp[v] = r.epoch
+				r.count[v] = 0
+				r.sense[v] = 0
+			}
+			r.count[v]++
+			r.from[v] = s
+		}
+		if r.model == CAMCarrierSense {
+			for _, v := range r.dep.Sensing[s] {
+				if r.stamp[v] != r.epoch {
+					r.stamp[v] = r.epoch
+					r.count[v] = 0
+					r.sense[v] = 0
+				}
+				r.sense[v]++
+			}
+		}
+	}
+	// Pass 2: deliver where exactly one in-range transmitter was heard
+	// (and, under carrier sensing, no annulus interferer). Destroyed
+	// receptions are reported once per receiver when requested.
+	for _, s := range txs {
+		for _, v := range r.dep.Neighbors[s] {
+			if r.txStamp[v] == r.epoch {
+				continue // half-duplex: v is transmitting
+			}
+			ok := r.count[v] == 1 && r.from[v] == s &&
+				(r.model != CAMCarrierSense || r.sense[v] == 0)
+			if ok {
+				deliver(s, v)
+			} else if collided != nil && r.colStamp[v] != r.epoch {
+				r.colStamp[v] = r.epoch
+				collided(v, r.count[v])
+			}
+		}
+	}
+}

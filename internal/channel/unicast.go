@@ -1,0 +1,68 @@
+package channel
+
+// Unicast is a point-to-point transmission attempt within one slot.
+// Under CAM a unicast occupies the channel exactly like a broadcast —
+// every neighbour of the sender hears it and it collides with any other
+// concurrent transmission audible at the addressee (§3.2.2 treats both
+// primitives uniformly) — but only the addressee consumes the packet.
+type Unicast struct {
+	From, To int32
+}
+
+// ResolveSlotUnicast determines which unicast attempts in one slot
+// succeed, invoking deliver for each. The same transmission set also
+// produces overhearing at third parties; overhear (optional, may be
+// nil) is invoked for every successful (transmitter, bystander) pair
+// exactly as ResolveSlot would deliver them, which lets snooping-based
+// protocols share the primitive.
+//
+// Under CFM every attempt whose addressee is a neighbour succeeds.
+func (r *Resolver) ResolveSlotUnicast(txs []Unicast, deliver func(Unicast), overhear func(from, to int32)) {
+	if len(txs) == 0 {
+		return
+	}
+	senders := r.unicastScratch[:0]
+	for _, u := range txs {
+		senders = append(senders, u.From)
+	}
+	r.unicastScratch = senders
+
+	isNeighbor := func(a, b int32) bool {
+		for _, v := range r.dep.Neighbors[a] {
+			if v == b {
+				return true
+			}
+		}
+		return false
+	}
+
+	if r.model == CFM {
+		for _, u := range txs {
+			if isNeighbor(u.From, u.To) {
+				deliver(u)
+			}
+		}
+		if overhear != nil {
+			r.ResolveSlot(senders, func(from, to int32) {
+				overhear(from, to)
+			})
+		}
+		return
+	}
+
+	// CAM: run the broadcast resolution over the senders; a unicast
+	// succeeds iff its addressee would have decoded the sender's
+	// packet as a broadcast receiver.
+	r.ResolveSlot(senders, func(from, to int32) {
+		delivered := false
+		for _, u := range txs {
+			if u.From == from && u.To == to {
+				deliver(u)
+				delivered = true
+			}
+		}
+		if !delivered && overhear != nil {
+			overhear(from, to)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package channel
+
+import (
+	"testing"
+)
+
+func collectUnicast(r *Resolver, txs []Unicast) (got []Unicast, heard []delivery) {
+	r.ResolveSlotUnicast(txs,
+		func(u Unicast) { got = append(got, u) },
+		func(from, to int32) { heard = append(heard, delivery{from, to}) })
+	return got, heard
+}
+
+func TestUnicastSingleDelivery(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.9, 1.8}, false)
+	r, _ := NewResolver(CAM, d)
+	got, heard := collectUnicast(r, []Unicast{{From: 1, To: 0}})
+	if len(got) != 1 || got[0] != (Unicast{From: 1, To: 0}) {
+		t.Fatalf("unicast deliveries = %v", got)
+	}
+	// Node 2 overhears the transmission.
+	if len(heard) != 1 || heard[0] != (delivery{1, 2}) {
+		t.Fatalf("overhearing = %v", heard)
+	}
+}
+
+func TestUnicastCollision(t *testing.T) {
+	// 0 and 2 both send to 1 concurrently: both fail.
+	d := lineDeployment(t, []float64{0, 0.9, 1.8}, false)
+	r, _ := NewResolver(CAM, d)
+	got, _ := collectUnicast(r, []Unicast{{From: 0, To: 1}, {From: 2, To: 1}})
+	if len(got) != 0 {
+		t.Fatalf("colliding unicasts delivered: %v", got)
+	}
+}
+
+func TestUnicastOutOfRangeAddressee(t *testing.T) {
+	// 0 sends to 2, which is out of range: no delivery, but 1 overhears.
+	d := lineDeployment(t, []float64{0, 0.9, 1.8}, false)
+	r, _ := NewResolver(CAM, d)
+	got, heard := collectUnicast(r, []Unicast{{From: 0, To: 2}})
+	if len(got) != 0 {
+		t.Fatalf("out-of-range unicast delivered: %v", got)
+	}
+	if len(heard) != 1 || heard[0] != (delivery{0, 1}) {
+		t.Fatalf("expected node 1 to overhear, got %v", heard)
+	}
+}
+
+func TestUnicastCFMAlwaysDelivers(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.9, 1.8}, false)
+	r, _ := NewResolver(CFM, d)
+	got, _ := collectUnicast(r, []Unicast{{From: 0, To: 1}, {From: 2, To: 1}})
+	if len(got) != 2 {
+		t.Fatalf("CFM unicasts = %v, want both delivered", got)
+	}
+	// Out-of-range addressee still fails under CFM (no link).
+	got, _ = collectUnicast(r, []Unicast{{From: 0, To: 2}})
+	if len(got) != 0 {
+		t.Fatalf("CFM should not bridge non-links: %v", got)
+	}
+}
+
+func TestUnicastEmptySlot(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.9}, false)
+	r, _ := NewResolver(CAM, d)
+	got, heard := collectUnicast(r, nil)
+	if got != nil || heard != nil {
+		t.Fatal("empty slot should do nothing")
+	}
+}
+
+func TestUnicastNilOverhear(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.9, 1.8}, false)
+	r, _ := NewResolver(CAM, d)
+	var got []Unicast
+	r.ResolveSlotUnicast([]Unicast{{From: 1, To: 0}},
+		func(u Unicast) { got = append(got, u) }, nil)
+	if len(got) != 1 {
+		t.Fatalf("deliveries with nil overhear = %v", got)
+	}
+}
+
+func TestUnicastMixedWithCollisionsAtThirdParty(t *testing.T) {
+	// Chain 3-0-1-2-4 (indices by position): transmitters 0 and 2 both
+	// audible at 1, so 1 decodes nothing; their unicasts to private
+	// neighbours succeed.
+	d := lineDeployment(t, []float64{0, 0.9, 1.8, -0.9, 2.7}, false)
+	r, _ := NewResolver(CAM, d)
+	got, _ := collectUnicast(r, []Unicast{{From: 0, To: 3}, {From: 2, To: 4}})
+	if len(got) != 2 {
+		t.Fatalf("private unicasts should survive: %v", got)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+
+	"sensornet/internal/deploy"
+	"sensornet/internal/gather"
+	"sensornet/internal/protocol"
+	"sensornet/internal/reliable"
+	"sensornet/internal/sim"
+	"sensornet/internal/trace"
+)
+
+// Deploy samples one concrete deployment of the model (with
+// carrier-sensing neighbour lists when the model needs them).
+func (m NetworkModel) Deploy(seed int64) (*deploy.Deployment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return deploy.Generate(deploy.Config{
+		P: m.P, R: m.R, Rho: m.Rho,
+		WithSensing: m.Comm == CAMCarrierSense,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// Gather runs one aggregating data-collection round (convergecast) on
+// the model: readings flow up a BFS tree to the source. Under CFM the
+// cost is the textbook lower bound; under CAM the same algorithm pays
+// for contention windows and acknowledgments.
+func (m NetworkModel) Gather(seed int64) (*gather.Result, error) {
+	dep, err := m.Deploy(seed)
+	if err != nil {
+		return nil, err
+	}
+	return gather.Run(dep, gather.Config{
+		Model:  m.Comm,
+		Window: m.S,
+		Seed:   seed,
+	})
+}
+
+// ReliableBroadcastCost measures what one CFM-grade reliable local
+// broadcast actually costs on this model's density, using the
+// ACK/retransmit realisation of §3.2.1 (adaptive windows). The result's
+// Slots and Transmissions are the empirical t_f and e_f.
+func (m NetworkModel) ReliableBroadcastCost(seed int64) (reliable.AckResult, error) {
+	dep, err := m.Deploy(seed)
+	if err != nil {
+		return reliable.AckResult{}, err
+	}
+	return reliable.AckBroadcast(dep, 0, reliable.AckConfig{
+		Window: m.S, Adaptive: true, Seed: seed,
+	})
+}
+
+// TDMACost builds a two-hop TDMA schedule for a deployment of the model
+// and returns its frame length: the latency price of the
+// multi-packet-reception realisation of CFM.
+func (m NetworkModel) TDMACost(seed int64) (frameLen int, err error) {
+	cfg := deploy.Config{P: m.P, R: m.R, Rho: m.Rho, WithSensing: true}
+	dep, err := deploy.Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	sched, err := reliable.BuildTDMA(dep)
+	if err != nil {
+		return 0, err
+	}
+	return sched.FrameLen, nil
+}
+
+// SimulateTraced runs one PB_CAM simulation with a trace collector
+// attached and returns both the result and the collected channel
+// statistics (collision profile, per-phase activity).
+func (m NetworkModel) SimulateTraced(p float64, seed int64) (*sim.Result, *trace.Collector, error) {
+	col := &trace.Collector{}
+	cfg := m.simConfig(protocol.Probability{P: p}, seed, false)
+	cfg.Tracer = col
+	res, err := sim.Run(cfg)
+	return res, col, err
+}

@@ -1,0 +1,263 @@
+// Package deploy generates and indexes the sensor-field deployments the
+// paper evaluates on: N = δπ(Pr)² nodes uniformly distributed in a disk
+// of radius P·r with the broadcast source at the centre (§4).
+//
+// Deployments precompute neighbour lists (and, optionally, the
+// carrier-sensing lists of nodes between r and 2r) with a uniform-grid
+// spatial index, so simulation runs never pay an O(N²) neighbour scan.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensornet/internal/geom"
+)
+
+// Config describes a deployment to generate.
+type Config struct {
+	// P is the field radius in units of the transmission radius.
+	P int
+	// R is the transmission radius (defaults to 1).
+	R float64
+	// Rho is the target density as expected neighbours per node,
+	// ρ = δπr². The node count becomes round(ρ·P²).
+	Rho float64
+	// N overrides the node count directly when positive (Rho is then
+	// only informational).
+	N int
+	// Grid switches from uniform random placement to a square lattice
+	// with spacing just under R, so each interior node has exactly its
+	// four lattice neighbours in range — the grid deployment of the
+	// percolation analysis the paper cites. Rho and N are ignored; the
+	// node count is the number of lattice points inside the field.
+	Grid bool
+	// Profile, when non-nil, makes the deployment radially
+	// heterogeneous: the local density at distance r from the centre
+	// is proportional to Profile(r/fieldRadius). The node count still
+	// follows Rho (interpreted as the field-wide mean density), so
+	// profiles redistribute rather than add nodes. Profile must be
+	// non-negative on [0, 1] and not identically zero.
+	Profile func(rNorm float64) float64
+	// WithSensing additionally builds the carrier-sensing neighbour
+	// lists (nodes at distance in (r, 2r]).
+	WithSensing bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.R == 0 {
+		c.R = 1
+	}
+}
+
+// Validate reports whether the configuration can produce a deployment.
+func (c Config) Validate() error {
+	if c.P < 1 {
+		return errors.New("deploy: P must be >= 1")
+	}
+	if c.R < 0 {
+		return errors.New("deploy: R must be >= 0")
+	}
+	if c.N <= 0 && c.Rho <= 0 && !c.Grid {
+		return errors.New("deploy: need Rho > 0, N > 0, or Grid")
+	}
+	if c.N < 0 {
+		return fmt.Errorf("deploy: negative N %d", c.N)
+	}
+	return nil
+}
+
+// Deployment is an immutable snapshot of a deployed network. Node 0 is
+// the broadcast source at the field centre.
+type Deployment struct {
+	// Pos holds node positions; Pos[0] is the origin.
+	Pos []geom.Point
+	// R is the transmission radius.
+	R float64
+	// FieldRadius is P·R.
+	FieldRadius float64
+	// Neighbors[i] lists nodes within distance R of node i (symmetric,
+	// i excluded).
+	Neighbors [][]int32
+	// Sensing[i] lists nodes at distance in (R, 2R] of node i; nil
+	// unless requested at generation time.
+	Sensing [][]int32
+}
+
+// N returns the number of nodes including the source.
+func (d *Deployment) N() int { return len(d.Pos) }
+
+// Generate samples a deployment using rng. The result is deterministic
+// for a given rng state.
+func Generate(cfg Config, rng *rand.Rand) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	field := float64(cfg.P) * cfg.R
+	d := &Deployment{R: cfg.R, FieldRadius: field}
+	if cfg.Grid {
+		d.Pos = latticePositions(field, cfg.R)
+	} else {
+		n := cfg.N
+		if n == 0 {
+			n = int(math.Round(cfg.Rho * float64(cfg.P) * float64(cfg.P)))
+		}
+		if n < 1 {
+			n = 1
+		}
+		d.Pos = make([]geom.Point, n)
+		d.Pos[0] = geom.Point{} // source at the centre
+		sample := uniformRadius
+		if cfg.Profile != nil {
+			sample = profileSampler(cfg.Profile)
+		}
+		for i := 1; i < n; i++ {
+			rr := field * sample(rng)
+			th := 2 * math.Pi * rng.Float64()
+			d.Pos[i] = geom.Point{X: rr * math.Cos(th), Y: rr * math.Sin(th)}
+		}
+	}
+	d.buildNeighbors(cfg.WithSensing)
+	return d, nil
+}
+
+// uniformRadius samples a normalised radius for a uniform disk:
+// r ~ sqrt(U).
+func uniformRadius(rng *rand.Rand) float64 {
+	return math.Sqrt(rng.Float64())
+}
+
+// profileSampler builds a normalised-radius sampler whose density at
+// radius r is proportional to profile(r)·r (the r factor accounts for
+// ring circumference), using rejection sampling against the weight's
+// maximum on a fine grid.
+func profileSampler(profile func(float64) float64) func(*rand.Rand) float64 {
+	const probes = 256
+	maxW := 0.0
+	for i := 0; i <= probes; i++ {
+		r := float64(i) / probes
+		if w := profile(r) * r; w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		return uniformRadius
+	}
+	return func(rng *rand.Rand) float64 {
+		for {
+			r := rng.Float64()
+			if w := profile(r) * r; w >= 0 && rng.Float64()*maxW < w {
+				return r
+			}
+		}
+	}
+}
+
+// latticePositions returns the square-lattice points inside the field
+// disk, source first. The spacing sits just below the transmission
+// radius so lattice neighbours are unambiguously in range and
+// diagonals unambiguously out.
+func latticePositions(field, r float64) []geom.Point {
+	spacing := 0.999 * r
+	max := int(field / spacing)
+	pos := []geom.Point{{}} // source at the origin
+	for i := -max; i <= max; i++ {
+		for j := -max; j <= max; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			p := geom.Point{X: float64(i) * spacing, Y: float64(j) * spacing}
+			if p.Norm() <= field {
+				pos = append(pos, p)
+			}
+		}
+	}
+	return pos
+}
+
+// buildNeighbors fills the neighbour (and optionally sensing) lists with
+// a uniform grid of cell size 2R so that both ranges need only a 3×3
+// cell scan when sensing lists are requested, and of size R otherwise.
+func (d *Deployment) buildNeighbors(withSensing bool) {
+	n := len(d.Pos)
+	d.Neighbors = make([][]int32, n)
+	if withSensing {
+		d.Sensing = make([][]int32, n)
+	}
+	reach := d.R
+	if withSensing {
+		reach = 2 * d.R
+	}
+	if reach <= 0 {
+		return
+	}
+	idx := newGridIndex(d.Pos, reach)
+	r2 := d.R * d.R
+	s2 := 4 * d.R * d.R
+	for i := 0; i < n; i++ {
+		pi := d.Pos[i]
+		idx.visitCandidates(pi, func(j int32) {
+			if int(j) == i {
+				return
+			}
+			dd := pi.Dist2(d.Pos[j])
+			switch {
+			case dd <= r2:
+				d.Neighbors[i] = append(d.Neighbors[i], j)
+			case withSensing && dd <= s2:
+				d.Sensing[i] = append(d.Sensing[i], j)
+			}
+		})
+	}
+}
+
+// Degree returns the neighbour count of node i.
+func (d *Deployment) Degree(i int) int { return len(d.Neighbors[i]) }
+
+// AvgDegree returns the mean neighbour count over all nodes.
+func (d *Deployment) AvgDegree() float64 {
+	if len(d.Pos) == 0 {
+		return 0
+	}
+	sum := 0
+	for i := range d.Pos {
+		sum += len(d.Neighbors[i])
+	}
+	return float64(sum) / float64(len(d.Pos))
+}
+
+// ReachableFromSource returns the number of nodes (including the source)
+// connected to node 0 in the communication graph: the ceiling on any
+// broadcast scheme's reachability.
+func (d *Deployment) ReachableFromSource() int {
+	n := len(d.Pos)
+	if n == 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int32{0}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range d.Neighbors[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count
+}
+
+// RingOf returns the 1-indexed ring of node i under the paper's P-ring
+// partition of the field.
+func (d *Deployment) RingOf(i int) int {
+	rp := geom.RingPartition{R: d.R, P: int(math.Round(d.FieldRadius / d.R))}
+	return rp.RingOf(d.Pos[i].Norm())
+}

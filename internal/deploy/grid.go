@@ -1,0 +1,86 @@
+package deploy
+
+import (
+	"math"
+
+	"sensornet/internal/geom"
+)
+
+// gridIndex is a uniform-grid spatial index over node positions. Cell
+// size equals the query radius, so every point within that radius of a
+// query point lies in the 3×3 block of cells around it.
+type gridIndex struct {
+	cell    float64
+	minX    float64
+	minY    float64
+	cols    int
+	rows    int
+	buckets [][]int32
+}
+
+func newGridIndex(pos []geom.Point, cell float64) *gridIndex {
+	g := &gridIndex{cell: cell}
+	if len(pos) == 0 || cell <= 0 {
+		return g
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	g.cols = int((maxX-minX)/cell) + 1
+	g.rows = int((maxY-minY)/cell) + 1
+	g.buckets = make([][]int32, g.cols*g.rows)
+	for i, p := range pos {
+		c := g.cellOf(p)
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+func (g *gridIndex) cellOf(p geom.Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// visitCandidates invokes fn for every indexed point in the 3×3 cell
+// block around p: a superset of the points within g.cell of p.
+func (g *gridIndex) visitCandidates(p geom.Point, fn func(int32)) {
+	if len(g.buckets) == 0 {
+		return
+	}
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, id := range g.buckets[y*g.cols+x] {
+				fn(id)
+			}
+		}
+	}
+}

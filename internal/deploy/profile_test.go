@@ -1,0 +1,87 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProfileHotspotConcentratesCentre(t *testing.T) {
+	// Density falling linearly to zero at the edge: far more nodes in
+	// the inner half-radius than uniform placement would put there.
+	hotspot := func(r float64) float64 { return 1 - r }
+	d := gen(t, Config{P: 5, Rho: 100, Profile: hotspot}, 1)
+	u := gen(t, Config{P: 5, Rho: 100}, 1)
+	inner := func(dep *Deployment) float64 {
+		count := 0
+		for _, p := range dep.Pos {
+			if p.Norm() < dep.FieldRadius/2 {
+				count++
+			}
+		}
+		return float64(count) / float64(dep.N())
+	}
+	if !(inner(d) > inner(u)+0.15) {
+		t.Fatalf("hotspot inner share %v not above uniform %v", inner(d), inner(u))
+	}
+}
+
+func TestProfilePreservesNodeCount(t *testing.T) {
+	d := gen(t, Config{P: 5, Rho: 40, Profile: func(r float64) float64 { return r }}, 2)
+	if d.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", d.N())
+	}
+}
+
+func TestProfileEdgeWeighted(t *testing.T) {
+	// Density rising with radius: outer ring overpopulated relative to
+	// uniform.
+	edge := func(r float64) float64 { return r * r }
+	d := gen(t, Config{P: 5, Rho: 100, Profile: edge}, 3)
+	outer := 0
+	for i := range d.Pos {
+		if d.RingOf(i) == 5 {
+			outer++
+		}
+	}
+	share := float64(outer) / float64(d.N())
+	// Uniform share of ring 5 is 9/25 = 0.36; r² weighting pushes it
+	// well above.
+	if share < 0.45 {
+		t.Fatalf("edge profile outer share %v, want > 0.45", share)
+	}
+}
+
+func TestProfileMatchesExpectedRadialLaw(t *testing.T) {
+	// For profile(r) = r the radial CDF is r³ (density ∝ r·r); the
+	// median radius is 2^(-1/3).
+	d := gen(t, Config{P: 10, Rho: 100, Profile: func(r float64) float64 { return r }}, 4)
+	radii := make([]float64, 0, d.N())
+	for _, p := range d.Pos[1:] { // skip the pinned source
+		radii = append(radii, p.Norm()/d.FieldRadius)
+	}
+	below := 0
+	median := math.Pow(0.5, 1.0/3)
+	for _, r := range radii {
+		if r < median {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(radii))
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("median check: %v of mass below theoretical median", frac)
+	}
+}
+
+func TestProfileDegenerateFallsBackToUniform(t *testing.T) {
+	// An identically-zero profile cannot be normalised; the sampler
+	// falls back to uniform rather than looping forever.
+	d, err := Generate(Config{P: 3, Rho: 30, Profile: func(float64) float64 { return 0 }},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 270 {
+		t.Fatalf("N = %d, want 270", d.N())
+	}
+}

@@ -1,0 +1,166 @@
+// Package design implements the top-down half of the paper's Fig. 1(a)
+// methodology: an algorithm is specified against the abstract network
+// model with its tunable parameters declared, and an optimisation
+// driver explores the parameter space against a user-chosen performance
+// objective. PB_CAM's single parameter p is the paper's case study;
+// the same driver tunes multi-parameter algorithms (e.g. the broadcast
+// probability jointly with the backoff window).
+package design
+
+import (
+	"errors"
+	"fmt"
+
+	"sensornet/internal/metrics"
+)
+
+// Parameter declares one tunable design- or run-time parameter.
+type Parameter struct {
+	// Name labels the parameter in reports.
+	Name string
+	// Grid enumerates the candidate values explored for this
+	// parameter. Must be non-empty.
+	Grid []float64
+}
+
+// Algorithm is an algorithm specification: a name, the declared
+// parameters, and an evaluation hook that maps one parameter assignment
+// to a performance timeline on the network model (analytically or by
+// simulation — the driver does not care).
+type Algorithm struct {
+	Name   string
+	Params []Parameter
+	// Evaluate returns the execution timeline under the given
+	// parameter assignment (same order as Params).
+	Evaluate func(values []float64) (metrics.Timeline, error)
+}
+
+// Validate reports whether the specification is complete.
+func (a Algorithm) Validate() error {
+	if a.Evaluate == nil {
+		return errors.New("design: algorithm needs an Evaluate hook")
+	}
+	if len(a.Params) == 0 {
+		return errors.New("design: algorithm declares no parameters")
+	}
+	for _, p := range a.Params {
+		if len(p.Grid) == 0 {
+			return fmt.Errorf("design: parameter %q has an empty grid", p.Name)
+		}
+	}
+	return nil
+}
+
+// Objective scores a timeline; ok reports feasibility (e.g. a
+// reachability constraint that was never met).
+type Objective struct {
+	Name     string
+	Maximise bool
+	Score    func(metrics.Timeline) (value float64, ok bool)
+}
+
+// MaxReachabilityAt returns the §4.1 metric-1 objective.
+func MaxReachabilityAt(latency float64) Objective {
+	return Objective{
+		Name:     fmt.Sprintf("max reachability @ %g phases", latency),
+		Maximise: true,
+		Score: func(tl metrics.Timeline) (float64, bool) {
+			return tl.ReachabilityAtPhase(latency), true
+		},
+	}
+}
+
+// MinLatencyTo returns the §4.1 metric-3 objective.
+func MinLatencyTo(reach float64) Objective {
+	return Objective{
+		Name: fmt.Sprintf("min latency to %.0f%%", reach*100),
+		Score: func(tl metrics.Timeline) (float64, bool) {
+			return tl.LatencyToReach(reach)
+		},
+	}
+}
+
+// MinEnergyTo returns the §4.1 metric-4 objective.
+func MinEnergyTo(reach float64) Objective {
+	return Objective{
+		Name: fmt.Sprintf("min broadcasts to %.0f%%", reach*100),
+		Score: func(tl metrics.Timeline) (float64, bool) {
+			return tl.BroadcastsToReach(reach)
+		},
+	}
+}
+
+// MaxReachabilityWithin returns the §4.1 metric-5 objective.
+func MaxReachabilityWithin(budget float64) Objective {
+	return Objective{
+		Name:     fmt.Sprintf("max reachability @ %g broadcasts", budget),
+		Maximise: true,
+		Score: func(tl metrics.Timeline) (float64, bool) {
+			return tl.ReachabilityAtBudget(budget), true
+		},
+	}
+}
+
+// Result is a tuned parameter assignment.
+type Result struct {
+	// Values is the best assignment found (same order as Params).
+	Values []float64
+	// Value is the objective at the optimum.
+	Value float64
+	// Evaluations counts model evaluations spent.
+	Evaluations int
+}
+
+// Tune explores the full parameter grid (Cartesian product) and returns
+// the feasible assignment optimising the objective. The search is
+// exhaustive and deterministic: with the paper's grids, parameter
+// spaces stay small enough that exactness beats heuristics.
+func Tune(alg Algorithm, obj Objective) (*Result, error) {
+	if err := alg.Validate(); err != nil {
+		return nil, err
+	}
+	if obj.Score == nil {
+		return nil, errors.New("design: objective needs a Score hook")
+	}
+	idx := make([]int, len(alg.Params))
+	values := make([]float64, len(alg.Params))
+	best := &Result{}
+	found := false
+	for {
+		for i, p := range alg.Params {
+			values[i] = p.Grid[idx[i]]
+		}
+		tl, err := alg.Evaluate(values)
+		best.Evaluations++
+		if err != nil {
+			return nil, fmt.Errorf("design: evaluating %v: %w", values, err)
+		}
+		if v, ok := obj.Score(tl); ok {
+			better := !found ||
+				(obj.Maximise && v > best.Value) ||
+				(!obj.Maximise && v < best.Value)
+			if better {
+				best.Value = v
+				best.Values = append(best.Values[:0], values...)
+				found = true
+			}
+		}
+		// Advance the mixed-radix counter.
+		k := 0
+		for k < len(idx) {
+			idx[k]++
+			if idx[k] < len(alg.Params[k].Grid) {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == len(idx) {
+			break
+		}
+	}
+	if !found {
+		return nil, errors.New("design: no feasible assignment for " + obj.Name)
+	}
+	return best, nil
+}

@@ -1,0 +1,171 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sensornet/internal/metrics"
+)
+
+// toyAlgorithm has a known optimum: the "timeline" reaches level
+// 1-(x-0.4)² instantly, so MaxReachabilityAt(1) peaks at x = 0.4.
+func toyAlgorithm(grid []float64) Algorithm {
+	return Algorithm{
+		Name:   "toy",
+		Params: []Parameter{{Name: "x", Grid: grid}},
+		Evaluate: func(values []float64) (metrics.Timeline, error) {
+			x := values[0]
+			level := 1 - (x-0.4)*(x-0.4)
+			return metrics.Timeline{
+				N:             100,
+				Phases:        []float64{0, 1},
+				CumReach:      []float64{level, level},
+				CumBroadcasts: []float64{0, 1},
+			}, nil
+		},
+	}
+}
+
+func TestTuneFindsKnownOptimum(t *testing.T) {
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	res, err := Tune(toyAlgorithm(grid), MaxReachabilityAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 0.4 {
+		t.Fatalf("tuned x = %v, want 0.4", res.Values[0])
+	}
+	if res.Evaluations != len(grid) {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, len(grid))
+	}
+}
+
+func TestTuneMinimisation(t *testing.T) {
+	alg := Algorithm{
+		Name:   "latency-toy",
+		Params: []Parameter{{Name: "x", Grid: []float64{1, 2, 3}}},
+		Evaluate: func(values []float64) (metrics.Timeline, error) {
+			// Reaches 100% at phase = x.
+			return metrics.Timeline{
+				N:             10,
+				Phases:        []float64{0, values[0]},
+				CumReach:      []float64{0.1, 1},
+				CumBroadcasts: []float64{0, 5},
+			}, nil
+		},
+	}
+	res, err := Tune(alg, MinLatencyTo(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 1 {
+		t.Fatalf("tuned x = %v, want 1", res.Values[0])
+	}
+}
+
+func TestTuneMultiParameterCartesian(t *testing.T) {
+	var seen [][2]float64
+	alg := Algorithm{
+		Name: "pair",
+		Params: []Parameter{
+			{Name: "a", Grid: []float64{1, 2}},
+			{Name: "b", Grid: []float64{10, 20, 30}},
+		},
+		Evaluate: func(values []float64) (metrics.Timeline, error) {
+			seen = append(seen, [2]float64{values[0], values[1]})
+			level := values[0] * values[1] / 60 // max at (2, 30)
+			return metrics.Timeline{N: 10, Phases: []float64{0, 1},
+				CumReach:      []float64{level, level},
+				CumBroadcasts: []float64{0, 1}}, nil
+		},
+	}
+	res, err := Tune(alg, MaxReachabilityAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("visited %d assignments, want 6", len(seen))
+	}
+	if res.Values[0] != 2 || res.Values[1] != 30 {
+		t.Fatalf("tuned to %v, want (2, 30)", res.Values)
+	}
+}
+
+func TestTuneInfeasibleEverywhere(t *testing.T) {
+	alg := toyAlgorithm([]float64{0.1, 0.9})
+	if _, err := Tune(alg, MinLatencyTo(2)); err == nil { // reach 200% impossible
+		t.Fatal("infeasible objective should error")
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(Algorithm{}, MaxReachabilityAt(1)); err == nil {
+		t.Fatal("missing Evaluate should error")
+	}
+	alg := toyAlgorithm([]float64{0.5})
+	alg.Params = nil
+	if _, err := Tune(alg, MaxReachabilityAt(1)); err == nil {
+		t.Fatal("no parameters should error")
+	}
+	alg = toyAlgorithm(nil)
+	if _, err := Tune(alg, MaxReachabilityAt(1)); err == nil {
+		t.Fatal("empty grid should error")
+	}
+	if _, err := Tune(toyAlgorithm([]float64{0.5}), Objective{}); err == nil {
+		t.Fatal("missing Score should error")
+	}
+}
+
+func TestTunePropagatesEvaluateErrors(t *testing.T) {
+	boom := errors.New("boom")
+	alg := Algorithm{
+		Name:   "bad",
+		Params: []Parameter{{Name: "x", Grid: []float64{1}}},
+		Evaluate: func([]float64) (metrics.Timeline, error) {
+			return metrics.Timeline{}, boom
+		},
+	}
+	if _, err := Tune(alg, MaxReachabilityAt(1)); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestObjectiveNames(t *testing.T) {
+	for _, o := range []Objective{
+		MaxReachabilityAt(5), MinLatencyTo(0.72), MinEnergyTo(0.72),
+		MaxReachabilityWithin(35),
+	} {
+		if o.Name == "" || o.Score == nil {
+			t.Fatalf("malformed objective %+v", o)
+		}
+	}
+}
+
+func TestPBCAMSpecMatchesDirectAnalysis(t *testing.T) {
+	grid := []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1}
+	res, err := Tune(PBCAM(5, 3, 100, grid), MaxReachabilityAt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic optimum at rho=100 sits near p = 0.13 (Fig. 4b).
+	if res.Values[0] < 0.1 || res.Values[0] > 0.2 {
+		t.Fatalf("tuned p = %v, expected near 0.13", res.Values[0])
+	}
+	if math.Abs(res.Value-0.835) > 0.02 {
+		t.Fatalf("tuned reach = %v, expected ~0.835", res.Value)
+	}
+}
+
+func TestPBCAMJointRescalesLatency(t *testing.T) {
+	// The joint specification must measure time in common units: an
+	// s=6 run's phases count double compared to the s=3 reference.
+	alg := PBCAMJoint(5, 100, []float64{0.2}, []float64{6}, 3)
+	tl, err := alg.Evaluate([]float64{0.2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Phases[1] != 2 {
+		t.Fatalf("phase 1 at s=6 should rescale to 2 reference phases, got %v", tl.Phases[1])
+	}
+}

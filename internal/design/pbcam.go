@@ -1,0 +1,65 @@
+package design
+
+import (
+	"math"
+
+	"sensornet/internal/analytic"
+	"sensornet/internal/metrics"
+)
+
+// PBCAM specifies the paper's case-study algorithm against the
+// analytical model: probability-based broadcasting with the broadcast
+// probability p as its tunable parameter (Fig. 1(b)).
+func PBCAM(p, s int, rho float64, grid []float64) Algorithm {
+	return Algorithm{
+		Name:   "PB_CAM",
+		Params: []Parameter{{Name: "p", Grid: grid}},
+		Evaluate: func(values []float64) (metrics.Timeline, error) {
+			res, err := analytic.Run(analytic.Config{
+				P: p, S: s, Rho: rho, Prob: values[0],
+			})
+			if err != nil {
+				return metrics.Timeline{}, err
+			}
+			return res.Timeline, nil
+		},
+	}
+}
+
+// PBCAMJoint extends the specification with the backoff window as a
+// second design parameter. Because a phase of s slots lasts s slot
+// times, the returned timelines are re-scaled to a common slot-time
+// axis (phases of refSlots slots), so latency objectives compare
+// fairly across window sizes.
+func PBCAMJoint(p int, rho float64, probGrid []float64, slotGrid []float64, refSlots int) Algorithm {
+	return Algorithm{
+		Name: "PB_CAM(p,s)",
+		Params: []Parameter{
+			{Name: "p", Grid: probGrid},
+			{Name: "s", Grid: slotGrid},
+		},
+		Evaluate: func(values []float64) (metrics.Timeline, error) {
+			s := int(math.Round(values[1]))
+			res, err := analytic.Run(analytic.Config{
+				P: p, S: s, Rho: rho, Prob: values[0],
+			})
+			if err != nil {
+				return metrics.Timeline{}, err
+			}
+			tl := res.Timeline
+			// Rescale the phase axis: one s-slot phase equals
+			// s/refSlots reference phases.
+			scale := float64(s) / float64(refSlots)
+			scaled := metrics.Timeline{
+				N:             tl.N,
+				Phases:        make([]float64, len(tl.Phases)),
+				CumReach:      tl.CumReach,
+				CumBroadcasts: tl.CumBroadcasts,
+			}
+			for i, ph := range tl.Phases {
+				scaled.Phases[i] = ph * scale
+			}
+			return scaled, nil
+		},
+	}
+}

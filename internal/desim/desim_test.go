@@ -1,0 +1,169 @@
+package desim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []float64
+	times := []float64{3, 1, 2, 0.5, 2.5}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, PriorityOther, func() { got = append(got, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("executed %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestTieBreakByPriority(t *testing.T) {
+	var e Engine
+	var got []string
+	e.At(1, PriorityStart, func() { got = append(got, "start") })
+	e.At(1, PriorityEnd, func() { got = append(got, "end") })
+	e.At(1, PriorityOther, func() { got = append(got, "other") })
+	e.Run()
+	if got[0] != "end" || got[1] != "start" || got[2] != "other" {
+		t.Fatalf("priority tie-break wrong: %v", got)
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(2, PriorityOther, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("insertion order not preserved: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	var e Engine
+	e.At(5, PriorityOther, func() {
+		if e.Now() != 5 {
+			t.Errorf("Now inside event = %v, want 5", e.Now())
+		}
+	})
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final time = %v, want 5", end)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	var fired float64 = -1
+	e.At(2, PriorityOther, func() {
+		e.After(3, PriorityOther, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("After event fired at %v, want 5", fired)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	var e Engine
+	var order []string
+	e.At(4, PriorityOther, func() {
+		order = append(order, "first")
+		e.At(1, PriorityOther, func() { order = append(order, "late") })
+	})
+	e.At(6, PriorityOther, func() { order = append(order, "second") })
+	e.Run()
+	if len(order) != 3 || order[1] != "late" {
+		t.Fatalf("past event should run immediately after current: %v", order)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("clock = %v, want 6", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(1, PriorityOther, func() { ran++; e.Stop() })
+	e.At(2, PriorityOther, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop: ran %d", ran)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("stopped engine should keep pending events, got %d", e.Len())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var e Engine
+	ran := 0
+	for _, tm := range []float64{1, 2, 3, 4} {
+		e.At(tm, PriorityOther, func() { ran++ })
+	}
+	e.RunUntil(2.5)
+	if ran != 2 {
+		t.Fatalf("horizon run executed %d, want 2", ran)
+	}
+	e.Run()
+	if ran != 4 {
+		t.Fatalf("resumed run executed %d total, want 4", ran)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.At(float64(i), PriorityOther, func() {})
+	}
+	e.Run()
+	if e.Processed != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed)
+	}
+}
+
+func TestHeavyRandomLoadStaysOrdered(t *testing.T) {
+	var e Engine
+	rng := rand.New(rand.NewSource(9))
+	last := -1.0
+	ok := true
+	for i := 0; i < 5000; i++ {
+		tm := rng.Float64() * 100
+		e.At(tm, PriorityOther, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			// Cascading events.
+			if rng.Intn(10) == 0 {
+				e.After(rng.Float64(), PriorityOther, func() {})
+			}
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("clock moved backwards under load")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.At(rng.Float64()*1000, PriorityOther, func() {})
+		}
+		e.Run()
+	}
+}

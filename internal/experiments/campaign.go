@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sensornet/internal/metrics"
+	"sensornet/internal/protocol"
+	"sensornet/internal/sim"
+)
+
+// Campaign runs a set of figures and renders them to one writer.
+type Campaign struct {
+	Analytic Preset
+	Sim      Preset
+	// SkipSim drops the simulated figures (8-11 and the simulated
+	// success-rate table), for fast analytic-only reports.
+	SkipSim bool
+	// Extras enables the CFM baseline and carrier-sense ablation.
+	Extras bool
+}
+
+// Run executes the campaign, streaming each figure to w as it
+// completes, and returns all results.
+func (c Campaign) Run(w io.Writer) ([]*FigureResult, error) {
+	var out []*FigureResult
+	emit := func(f *FigureResult, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, f)
+		if w != nil {
+			return f.Render(w)
+		}
+		return nil
+	}
+
+	surf, err := AnalyticSurface(c.Analytic)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit(Fig4(surf), nil); err != nil {
+		return nil, err
+	}
+	if err := emit(Fig5(surf), nil); err != nil {
+		return nil, err
+	}
+	if err := emit(Fig6(surf), nil); err != nil {
+		return nil, err
+	}
+	if err := emit(Fig7(surf), nil); err != nil {
+		return nil, err
+	}
+	if !c.SkipSim {
+		simSurf, err := SimSurface(c.Sim)
+		if err != nil {
+			return nil, err
+		}
+		if err := emit(Fig8(simSurf), nil); err != nil {
+			return nil, err
+		}
+		if err := emit(Fig9(simSurf), nil); err != nil {
+			return nil, err
+		}
+		if err := emit(Fig10(simSurf), nil); err != nil {
+			return nil, err
+		}
+		if err := emit(Fig11(simSurf), nil); err != nil {
+			return nil, err
+		}
+		if err := emit(SimSuccessRate(c.Sim, simSurf)); err != nil {
+			return nil, err
+		}
+	}
+	if err := emit(Fig12(surf)); err != nil {
+		return nil, err
+	}
+	if c.Extras {
+		if err := emit(CFMBaseline(c.Analytic)); err != nil {
+			return nil, err
+		}
+		if err := emit(CarrierSenseAblation(c.Analytic)); err != nil {
+			return nil, err
+		}
+		if err := emit(CostFunctions(c.Analytic, 5)); err != nil {
+			return nil, err
+		}
+		if err := emit(SlotSweep(80, []int{1, 2, 3, 4, 6, 8},
+			c.Analytic.Grid, c.Analytic.Constraints)); err != nil {
+			return nil, err
+		}
+		if err := emit(FieldScaling(80, []int{3, 5, 8, 12}, 0.15,
+			c.Analytic.Constraints)); err != nil {
+			return nil, err
+		}
+		grid := make([]float64, 0, 12)
+		for p := 0.35; p <= 0.9; p += 0.05 {
+			grid = append(grid, p)
+		}
+		if err := emit(Percolation(18, grid, 10, 1)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SimSuccessRate measures the flooding success rate in the simulator
+// per density and compares it with the simulated optimal probability
+// from the Fig. 8 surface: the measured counterpart of Fig. 12.
+func SimSuccessRate(pre Preset, surf *Surface) (*FigureResult, error) {
+	f := &FigureResult{ID: "fig12sim",
+		Title:  "Simulated flooding success rate vs optimal probability",
+		Series: map[string][]float64{}}
+	fig8 := Fig8(surf)
+	optP := fig8.Series["optimalP"]
+
+	t := Table{Title: "simulated success rate of flooding vs optimal p"}
+	t.Header = []string{"rho", "success rate", "optimal p", "ratio"}
+	var rates, ratios []float64
+	for i, rho := range pre.Rhos {
+		cfg := pre.SimConfig(rho)
+		cfg.Protocol = protocol.Flooding{}
+		agg, err := sim.RunMany(cfg, pre.Runs, pre.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rate := metrics.Summarize(agg.SuccessRates()).Mean
+		ratio := optP[i] / rate
+		rates = append(rates, rate)
+		ratios = append(ratios, ratio)
+		t.Add(fmt.Sprintf("%g", rho), fmtF(rate), fmtF(optP[i]), fmtF1(ratio))
+	}
+	f.Series["successRate"] = rates
+	f.Series["optimalP"] = optP
+	f.Series["ratio"] = ratios
+	f.Tables = []Table{t}
+	return f, nil
+}

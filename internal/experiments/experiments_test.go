@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testSurface caches the quick analytic surface across tests in this
+// package: computing it once keeps the suite fast.
+var testSurface *Surface
+
+func quickSurface(t *testing.T) *Surface {
+	t.Helper()
+	if testSurface == nil {
+		s, err := AnalyticSurface(QuickAnalytic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSurface = s
+	}
+	return testSurface
+}
+
+func TestPresetShapes(t *testing.T) {
+	pa := PaperAnalytic()
+	if len(pa.Rhos) != 7 || len(pa.Grid) != 100 {
+		t.Fatalf("paper analytic preset wrong: %d rhos, %d grid", len(pa.Rhos), len(pa.Grid))
+	}
+	if pa.Constraints.Latency != 5 || pa.Constraints.Reach != 0.72 || pa.Constraints.Budget != 35 {
+		t.Fatalf("paper analytic constraints wrong: %+v", pa.Constraints)
+	}
+	ps := PaperSim()
+	if len(ps.Grid) != 20 || ps.Runs != 30 {
+		t.Fatalf("paper sim preset wrong: %d grid, %d runs", len(ps.Grid), ps.Runs)
+	}
+	if ps.Constraints.Reach != 0.63 || ps.Constraints.Budget != 80 {
+		t.Fatalf("paper sim constraints wrong: %+v", ps.Constraints)
+	}
+}
+
+func TestSurfaceDimensions(t *testing.T) {
+	s := quickSurface(t)
+	if len(s.Points) != len(s.Pre.Rhos) {
+		t.Fatalf("surface has %d rows, want %d", len(s.Points), len(s.Pre.Rhos))
+	}
+	for i, row := range s.Points {
+		if len(row) != len(s.Pre.Grid) {
+			t.Fatalf("row %d has %d points, want %d", i, len(row), len(s.Pre.Grid))
+		}
+	}
+}
+
+func TestFig4ShapeMatchesPaper(t *testing.T) {
+	f := Fig4(quickSurface(t))
+	optP := f.Series["optimalP"]
+	optV := f.Series["optimalValue"]
+	if len(optP) != 4 {
+		t.Fatalf("series length %d", len(optP))
+	}
+	// Optimal p decreases (weakly) with density and is small at 140.
+	for i := 1; i < len(optP); i++ {
+		if optP[i] > optP[i-1]+0.05 {
+			t.Fatalf("optimal p not decreasing: %v", optP)
+		}
+	}
+	if optP[len(optP)-1] > 0.2 {
+		t.Fatalf("optimal p at rho=140 = %v, want small", optP[len(optP)-1])
+	}
+	// Achieved reachability roughly flat.
+	lo, hi := optV[0], optV[0]
+	for _, v := range optV {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi-lo > 0.12 {
+		t.Fatalf("optimal reachability not flat: %v", optV)
+	}
+	// Flooding trails the optimum at the highest density.
+	flood := f.Series["flooding"]
+	if flood[len(flood)-1] >= optV[len(optV)-1] {
+		t.Fatalf("flooding %v should trail optimum %v", flood, optV)
+	}
+}
+
+func TestFig5DualToFig4(t *testing.T) {
+	s := quickSurface(t)
+	f4 := Fig4(s)
+	f5 := Fig5(s)
+	// The paper's Fig. 5(b) optimal-p curve equals Fig. 4(b)'s when the
+	// reach constraint equals the achieved optimum; with the fixed 0.72
+	// constraint they still track closely.
+	p4, p5 := f4.Series["optimalP"], f5.Series["optimalP"]
+	for i := range p4 {
+		if math.IsNaN(p5[i]) {
+			continue
+		}
+		if math.Abs(p4[i]-p5[i]) > 0.15 {
+			t.Fatalf("fig4/fig5 optimal p diverge at %d: %v vs %v", i, p4[i], p5[i])
+		}
+	}
+	// Latency at optimum ~5 phases.
+	for _, v := range f5.Series["optimalValue"] {
+		if !math.IsNaN(v) && (v < 3 || v > 6) {
+			t.Fatalf("optimal latency %v outside [3,6] phases", v)
+		}
+	}
+}
+
+func TestFig6EnergyOptimumSmall(t *testing.T) {
+	f := Fig6(quickSurface(t))
+	for i, p := range f.Series["optimalP"] {
+		if math.IsNaN(p) {
+			continue
+		}
+		if p > 0.15 {
+			t.Fatalf("fig6 optimal p[%d] = %v, want within ~0.1", i, p)
+		}
+	}
+}
+
+func TestFig7BudgetShape(t *testing.T) {
+	f := Fig7(quickSurface(t))
+	optV := f.Series["optimalValue"]
+	flood := f.Series["flooding"]
+	for i := range optV {
+		if flood[i] >= optV[i] {
+			t.Fatalf("budgeted flooding should trail optimum: %v vs %v", flood[i], optV[i])
+		}
+	}
+	// Flooding under a 35-broadcast budget reaches very little at high
+	// density (paper: < 20%).
+	if flood[len(flood)-1] > 0.3 {
+		t.Fatalf("budgeted flooding at rho=140 = %v, want small", flood[len(flood)-1])
+	}
+}
+
+func TestFig12RatioRoughlyConstant(t *testing.T) {
+	f, err := Fig12(quickSurface(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := f.Series["ratio"]
+	var clean []float64
+	for _, r := range ratios {
+		if !math.IsNaN(r) {
+			clean = append(clean, r)
+		}
+	}
+	if len(clean) < 3 {
+		t.Fatalf("too few ratios: %v", ratios)
+	}
+	lo, hi := clean[0], clean[0]
+	for _, r := range clean {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	// Paper: nearly constant (~11). Allow a generous band: the claim
+	// is constancy, not the absolute value.
+	if hi/lo > 2.0 {
+		t.Fatalf("ratio not roughly constant: %v", ratios)
+	}
+}
+
+func TestCFMBaseline(t *testing.T) {
+	f, err := CFMBaseline(QuickAnalytic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := f.Series["collisionLoss"]
+	// Collision loss grows with density.
+	if !(loss[len(loss)-1] > loss[0]) {
+		t.Fatalf("collision loss should grow with density: %v", loss)
+	}
+}
+
+func TestCarrierSenseAblation(t *testing.T) {
+	pre := QuickAnalytic()
+	pre.Rhos = []float64{40, 100}
+	pre.Grid = pre.Grid[:25] // p <= 0.5 is where the optima live
+	f, err := CarrierSenseAblation(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, cs := f.Series["optimalP"], f.Series["optimalPCS"]
+	for i := range plain {
+		if cs[i] > plain[i]+0.05 {
+			t.Fatalf("carrier sensing should push optimum down: %v vs %v", cs, plain)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"a", "b"}}
+	tb.Add("1", "2")
+	tb.Add("3", "4")
+	out := tb.String()
+	for _, want := range []string{"demo", "a", "b", "1", "4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Fig4(quickSurface(t))
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig4", "optimal", "rho=140"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtF(math.NaN()) != "-" || fmtF1(math.NaN()) != "-" {
+		t.Fatal("NaN should render as -")
+	}
+	if fmtF(0.5) != "0.500" || fmtF1(0.25) != "0.2" {
+		t.Fatalf("formatting wrong: %s %s", fmtF(0.5), fmtF1(0.25))
+	}
+}
+
+func TestCampaignAnalyticOnly(t *testing.T) {
+	pre := QuickAnalytic()
+	pre.Rhos = []float64{40, 100}
+	c := Campaign{Analytic: pre, SkipSim: true}
+	var b strings.Builder
+	figs, err := c.Run(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+	}
+	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig12"} {
+		if !ids[want] {
+			t.Fatalf("campaign missing %s; got %v", want, ids)
+		}
+	}
+	if !strings.Contains(b.String(), "fig6") {
+		t.Fatal("campaign output not streamed")
+	}
+}
+
+func TestSimFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated campaign in -short mode")
+	}
+	pre := QuickSim()
+	pre.Rhos = []float64{30, 80}
+	pre.Grid = []float64{0.05, 0.2, 0.6, 1}
+	surf, err := SimSurface(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8 := Fig8(surf)
+	optV := f8.Series["optimalValue"]
+	for _, v := range optV {
+		if v <= 0 || v > 1 {
+			t.Fatalf("simulated optimal reach %v implausible", v)
+		}
+	}
+	// Denser network should not prefer a larger p.
+	optP := f8.Series["optimalP"]
+	if optP[1] > optP[0]+0.2 {
+		t.Fatalf("simulated optimal p rising with density: %v", optP)
+	}
+	f12, err := SimSuccessRate(pre, surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f12.Series["successRate"] {
+		if r <= 0 || r >= 1 {
+			t.Fatalf("simulated success rate %v implausible", r)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sensornet/internal/analytic"
+	"sensornet/internal/deploy"
+	"sensornet/internal/metrics"
+	"sensornet/internal/protocol"
+	"sensornet/internal/sim"
+)
+
+// heteroProfile is the hotspot field used by the heterogeneity study:
+// four times denser at the centre than at the edge.
+func heteroProfile(r float64) float64 { return 4 - 3*r }
+
+// Heterogeneity tests the limits of a single global broadcast
+// probability: on a radially heterogeneous field (dense centre, sparse
+// edge), a p tuned for the mean density is wrong almost everywhere,
+// while the degree-adaptive rule p_i = C/degree_i re-tunes itself per
+// neighbourhood. This realises the paper's remark that success-rate- or
+// density-driven adaptation is "practically useful if the node density
+// exhibits large spatio-temporal variation".
+func Heterogeneity(pre Preset, meanRho float64) (*FigureResult, error) {
+	f := &FigureResult{ID: "hetero",
+		Title:  fmt.Sprintf("Heterogeneous field (hotspot profile, mean rho=%g)", meanRho),
+		Series: map[string][]float64{}}
+
+	law, err := analytic.CalibrateLaw(pre.P, pre.S, 60, pre.Constraints.Latency, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	globalP := law.P(meanRho)
+
+	schemes := []protocol.Protocol{
+		protocol.Flooding{},
+		protocol.Probability{P: globalP},
+		protocol.DegreeAdaptive{C: law.C},
+	}
+	t := Table{Title: fmt.Sprintf("hotspot field, mean of %d runs", pre.Runs)}
+	t.Header = []string{"scheme", "final reach", "reach@L", "broadcasts"}
+	var reachAtL []float64
+	for _, scheme := range schemes {
+		var finals, reach, bcasts []float64
+		for r := 0; r < pre.Runs; r++ {
+			dep, err := deploy.Generate(deploy.Config{
+				P: pre.P, Rho: meanRho, Profile: heteroProfile,
+			}, seededRand(pre.Seed+int64(r)))
+			if err != nil {
+				return nil, err
+			}
+			cfg := pre.SimConfig(meanRho)
+			cfg.Deployment = dep
+			cfg.Protocol = scheme
+			cfg.Seed = pre.Seed + int64(r)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			finals = append(finals, res.Timeline.FinalReachability())
+			reach = append(reach, res.Timeline.ReachabilityAtPhase(pre.Constraints.Latency))
+			bcasts = append(bcasts, float64(res.Broadcasts))
+		}
+		t.Add(scheme.Name(),
+			fmtF(metrics.Summarize(finals).Mean),
+			fmtF(metrics.Summarize(reach).Mean),
+			fmtF1(metrics.Summarize(bcasts).Mean))
+		reachAtL = append(reachAtL, metrics.Summarize(reach).Mean)
+	}
+	f.Series["reachAtL"] = reachAtL
+	f.Tables = []Table{t}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("global PB uses p = %.2f (law-tuned for the mean density); degree-adaptive uses C = %.1f per node", globalP, law.C),
+		"per-node adaptation matches the globally tuned probability without ever measuring the field's density — flooding, with the same zero knowledge, collapses")
+	return f, nil
+}
+
+// seededRand returns a fresh deterministic RNG for deployment sampling.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,138 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§4.2.3–§4.2.6 analytic, §5 simulated, Fig. 12's success-rate
+// correlation) as runnable experiments that emit the same rows and
+// series the paper plots.
+package experiments
+
+import (
+	"sensornet/internal/analytic"
+	"sensornet/internal/channel"
+	"sensornet/internal/mathx"
+	"sensornet/internal/optimize"
+	"sensornet/internal/sim"
+)
+
+// Preset bundles the shared parameters of an experiment campaign.
+type Preset struct {
+	// P is the field radius in transmission radii; S the slots per
+	// phase.
+	P, S int
+	// Rhos are the densities swept (average neighbours per node).
+	Rhos []float64
+	// Grid is the broadcast-probability grid.
+	Grid []float64
+	// Constraints fixes the latency/reachability/budget levels.
+	Constraints optimize.Constraints
+	// Runs is the number of random simulation runs per grid point;
+	// Workers bounds their parallelism (0 = unbounded).
+	Runs    int
+	Workers int
+	// Seed is the base seed for simulated campaigns.
+	Seed int64
+	// MaxPhases caps execution length.
+	MaxPhases int
+	// CarrierSense switches both engines to the Appendix A model.
+	CarrierSense bool
+	// Async gives simulated nodes random phase offsets.
+	Async bool
+}
+
+// PaperAnalytic is the configuration of §4.2.3: P = 5, s = 3,
+// ρ ∈ {20..140}, p ∈ {0.01..1} step 0.01, latency budget 5 phases,
+// reachability target 72%, broadcast budget 35.
+func PaperAnalytic() Preset {
+	return Preset{
+		P: 5, S: 3,
+		Rhos:        mathx.Range(20, 140, 20),
+		Grid:        mathx.Range(0.01, 1, 0.01),
+		Constraints: optimize.Constraints{Latency: 5, Reach: 0.72, Budget: 35},
+	}
+}
+
+// PaperSim is the configuration of §5: the probability grid coarsens to
+// step 0.05, 30 random runs per point, reachability target 63%, budget
+// 80 broadcasts.
+func PaperSim() Preset {
+	p := PaperAnalytic()
+	p.Grid = mathx.Range(0.05, 1, 0.05)
+	p.Constraints = optimize.Constraints{Latency: 5, Reach: 0.63, Budget: 80}
+	p.Runs = 30
+	p.Seed = 1
+	return p
+}
+
+// QuickAnalytic is a coarsened analytic preset for tests and benches.
+func QuickAnalytic() Preset {
+	p := PaperAnalytic()
+	p.Rhos = []float64{20, 60, 100, 140}
+	p.Grid = mathx.Range(0.02, 1, 0.02)
+	return p
+}
+
+// QuickSim is a coarsened simulation preset for tests and benches.
+func QuickSim() Preset {
+	p := PaperSim()
+	p.Rhos = []float64{20, 60, 100}
+	p.Grid = mathx.Range(0.1, 1, 0.1)
+	p.Runs = 4
+	return p
+}
+
+func (pre Preset) AnalyticConfig(rho float64) analytic.Config {
+	return analytic.Config{
+		P: pre.P, S: pre.S, Rho: rho,
+		CarrierSense: pre.CarrierSense,
+		MaxPhases:    pre.MaxPhases,
+	}
+}
+
+func (pre Preset) SimConfig(rho float64) sim.Config {
+	model := channel.CAM
+	if pre.CarrierSense {
+		model = channel.CAMCarrierSense
+	}
+	return sim.Config{
+		P: pre.P, S: pre.S, Rho: rho,
+		Model:     model,
+		Seed:      pre.Seed,
+		Async:     pre.Async,
+		MaxPhases: pre.MaxPhases,
+	}
+}
+
+// Surface is a full (density × probability) metric sweep from one
+// engine: the data behind every figure.
+type Surface struct {
+	Pre Preset
+	// Points[i][j] holds the metrics at (Rhos[i], Grid[j]).
+	Points [][]optimize.Point
+	// Simulated records which engine produced the surface.
+	Simulated bool
+}
+
+// AnalyticSurface sweeps the analytical model over the preset.
+func AnalyticSurface(pre Preset) (*Surface, error) {
+	s := &Surface{Pre: pre}
+	for _, rho := range pre.Rhos {
+		pts, err := optimize.SweepAnalytic(pre.AnalyticConfig(rho), pre.Grid, pre.Constraints)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, pts)
+	}
+	return s, nil
+}
+
+// SimSurface sweeps the simulator over the preset.
+func SimSurface(pre Preset) (*Surface, error) {
+	s := &Surface{Pre: pre, Simulated: true}
+	for _, rho := range pre.Rhos {
+		pts, err := optimize.SweepSim(pre.SimConfig(rho), pre.Grid, pre.Constraints,
+			pre.Runs, pre.Workers)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, pts)
+	}
+	return s, nil
+}

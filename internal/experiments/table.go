@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a titled text table, the output unit of every experiment.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// fmtF formats a float with 3 decimals, rendering NaN as "-" (an
+// infeasible constrained metric).
+func fmtF(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// fmtF1 formats with 1 decimal.
+func fmtF1(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// FigureResult is one reproduced figure: its tables plus the structured
+// series tests and reports read.
+type FigureResult struct {
+	ID     string
+	Title  string
+	Tables []Table
+	// Series holds named numeric columns indexed like Pre.Rhos (e.g.
+	// "optimalP", "reach").
+	Series map[string][]float64
+	// Charts holds pre-rendered text plots of the figure's curves.
+	Charts []string
+	Notes  []string
+}
+
+// Render writes all tables, charts, and notes.
+func (f FigureResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, t := range f.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range f.Charts {
+		if _, err := fmt.Fprintln(w, c); err != nil {
+			return err
+		}
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

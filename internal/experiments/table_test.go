@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter errors after a fixed number of bytes, exercising render
+// error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errors.New("disk full")
+	}
+	return n, nil
+}
+
+func TestTableRenderPropagatesWriteErrors(t *testing.T) {
+	tb := Table{Title: "t", Header: []string{"a"}}
+	tb.Add("1")
+	if err := tb.Render(&failWriter{left: 2}); err == nil {
+		t.Fatal("write failure should propagate")
+	}
+}
+
+func TestFigureRenderPropagatesWriteErrors(t *testing.T) {
+	f := FigureResult{ID: "x", Title: "y",
+		Tables: []Table{{Title: "t", Rows: [][]string{{"1"}}}},
+		Charts: []string{"chart"},
+		Notes:  []string{"n"}}
+	var full strings.Builder
+	if err := f.Render(&full); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	for _, budget := range []int{1, total / 3, 2 * total / 3, total - 1} {
+		if err := f.Render(&failWriter{left: budget}); err == nil {
+			t.Fatalf("budget %d of %d: write failure should propagate", budget, total)
+		}
+	}
+	if err := f.Render(&failWriter{left: total + 10}); err != nil {
+		t.Fatalf("sufficient budget should succeed: %v", err)
+	}
+}
+
+func TestTableWithoutTitleOrHeader(t *testing.T) {
+	tb := Table{}
+	tb.Add("a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "a") || strings.Contains(out, "---") {
+		t.Fatalf("bare table render wrong:\n%s", out)
+	}
+}
+
+func TestFigureChartsIncludedInRender(t *testing.T) {
+	s := quickSurface(t)
+	f := Fig4(s)
+	if len(f.Charts) != 2 {
+		t.Fatalf("fig4 should carry 2 charts, got %d", len(f.Charts))
+	}
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "optimal p vs density") {
+		t.Fatal("chart missing from rendered figure")
+	}
+}

@@ -1,0 +1,230 @@
+// Package gather implements aggregating data collection (convergecast)
+// on top of the two communication models — the application class the
+// paper's related work designs under CFM (in-network processing and
+// data gathering) and the natural companion case study to broadcasting.
+//
+// Every node holds one reading; readings flow up a BFS tree rooted at
+// the sink (node 0), each node unicasting its aggregated subtree value
+// to its parent exactly once. Under CFM the schedule is trivial: one
+// slot per depth level, deepest first, N-1 transmissions. Under CAM the
+// same algorithm must spend extra slots and transmissions on contention
+// windows and acknowledgment rounds — the package measures exactly how
+// much, which is the CFM-vs-CAM cost gap for a unicast-heavy workload.
+package gather
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+)
+
+// Config parameterises one gathering round.
+type Config struct {
+	// Model selects the communication model (CFM or CAM; carrier
+	// sensing follows the deployment's lists when chosen).
+	Model channel.Model
+	// Window is the contention window in slots for each CAM level
+	// round (>= 1; ignored under CFM). Windows adapt upward to the
+	// number of pending senders.
+	Window int
+	// MaxRoundsPerLevel caps the ARQ rounds spent on one tree level
+	// (default 100).
+	MaxRoundsPerLevel int
+	// Seed drives slot choices.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Window < 1 {
+		c.Window = 1
+	}
+	if c.MaxRoundsPerLevel == 0 {
+		c.MaxRoundsPerLevel = 100
+	}
+}
+
+// Result is the measured cost of one gathering round.
+type Result struct {
+	// Tree statistics.
+	TreeNodes int // nodes connected to the sink (participants)
+	Depth     int // BFS tree depth
+	// Slots is the total time in slots.
+	Slots int
+	// Transmissions counts every data and ACK packet sent.
+	Transmissions int
+	// Delivered is the number of nodes whose reading (directly or in
+	// an aggregate) arrived at the sink.
+	Delivered int
+	// Coverage is Delivered / TreeNodes.
+	Coverage float64
+}
+
+// Run executes one gathering round over the deployment.
+func Run(dep *deploy.Deployment, cfg Config) (*Result, error) {
+	if dep == nil {
+		return nil, errors.New("gather: nil deployment")
+	}
+	cfg.applyDefaults()
+	if cfg.Model == channel.CAMCarrierSense && dep.Sensing == nil {
+		return nil, errors.New("gather: carrier sense needs deploy.Config.WithSensing")
+	}
+
+	parent, depth, order := bfsTree(dep)
+	res := &Result{TreeNodes: len(order)}
+	for _, u := range order {
+		if depth[u] > res.Depth {
+			res.Depth = depth[u]
+		}
+	}
+	if res.TreeNodes <= 1 {
+		res.Delivered = res.TreeNodes
+		res.Coverage = 1
+		return res, nil
+	}
+
+	if cfg.Model == channel.CFM {
+		runCFM(res, depth, order)
+		return res, nil
+	}
+	if err := runCAM(dep, cfg, res, parent, depth, order); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// bfsTree builds the gathering tree: parent pointers, depths, and the
+// BFS order of nodes connected to the sink.
+func bfsTree(dep *deploy.Deployment) (parent []int32, depth []int, order []int32) {
+	n := dep.N()
+	parent = make([]int32, n)
+	depth = make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		depth[i] = -1
+	}
+	depth[0] = 0
+	order = append(order, 0)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, v := range dep.Neighbors[u] {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				parent[v] = u
+				order = append(order, v)
+			}
+		}
+	}
+	return parent, depth, order
+}
+
+// runCFM costs the collision-free schedule: all nodes of one level
+// transmit in a single slot (fully parallel atomic unicasts), deepest
+// level first; every connected reading arrives.
+func runCFM(res *Result, depth []int, order []int32) {
+	res.Slots = res.Depth
+	res.Transmissions = res.TreeNodes - 1
+	res.Delivered = res.TreeNodes
+	res.Coverage = 1
+	_ = depth
+	_ = order
+}
+
+// runCAM executes the collision-aware schedule: per level (deepest
+// first), pending senders contend in adaptive windows, parents ACK the
+// unicasts they decode in a mirrored ACK window, and unacknowledged
+// senders retry. A node whose transmission never completes leaves its
+// subtree's readings stranded.
+func runCAM(dep *deploy.Deployment, cfg Config, res *Result, parent []int32, depth []int, order []int32) error {
+	resolver, err := channel.NewResolver(cfg.Model, dep)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	byLevel := make([][]int32, res.Depth+1)
+	for _, u := range order {
+		byLevel[depth[u]] = append(byLevel[depth[u]], u)
+	}
+	completed := make([]bool, dep.N())
+	completed[0] = true
+
+	for level := res.Depth; level >= 1; level-- {
+		pending := append([]int32(nil), byLevel[level]...)
+		for round := 0; round < cfg.MaxRoundsPerLevel && len(pending) > 0; round++ {
+			window := cfg.Window
+			if len(pending) > window {
+				window = len(pending)
+			}
+			// Data window.
+			bySlot := make([][]channel.Unicast, window)
+			for _, u := range pending {
+				s := rng.Intn(window)
+				bySlot[s] = append(bySlot[s], channel.Unicast{From: u, To: parent[u]})
+				res.Transmissions++
+			}
+			res.Slots += window
+			received := make(map[int32]bool)
+			for _, txs := range bySlot {
+				resolver.ResolveSlotUnicast(txs, func(u channel.Unicast) {
+					received[u.From] = true
+				}, nil)
+			}
+			// ACK window: each parent that decoded at least one child
+			// broadcasts a single batch ACK listing them; children
+			// are confirmed iff they decode their parent's ACK, which
+			// contends under the same collision rules.
+			ackParents := make(map[int32]bool)
+			for u := range received {
+				ackParents[parent[u]] = true
+			}
+			parents := make([]int32, 0, len(ackParents))
+			for p := range ackParents {
+				parents = append(parents, p)
+			}
+			sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+			ackBySlot := make([][]int32, window)
+			for _, p := range parents {
+				s := rng.Intn(window)
+				ackBySlot[s] = append(ackBySlot[s], p)
+				res.Transmissions++
+			}
+			res.Slots += window
+			acked := make(map[int32]bool)
+			for _, txs := range ackBySlot {
+				resolver.ResolveSlot(txs, func(from, to int32) {
+					if received[to] && parent[to] == from {
+						acked[to] = true
+					}
+				})
+			}
+			next := pending[:0]
+			for _, u := range pending {
+				if acked[u] {
+					completed[u] = true
+				} else {
+					next = append(next, u)
+				}
+			}
+			pending = next
+		}
+	}
+
+	// A reading reaches the sink iff every edge on its path completed.
+	for _, u := range order {
+		ok := true
+		for v := u; v != 0; v = parent[v] {
+			if !completed[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Delivered++
+		}
+	}
+	res.Coverage = float64(res.Delivered) / float64(res.TreeNodes)
+	return nil
+}

@@ -1,0 +1,179 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+)
+
+func genDep(t testing.TB, rho float64, seed int64) *deploy.Deployment {
+	t.Helper()
+	dep, err := deploy.Generate(deploy.Config{P: 4, Rho: rho},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestNilDeployment(t *testing.T) {
+	if _, err := Run(nil, Config{Model: channel.CFM}); err == nil {
+		t.Fatal("nil deployment should error")
+	}
+}
+
+func TestCarrierSenseNeedsSensingLists(t *testing.T) {
+	dep := genDep(t, 15, 1)
+	if _, err := Run(dep, Config{Model: channel.CAMCarrierSense}); err == nil {
+		t.Fatal("carrier sense without sensing lists should error")
+	}
+}
+
+func TestCFMGatherExactCosts(t *testing.T) {
+	dep := genDep(t, 20, 2)
+	res, err := Run(dep, Config{Model: channel.CFM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1 || res.Delivered != res.TreeNodes {
+		t.Fatalf("CFM gather must deliver everything: %+v", res)
+	}
+	if res.Transmissions != res.TreeNodes-1 {
+		t.Fatalf("CFM transmissions = %d, want N-1 = %d",
+			res.Transmissions, res.TreeNodes-1)
+	}
+	if res.Slots != res.Depth {
+		t.Fatalf("CFM slots = %d, want depth %d", res.Slots, res.Depth)
+	}
+}
+
+func TestCAMGatherDeliversMostReadings(t *testing.T) {
+	dep := genDep(t, 25, 3)
+	res, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage < 0.95 {
+		t.Fatalf("CAM gather with ARQ should deliver nearly all: %+v", res)
+	}
+}
+
+func TestCAMCostsExceedCFM(t *testing.T) {
+	// The headline of the unicast case study: the CFM schedule is a
+	// lower bound that CAM contention can only exceed.
+	dep := genDep(t, 30, 4)
+	cfm, err := Run(dep, Config{Model: channel.CFM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cam.Slots <= cfm.Slots {
+		t.Fatalf("CAM slots %d should exceed CFM's %d", cam.Slots, cfm.Slots)
+	}
+	if cam.Transmissions <= cfm.Transmissions {
+		t.Fatalf("CAM transmissions %d should exceed CFM's %d",
+			cam.Transmissions, cfm.Transmissions)
+	}
+}
+
+func TestGatherTimeGapGrowsWithDensity(t *testing.T) {
+	// Contention windows scale with level population, so the CAM/CFM
+	// *time* gap widens with density (the per-node retransmission
+	// count stays roughly constant thanks to load-matched windows).
+	gap := func(rho float64) float64 {
+		total := 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			dep := genDep(t, rho, 50+seed)
+			cfm, err := Run(dep, Config{Model: channel.CFM})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cam, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(cam.Slots) / float64(cfm.Slots)
+		}
+		return total / 3
+	}
+	lo, hi := gap(10), gap(50)
+	if hi <= lo {
+		t.Fatalf("CAM/CFM time gap should grow with density: %v vs %v", lo, hi)
+	}
+}
+
+func TestGatherDeterministicForSeed(t *testing.T) {
+	dep := genDep(t, 25, 6)
+	a, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same-seed gathers differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestGatherSingleNode(t *testing.T) {
+	dep, err := deploy.Generate(deploy.Config{P: 1, N: 1},
+		rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dep, Config{Model: channel.CAM, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1 || res.Transmissions != 0 {
+		t.Fatalf("single-node gather should be free: %+v", res)
+	}
+}
+
+func TestGatherTreeCoversComponent(t *testing.T) {
+	dep := genDep(t, 20, 8)
+	res, err := Run(dep, Config{Model: channel.CFM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TreeNodes != dep.ReachableFromSource() {
+		t.Fatalf("tree has %d nodes, component has %d",
+			res.TreeNodes, dep.ReachableFromSource())
+	}
+}
+
+func TestGatherRoundCapLimitsCoverage(t *testing.T) {
+	dep := genDep(t, 60, 9)
+	res, err := Run(dep, Config{Model: channel.CAM, Window: 1,
+		MaxRoundsPerLevel: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage >= 1 {
+		t.Fatalf("one contention round at rho=60 should strand readings: %+v", res)
+	}
+	full, err := Run(dep, Config{Model: channel.CAM, Window: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Coverage <= res.Coverage {
+		t.Fatalf("more rounds should not reduce coverage: %v vs %v",
+			full.Coverage, res.Coverage)
+	}
+}
+
+func BenchmarkGatherCAMRho40(b *testing.B) {
+	dep := genDep(b, 40, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(dep, Config{Model: channel.CAM, Window: 3, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

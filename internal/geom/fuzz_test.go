@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLensArea checks the core geometric invariants under arbitrary
+// inputs: symmetry in the radii, bounds, and monotone decay with
+// distance. These invariants keep the ring recursion of the analytical
+// framework well-posed for every configuration a caller can construct.
+func FuzzLensArea(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(2.0, 0.5, 3.0)
+	f.Add(0.0, 1.0, 0.0)
+	f.Add(5.0, 5.0, 10.0)
+	f.Fuzz(func(t *testing.T, r1, r2, d float64) {
+		if math.IsNaN(r1) || math.IsNaN(r2) || math.IsNaN(d) ||
+			math.IsInf(r1, 0) || math.IsInf(r2, 0) || math.IsInf(d, 0) {
+			t.Skip()
+		}
+		if math.Abs(r1) > 1e6 || math.Abs(r2) > 1e6 || math.Abs(d) > 1e6 {
+			t.Skip()
+		}
+		a := LensArea(r1, r2, d)
+		if math.IsNaN(a) || a < 0 {
+			t.Fatalf("LensArea(%v,%v,%v) = %v", r1, r2, d, a)
+		}
+		if b := LensArea(r2, r1, d); math.Abs(a-b) > 1e-6*(1+a) {
+			t.Fatalf("asymmetric: %v vs %v", a, b)
+		}
+		bound := DiskArea(math.Min(math.Max(r1, 0), math.Max(r2, 0)))
+		if a > bound*(1+1e-9)+1e-9 {
+			t.Fatalf("area %v exceeds bound %v", a, bound)
+		}
+		if farther := LensArea(r1, r2, math.Abs(d)+0.25); farther > a+1e-6*(1+a) {
+			t.Fatalf("area grew with distance: %v -> %v", a, farther)
+		}
+	})
+}
+
+// FuzzTransmissionAreas checks the disk-partition identity for every
+// ring index and offset the analytical engine can request.
+func FuzzTransmissionAreas(f *testing.F) {
+	f.Add(1, 0.0)
+	f.Add(3, 0.5)
+	f.Add(5, 1.0)
+	f.Fuzz(func(t *testing.T, j int, x float64) {
+		if j < 1 || j > 50 || math.IsNaN(x) || x < 0 || x > 1 {
+			t.Skip()
+		}
+		rp := RingPartition{R: 1, P: 50}
+		a := rp.TransmissionAreas(j, x)
+		sum := a[0] + a[1] + a[2]
+		if math.Abs(sum-math.Pi) > 1e-6 {
+			t.Fatalf("partition broken at j=%d x=%v: sum=%v", j, x, sum)
+		}
+		for i, v := range a {
+			if v < 0 {
+				t.Fatalf("negative share %d at j=%d x=%v: %v", i, j, x, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package geom
+
+import "math"
+
+// RingPartition describes the paper's decomposition of the circular
+// deployment field of radius P·r into P concentric rings of width r
+// (§4.2.2). Ring j (1-indexed) spans radii [(j-1)·r, j·r].
+type RingPartition struct {
+	R float64 // transmission radius r (= ring width)
+	P int     // number of rings
+}
+
+// FieldRadius returns the radius P·r of the whole deployment field.
+func (rp RingPartition) FieldRadius() float64 {
+	return float64(rp.P) * rp.R
+}
+
+// FieldArea returns the area of the whole deployment field.
+func (rp RingPartition) FieldArea() float64 {
+	return DiskArea(rp.FieldRadius())
+}
+
+// RingArea returns C_j = π r² (j² - (j-1)²), the area of ring j. Rings
+// outside 1..P have zero area.
+func (rp RingPartition) RingArea(j int) float64 {
+	if j < 1 || j > rp.P {
+		return 0
+	}
+	fj := float64(j)
+	return math.Pi * rp.R * rp.R * (fj*fj - (fj-1)*(fj-1))
+}
+
+// RingOf returns the 1-indexed ring containing a point at distance d
+// from the centre, clamped to [1, P]. Points exactly on a boundary
+// belong to the outer ring, matching the half-open spans [(j-1)r, jr).
+func (rp RingPartition) RingOf(d float64) int {
+	if d < 0 {
+		d = -d
+	}
+	j := int(d/rp.R) + 1
+	if j < 1 {
+		j = 1
+	}
+	if j > rp.P {
+		j = rp.P
+	}
+	return j
+}
+
+// TransmissionAreas returns A(x, j-1), A(x, j), A(x, j+1): the split of
+// the transmission disk of a node in ring j, at distance x in [0, r]
+// from the ring's inner boundary, across the only three rings it can
+// reach (Fig. 3). The three areas always sum to π r².
+//
+// For j = 1 the "ring 0" share is zero, and for j = P the "ring P+1"
+// share covers area outside the field; callers weight it by the (zero)
+// node count there.
+func (rp RingPartition) TransmissionAreas(j int, x float64) [3]float64 {
+	r := rp.R
+	var a [3]float64
+	a[0] = F(r*float64(j-1), r, x)        // A(x, j-1)
+	a[1] = F(r*float64(j), r, x-r) - a[0] // A(x, j)
+	a[2] = DiskArea(r) - a[0] - a[1]      // A(x, j+1)
+	for i := range a {
+		if a[i] < 0 { // guard against round-off at ring boundaries
+			a[i] = 0
+		}
+	}
+	return a
+}
+
+// CarrierSenseAreas returns B(x, j-2) .. B(x, j+2): the split, across
+// rings, of the carrier-sensing annulus (between radii r and 2r from the
+// node) for a node in ring j at distance x from the ring's inner
+// boundary (Appendix A). The five areas sum to the annulus area 3π r².
+func (rp RingPartition) CarrierSenseAreas(j int, x float64) [5]float64 {
+	r := rp.R
+	a := rp.TransmissionAreas(j, x)
+	var b [5]float64
+	// Cumulative intersections of the 2r sensing disk with the growing
+	// inner disks, minus the parts already attributed.
+	b[0] = F(r*float64(j-2), 2*r, x+r)
+	b[1] = F(r*float64(j-1), 2*r, x) - b[0] - a[0]
+	b[2] = F(r*float64(j), 2*r, x-r) - (b[0] + b[1]) - (a[0] + a[1])
+	b[3] = F(r*float64(j+1), 2*r, x-2*r) - (b[0] + b[1] + b[2]) - (a[0] + a[1] + a[2])
+	b[4] = DiskArea(2*r) - (b[0] + b[1] + b[2] + b[3]) - (a[0] + a[1] + a[2])
+	for i := range b {
+		if b[i] < 0 {
+			b[i] = 0
+		}
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package mathx
+
+import "math"
+
+// logFactCacheSize bounds the precomputed log-factorial table. Sender
+// counts in the broadcast analysis stay well below this.
+const logFactCacheSize = 2048
+
+var logFactTable = buildLogFactTable()
+
+func buildLogFactTable() []float64 {
+	t := make([]float64, logFactCacheSize)
+	for i := 2; i < logFactCacheSize; i++ {
+		t[i] = t[i-1] + math.Log(float64(i))
+	}
+	return t
+}
+
+// LogFactorial returns ln(n!). For n beyond the cached table it falls
+// back to the log-gamma function. Negative n yields NaN.
+func LogFactorial(n int) float64 {
+	switch {
+	case n < 0:
+		return math.NaN()
+	case n < logFactCacheSize:
+		return logFactTable[n]
+	default:
+		lg, _ := math.Lgamma(float64(n) + 1)
+		return lg
+	}
+}
+
+// LogBinomial returns ln C(n, k). Out-of-range k yields -Inf (a zero
+// binomial coefficient in log space).
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64. Large arguments lose integer
+// precision but keep the correct magnitude, which is all the probability
+// calculations require.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Exp(LogBinomial(n, k))
+}
+
+// LogFallingFactorial returns ln(n · (n-1) ··· (n-k+1)) = ln(n!/(n-k)!).
+// It is -Inf when k > n and 0 when k == 0.
+func LogFallingFactorial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(n-k)
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logp := LogBinomial(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logp)
+}
+
+// PoissonPMF returns P(X = k) for X ~ Poisson(lambda). A non-positive
+// lambda concentrates all mass at k = 0.
+func PoissonPMF(lambda float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - LogFactorial(k))
+}

@@ -1,0 +1,152 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogFactorialSmallValues(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		got := math.Exp(LogFactorial(n))
+		if !almostEqual(got, w, 1e-9*w) {
+			t.Errorf("exp(LogFactorial(%d)) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestLogFactorialNegative(t *testing.T) {
+	if !math.IsNaN(LogFactorial(-1)) {
+		t.Fatal("LogFactorial(-1) should be NaN")
+	}
+}
+
+func TestLogFactorialBeyondCache(t *testing.T) {
+	// Recurrence ln((n+1)!) = ln(n!) + ln(n+1) must hold across the
+	// cache boundary.
+	n := logFactCacheSize - 1
+	lhs := LogFactorial(n + 1)
+	rhs := LogFactorial(n) + math.Log(float64(n+1))
+	if !almostEqual(lhs, rhs, 1e-6) {
+		t.Fatalf("cache boundary mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		got := Binomial(c.n, c.k)
+		if !almostEqual(got, c.want, 1e-6*math.Max(1, c.want)) {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		nn := int(n%60) + 1
+		kk := int(k) % (nn + 1)
+		a := LogBinomial(nn, kk)
+		b := LogBinomial(nn, nn-kk)
+		return almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPascalProperty(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		nn := int(n%40) + 2
+		kk := int(k)%(nn-1) + 1
+		sum := Binomial(nn-1, kk-1) + Binomial(nn-1, kk)
+		return almostEqual(Binomial(nn, kk), sum, 1e-6*sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogFallingFactorial(t *testing.T) {
+	// 7*6*5 = 210.
+	got := math.Exp(LogFallingFactorial(7, 3))
+	if !almostEqual(got, 210, 1e-9*210) {
+		t.Fatalf("falling factorial 7^(3) = %v, want 210", got)
+	}
+	if LogFallingFactorial(3, 5) != math.Inf(-1) {
+		t.Fatal("k > n should give -Inf")
+	}
+	if LogFallingFactorial(5, 0) != 0 {
+		t.Fatal("k = 0 should give 0")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		sum := 0.0
+		for k := 0; k <= 30; k++ {
+			sum += BinomialPMF(30, p, k)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("BinomialPMF(30, %v, ·) sums to %v", p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFMeanProperty(t *testing.T) {
+	f := func(pRaw uint16, nRaw uint8) bool {
+		p := float64(pRaw%1000) / 1000
+		n := int(nRaw%50) + 1
+		mean := 0.0
+		for k := 0; k <= n; k++ {
+			mean += float64(k) * BinomialPMF(n, p, k)
+		}
+		return almostEqual(mean, float64(n)*p, 1e-6*float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPMFOutOfRange(t *testing.T) {
+	if BinomialPMF(5, 0.5, -1) != 0 || BinomialPMF(5, 0.5, 6) != 0 {
+		t.Fatal("out-of-range k should have zero mass")
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lam := range []float64{0.1, 1, 4, 20} {
+		sum := 0.0
+		for k := 0; k < 400; k++ {
+			sum += PoissonPMF(lam, k)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("PoissonPMF(%v, ·) sums to %v", lam, sum)
+		}
+	}
+}
+
+func TestPoissonPMFZeroLambda(t *testing.T) {
+	if PoissonPMF(0, 0) != 1 {
+		t.Fatal("lambda=0 should put all mass at k=0")
+	}
+	if PoissonPMF(0, 1) != 0 {
+		t.Fatal("lambda=0, k=1 should be 0")
+	}
+	if PoissonPMF(2, -1) != 0 {
+		t.Fatal("negative k should be 0")
+	}
+}
+
+func BenchmarkLogBinomial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LogBinomial(500, i%500)
+	}
+}

@@ -1,0 +1,9 @@
+// Package mathx provides the small numerical toolbox the analytical
+// framework needs: one-dimensional quadrature, log-domain combinatorics,
+// linear interpolation, grid sweeps, and crossing-point searches.
+//
+// The repository is restricted to the standard library, so the handful of
+// routines that a scientific-computing dependency would normally supply
+// are implemented here. All functions are deterministic and allocation
+// conscious so they can sit inside the hot loops of parameter sweeps.
+package mathx

@@ -1,0 +1,74 @@
+package mathx
+
+import "math"
+
+// Lerp linearly interpolates between a (t = 0) and b (t = 1). t outside
+// [0, 1] extrapolates.
+func Lerp(a, b, t float64) float64 {
+	return a + (b-a)*t
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InterpAt evaluates the piecewise-linear function through the points
+// (xs[i], ys[i]) at x. xs must be strictly increasing. Outside the domain
+// the nearest endpoint value is returned (no extrapolation): that is the
+// right behaviour for timelines that are constant before the first and
+// after the last recorded phase.
+func InterpAt(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return math.NaN()
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing segment.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return Lerp(ys[lo], ys[hi], t)
+}
+
+// FirstCrossing returns the smallest x at which the piecewise-linear
+// function through (xs[i], ys[i]) reaches the level y, assuming ys is
+// non-decreasing. The boolean result reports whether the level is reached
+// at all. xs must be strictly increasing.
+func FirstCrossing(xs, ys []float64, y float64) (float64, bool) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0, false
+	}
+	if ys[0] >= y {
+		return xs[0], true
+	}
+	for i := 1; i < n; i++ {
+		if ys[i] >= y {
+			if ys[i] == ys[i-1] {
+				return xs[i], true
+			}
+			t := (y - ys[i-1]) / (ys[i] - ys[i-1])
+			return Lerp(xs[i-1], xs[i], t), true
+		}
+	}
+	return 0, false
+}

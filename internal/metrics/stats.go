@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"sensornet/internal/mathx"
+)
+
+// Summary aggregates a sample of scalar observations (one per simulation
+// run) into the statistics the experiment tables report.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	// CI95 is the half-width of the normal-approximation 95%
+	// confidence interval of the mean.
+	CI95 float64
+}
+
+// Summarize computes a Summary over xs, skipping NaN entries (runs where
+// a constrained metric was infeasible). A summary over zero finite
+// observations has Count 0 and NaN moments.
+func Summarize(xs []float64) Summary {
+	s := Summary{Mean: math.NaN(), StdDev: math.NaN(),
+		Min: math.NaN(), Max: math.NaN(), CI95: math.NaN()}
+	sum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if s.Count == 0 {
+			s.Min, s.Max = x, x
+		} else {
+			s.Min = math.Min(s.Min, x)
+			s.Max = math.Max(s.Max, x)
+		}
+		sum += x
+		s.Count++
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = sum / float64(s.Count)
+	if s.Count == 1 {
+		s.StdDev = 0
+		s.CI95 = 0
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count-1))
+	s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(s.Count))
+	return s
+}
+
+// Median returns the median of the finite entries of xs (NaN when none).
+func Median(xs []float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	n := len(clean)
+	if n%2 == 1 {
+		return clean[n/2]
+	}
+	return (clean[n/2-1] + clean[n/2]) / 2
+}
+
+// FeasibleFraction returns the fraction of entries that are finite: the
+// share of runs for which a constrained metric was achievable.
+func FeasibleFraction(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// MeanTimeline averages a set of run timelines pointwise onto a common
+// integer phase grid spanning the longest run. Reachability and
+// broadcast counts of runs that terminated early are extended with their
+// final values, matching how repeated-run averages are reported in the
+// paper's simulation section.
+func MeanTimeline(runs []Timeline) Timeline {
+	if len(runs) == 0 {
+		return Timeline{}
+	}
+	maxPhase := 0.0
+	for _, r := range runs {
+		if d := r.Duration(); d > maxPhase {
+			maxPhase = d
+		}
+	}
+	n := int(math.Ceil(maxPhase)) + 1
+	out := Timeline{
+		N:             0,
+		Phases:        make([]float64, n),
+		CumReach:      make([]float64, n),
+		CumBroadcasts: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		out.Phases[i] = float64(i)
+	}
+	for _, r := range runs {
+		out.N += r.N
+		for i := 0; i < n; i++ {
+			out.CumReach[i] += r.ReachabilityAtPhase(out.Phases[i])
+			out.CumBroadcasts[i] += mathx.InterpAt(r.Phases, r.CumBroadcasts, out.Phases[i])
+		}
+	}
+	k := float64(len(runs))
+	out.N /= k
+	for i := 0; i < n; i++ {
+		out.CumReach[i] /= k
+		out.CumBroadcasts[i] /= k
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.Count != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.StdDev, 2, 1e-12) {
+		t.Fatalf("stddev = %v, want 2", s.StdDev)
+	}
+	if !almostEqual(s.CI95, 1.96*2/math.Sqrt(3), 1e-12) {
+		t.Fatalf("ci95 = %v", s.CI95)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.Count != 2 || s.Mean != 2 {
+		t.Fatalf("NaN-skipping summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndAllNaN(t *testing.T) {
+	for _, xs := range [][]float64{nil, {math.NaN(), math.NaN()}} {
+		s := Summarize(xs)
+		if s.Count != 0 || !math.IsNaN(s.Mean) {
+			t.Fatalf("empty summary wrong: %+v", s)
+		}
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.Count != 1 || s.Mean != 5 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeMeanWithinRangeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Median([]float64{1, math.NaN(), 3}) != 2 {
+		t.Fatal("median should skip NaN")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median should be NaN")
+	}
+}
+
+func TestFeasibleFraction(t *testing.T) {
+	if got := FeasibleFraction([]float64{1, math.NaN(), 2, math.Inf(1)}); got != 0.5 {
+		t.Fatalf("feasible fraction = %v, want 0.5", got)
+	}
+	if !math.IsNaN(FeasibleFraction(nil)) {
+		t.Fatal("empty input should be NaN")
+	}
+}
+
+func TestMeanTimelineSingleRunIdentityOnGrid(t *testing.T) {
+	tl := sample()
+	m := MeanTimeline([]Timeline{tl})
+	if m.N != tl.N {
+		t.Fatalf("N = %v, want %v", m.N, tl.N)
+	}
+	for i, ph := range m.Phases {
+		if got, want := m.CumReach[i], tl.ReachabilityAtPhase(ph); !almostEqual(got, want, 1e-12) {
+			t.Errorf("reach at phase %v = %v, want %v", ph, got, want)
+		}
+	}
+}
+
+func TestMeanTimelineTwoRuns(t *testing.T) {
+	a := Timeline{N: 10, Phases: []float64{0, 1}, CumReach: []float64{0.1, 0.5},
+		CumBroadcasts: []float64{0, 2}}
+	b := Timeline{N: 10, Phases: []float64{0, 1, 2}, CumReach: []float64{0.1, 0.3, 0.9},
+		CumBroadcasts: []float64{0, 4, 8}}
+	m := MeanTimeline([]Timeline{a, b})
+	if len(m.Phases) != 3 {
+		t.Fatalf("mean grid length = %d, want 3", len(m.Phases))
+	}
+	if !almostEqual(m.CumReach[1], 0.4, 1e-12) {
+		t.Fatalf("mean reach@1 = %v, want 0.4", m.CumReach[1])
+	}
+	// Run a is extended with its final value at phase 2.
+	if !almostEqual(m.CumReach[2], (0.5+0.9)/2, 1e-12) {
+		t.Fatalf("mean reach@2 = %v, want 0.7", m.CumReach[2])
+	}
+	if !almostEqual(m.CumBroadcasts[2], (2.0+8.0)/2, 1e-12) {
+		t.Fatalf("mean broadcasts@2 = %v, want 5", m.CumBroadcasts[2])
+	}
+}
+
+func TestMeanTimelineEmpty(t *testing.T) {
+	m := MeanTimeline(nil)
+	if len(m.Phases) != 0 {
+		t.Fatal("empty input should give empty timeline")
+	}
+}
+
+func TestMeanTimelineValid(t *testing.T) {
+	m := MeanTimeline([]Timeline{sample(), sample()})
+	if !m.Valid() {
+		t.Fatal("mean of valid timelines should be valid")
+	}
+}

@@ -1,0 +1,120 @@
+// Package metrics extracts the paper's four performance metrics from
+// broadcast execution timelines and aggregates them across runs.
+//
+// Both the analytical framework and the simulator reduce an execution to
+// the same Timeline shape: cumulative reachability and cumulative
+// broadcast count sampled at phase boundaries. All four metrics of
+// §4.1 — reachability under a latency constraint, latency under a
+// reachability constraint, energy under a reachability constraint, and
+// reachability under an energy constraint — are then pure reads of that
+// timeline, using the paper's convention that arrivals are evenly
+// distributed inside a phase (fractional-phase interpolation).
+package metrics
+
+import (
+	"math"
+
+	"sensornet/internal/mathx"
+)
+
+// Timeline records one broadcast execution (analytic expectation or a
+// simulated run) sampled at phase boundaries. Index i corresponds to the
+// end of phase Phases[i]; Phases[0] is the 0 anchor before the source
+// broadcasts.
+type Timeline struct {
+	// N is the total number of nodes in the network (source included).
+	N float64
+	// Phases holds the sample times in units of time phases, starting
+	// at 0 and strictly increasing (0, 1, 2, ...).
+	Phases []float64
+	// CumReach holds the cumulative reachability (fraction of N that
+	// holds the packet) at each sample time. Non-decreasing.
+	CumReach []float64
+	// CumBroadcasts holds the cumulative number of transmissions
+	// performed by each sample time. Non-decreasing.
+	CumBroadcasts []float64
+}
+
+// Valid reports whether the timeline is structurally consistent:
+// non-empty, equal lengths, strictly increasing phases and
+// non-decreasing series.
+func (t Timeline) Valid() bool {
+	n := len(t.Phases)
+	if n == 0 || len(t.CumReach) != n || len(t.CumBroadcasts) != n || t.N <= 0 {
+		return false
+	}
+	for i := 1; i < n; i++ {
+		if t.Phases[i] <= t.Phases[i-1] {
+			return false
+		}
+		if t.CumReach[i] < t.CumReach[i-1]-1e-12 {
+			return false
+		}
+		if t.CumBroadcasts[i] < t.CumBroadcasts[i-1]-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachabilityAtPhase returns the reachability achieved by time phase L
+// (metric 1 of §4.1: reachability under a latency constraint).
+func (t Timeline) ReachabilityAtPhase(l float64) float64 {
+	return mathx.InterpAt(t.Phases, t.CumReach, l)
+}
+
+// LatencyToReach returns the (fractional) number of phases needed to
+// reach reachability r (metric 3: latency under a reachability
+// constraint). ok is false when the execution never reaches r.
+func (t Timeline) LatencyToReach(r float64) (latency float64, ok bool) {
+	return mathx.FirstCrossing(t.Phases, t.CumReach, r)
+}
+
+// BroadcastsToReach returns the cumulative number of broadcasts spent by
+// the moment reachability r is first achieved (metric 4: energy under a
+// reachability constraint). ok is false when r is never achieved.
+func (t Timeline) BroadcastsToReach(r float64) (broadcasts float64, ok bool) {
+	phase, ok := t.LatencyToReach(r)
+	if !ok {
+		return 0, false
+	}
+	return mathx.InterpAt(t.Phases, t.CumBroadcasts, phase), true
+}
+
+// ReachabilityAtBudget returns the reachability achieved by the moment
+// the cumulative broadcast count crosses budget b (metric 5:
+// reachability under an energy constraint). When the whole execution
+// spends fewer than b broadcasts, the final reachability is returned.
+func (t Timeline) ReachabilityAtBudget(b float64) float64 {
+	phase, ok := mathx.FirstCrossing(t.Phases, t.CumBroadcasts, b)
+	if !ok {
+		return t.FinalReachability()
+	}
+	return mathx.InterpAt(t.Phases, t.CumReach, phase)
+}
+
+// FinalReachability returns the reachability when the execution
+// terminates.
+func (t Timeline) FinalReachability() float64 {
+	if len(t.CumReach) == 0 {
+		return math.NaN()
+	}
+	return t.CumReach[len(t.CumReach)-1]
+}
+
+// TotalBroadcasts returns the total number of transmissions performed
+// over the whole execution.
+func (t Timeline) TotalBroadcasts() float64 {
+	if len(t.CumBroadcasts) == 0 {
+		return math.NaN()
+	}
+	return t.CumBroadcasts[len(t.CumBroadcasts)-1]
+}
+
+// Duration returns the last sampled phase time.
+func (t Timeline) Duration() float64 {
+	if len(t.Phases) == 0 {
+		return math.NaN()
+	}
+	return t.Phases[len(t.Phases)-1]
+}

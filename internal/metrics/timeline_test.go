@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// sample builds the timeline of a small execution: 100 nodes, source
+// broadcast in phase 1 reaching 10%, then growth to 70% by phase 4.
+func sample() Timeline {
+	return Timeline{
+		N:             100,
+		Phases:        []float64{0, 1, 2, 3, 4},
+		CumReach:      []float64{0.01, 0.10, 0.40, 0.60, 0.70},
+		CumBroadcasts: []float64{0, 1, 6, 20, 32},
+	}
+}
+
+func TestTimelineValid(t *testing.T) {
+	if !sample().Valid() {
+		t.Fatal("sample timeline should be valid")
+	}
+}
+
+func TestTimelineInvalidShapes(t *testing.T) {
+	tl := sample()
+	tl.CumReach = tl.CumReach[:3]
+	if tl.Valid() {
+		t.Fatal("length mismatch should be invalid")
+	}
+	tl = sample()
+	tl.Phases[2] = tl.Phases[1]
+	if tl.Valid() {
+		t.Fatal("non-increasing phases should be invalid")
+	}
+	tl = sample()
+	tl.CumReach[3] = 0.2
+	if tl.Valid() {
+		t.Fatal("decreasing reachability should be invalid")
+	}
+	tl = sample()
+	tl.N = 0
+	if tl.Valid() {
+		t.Fatal("zero N should be invalid")
+	}
+	if (Timeline{}).Valid() {
+		t.Fatal("empty timeline should be invalid")
+	}
+}
+
+func TestReachabilityAtPhase(t *testing.T) {
+	tl := sample()
+	if got := tl.ReachabilityAtPhase(2); got != 0.40 {
+		t.Fatalf("reach@2 = %v, want 0.40", got)
+	}
+	if got := tl.ReachabilityAtPhase(2.5); !almostEqual(got, 0.50, 1e-12) {
+		t.Fatalf("reach@2.5 = %v, want 0.50", got)
+	}
+	// Beyond the run: final value.
+	if got := tl.ReachabilityAtPhase(9); got != 0.70 {
+		t.Fatalf("reach@9 = %v, want 0.70", got)
+	}
+}
+
+func TestLatencyToReach(t *testing.T) {
+	tl := sample()
+	l, ok := tl.LatencyToReach(0.40)
+	if !ok || !almostEqual(l, 2, 1e-12) {
+		t.Fatalf("latency to 0.40 = %v,%v; want 2,true", l, ok)
+	}
+	l, ok = tl.LatencyToReach(0.25)
+	if !ok || !almostEqual(l, 1.5, 1e-12) {
+		t.Fatalf("latency to 0.25 = %v,%v; want 1.5,true", l, ok)
+	}
+	if _, ok = tl.LatencyToReach(0.9); ok {
+		t.Fatal("unreachable target should report false")
+	}
+}
+
+func TestBroadcastsToReach(t *testing.T) {
+	tl := sample()
+	// Reach 0.25 at phase 1.5; broadcasts interpolate 1..6 -> 3.5.
+	b, ok := tl.BroadcastsToReach(0.25)
+	if !ok || !almostEqual(b, 3.5, 1e-12) {
+		t.Fatalf("broadcasts to 0.25 = %v,%v; want 3.5,true", b, ok)
+	}
+	if _, ok = tl.BroadcastsToReach(0.95); ok {
+		t.Fatal("unreachable target should report false")
+	}
+}
+
+func TestReachabilityAtBudget(t *testing.T) {
+	tl := sample()
+	// Budget 6 is crossed exactly at phase 2 -> reach 0.40.
+	if got := tl.ReachabilityAtBudget(6); !almostEqual(got, 0.40, 1e-12) {
+		t.Fatalf("reach@budget6 = %v, want 0.40", got)
+	}
+	// Budget 13 is crossed at phase 2.5 -> reach 0.50.
+	if got := tl.ReachabilityAtBudget(13); !almostEqual(got, 0.50, 1e-12) {
+		t.Fatalf("reach@budget13 = %v, want 0.50", got)
+	}
+	// Budget beyond total spend -> final reachability.
+	if got := tl.ReachabilityAtBudget(1000); got != 0.70 {
+		t.Fatalf("reach@budget1000 = %v, want 0.70", got)
+	}
+}
+
+func TestFinalValues(t *testing.T) {
+	tl := sample()
+	if tl.FinalReachability() != 0.70 {
+		t.Fatal("final reachability wrong")
+	}
+	if tl.TotalBroadcasts() != 32 {
+		t.Fatal("total broadcasts wrong")
+	}
+	if tl.Duration() != 4 {
+		t.Fatal("duration wrong")
+	}
+	empty := Timeline{}
+	if !math.IsNaN(empty.FinalReachability()) || !math.IsNaN(empty.TotalBroadcasts()) ||
+		!math.IsNaN(empty.Duration()) {
+		t.Fatal("empty timeline should yield NaN terminal values")
+	}
+}
+
+// Property: the dual metrics are consistent — if latency to reach R is L,
+// then reachability at phase L is at least R.
+func TestDualityProperty(t *testing.T) {
+	f := func(incRaw []uint8, targetRaw uint8) bool {
+		if len(incRaw) < 2 {
+			return true
+		}
+		if len(incRaw) > 12 {
+			incRaw = incRaw[:12]
+		}
+		tl := Timeline{N: 100}
+		reach, bc := 0.01, 0.0
+		tl.Phases = append(tl.Phases, 0)
+		tl.CumReach = append(tl.CumReach, reach)
+		tl.CumBroadcasts = append(tl.CumBroadcasts, 0)
+		for i, inc := range incRaw {
+			reach = math.Min(1, reach+float64(inc)/1000)
+			bc += float64(inc) / 10
+			tl.Phases = append(tl.Phases, float64(i+1))
+			tl.CumReach = append(tl.CumReach, reach)
+			tl.CumBroadcasts = append(tl.CumBroadcasts, bc)
+		}
+		target := 0.01 + float64(targetRaw)/256*(reach-0.01)
+		l, ok := tl.LatencyToReach(target)
+		if !ok {
+			return target > reach
+		}
+		return tl.ReachabilityAtPhase(l)+1e-9 >= target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reachability at budget is monotone in the budget.
+func TestBudgetMonotoneProperty(t *testing.T) {
+	tl := sample()
+	prev := -1.0
+	for b := 0.0; b <= 40; b += 0.5 {
+		got := tl.ReachabilityAtBudget(b)
+		if got < prev-1e-12 {
+			t.Fatalf("reach@budget not monotone at %v: %v < %v", b, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DegreeAdaptive is the density-free tuning the paper's Fig. 12
+// discussion points towards, using only Assumption-3 local knowledge:
+// each node rebroadcasts with probability min(1, C/degree). Because the
+// latency-optimal global probability scales like 1/ρ (Fig. 4b), a
+// single constant C makes the scheme near-optimal at every density —
+// and heterogeneous fields tune themselves patch by patch.
+type DegreeAdaptive struct {
+	// C is the target expected number of rebroadcasters per
+	// neighbourhood. The analytic optimum sits around p*·ρ ≈ 12-13 for
+	// the paper's configuration (see analytic.OptimalProbabilityLaw).
+	C float64
+}
+
+// Name implements Protocol.
+func (d DegreeAdaptive) Name() string { return fmt.Sprintf("degree(%.3g)", d.C) }
+
+// NewState implements Protocol.
+func (d DegreeAdaptive) NewState(int) State { return degreeState{c: d.C} }
+
+type degreeState struct{ c float64 }
+
+func (s degreeState) OnFirstReceive(_, _ int32, _ float64, ctx Ctx, rng *rand.Rand) bool {
+	if ctx.Degree <= 0 {
+		return false
+	}
+	p := s.c / float64(ctx.Degree)
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+func (degreeState) OnDuplicate(int32, int32, float64, Ctx) bool { return true }
+
+// Gossip is the two-phase GOSSIP(p, k) scheme of Haas et al.: flood
+// unconditionally for the first K phases (so the broadcast survives its
+// fragile early hops), then fall back to probability P.
+type Gossip struct {
+	// P is the steady-state broadcast probability.
+	P float64
+	// K is the number of initial flooding phases.
+	K int32
+}
+
+// Name implements Protocol.
+func (g Gossip) Name() string { return fmt.Sprintf("gossip(%.3g,%d)", g.P, g.K) }
+
+// NewState implements Protocol.
+func (g Gossip) NewState(int) State { return gossipState{p: g.P, k: g.K} }
+
+type gossipState struct {
+	p float64
+	k int32
+}
+
+func (s gossipState) OnFirstReceive(_, _ int32, _ float64, ctx Ctx, rng *rand.Rand) bool {
+	if ctx.Phase <= s.k {
+		return true
+	}
+	return rng.Float64() < s.p
+}
+
+func (gossipState) OnDuplicate(int32, int32, float64, Ctx) bool { return true }

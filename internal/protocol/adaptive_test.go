@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDegreeAdaptiveIsolatedNodeSilent(t *testing.T) {
+	s := DegreeAdaptive{C: 12}.NewState(1)
+	rng := rand.New(rand.NewSource(1))
+	if s.OnFirstReceive(0, 0, 1, Ctx{Degree: 0}, rng) {
+		t.Fatal("zero-degree node must stay silent")
+	}
+}
+
+func TestDegreeAdaptiveLowDegreeAlwaysBroadcasts(t *testing.T) {
+	s := DegreeAdaptive{C: 12}.NewState(1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		if !s.OnFirstReceive(0, 0, 1, Ctx{Degree: 5}, rng) {
+			t.Fatal("degree below C must always broadcast")
+		}
+	}
+}
+
+func TestDegreeAdaptiveEmpiricalRate(t *testing.T) {
+	s := DegreeAdaptive{C: 12}.NewState(1)
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.OnFirstReceive(0, 0, 1, Ctx{Degree: 120}, rng) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.09 || rate > 0.11 {
+		t.Fatalf("empirical rate %v, want ~0.1 (= 12/120)", rate)
+	}
+}
+
+func TestDegreeAdaptiveNeverCancels(t *testing.T) {
+	s := DegreeAdaptive{C: 12}.NewState(1)
+	if !s.OnDuplicate(0, 0, 1, Ctx{}) {
+		t.Fatal("degree-adaptive keeps pending broadcasts")
+	}
+}
+
+func TestGossipFloodsEarlyPhases(t *testing.T) {
+	s := Gossip{P: 0, K: 2}.NewState(1)
+	rng := rand.New(rand.NewSource(4))
+	for phase := int32(1); phase <= 2; phase++ {
+		if !s.OnFirstReceive(0, 0, 1, Ctx{Phase: phase}, rng) {
+			t.Fatalf("phase %d within K must flood", phase)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if s.OnFirstReceive(0, 0, 1, Ctx{Phase: 3}, rng) {
+			t.Fatal("p=0 beyond K must never broadcast")
+		}
+	}
+}
+
+func TestGossipSteadyStateRate(t *testing.T) {
+	s := Gossip{P: 0.4, K: 1}.NewState(1)
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.OnFirstReceive(0, 0, 1, Ctx{Phase: 9}, rng) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.39 || rate > 0.41 {
+		t.Fatalf("steady-state rate %v, want ~0.4", rate)
+	}
+}
+
+func TestGossipNeverCancels(t *testing.T) {
+	s := Gossip{P: 0.5, K: 1}.NewState(1)
+	if !s.OnDuplicate(0, 0, 1, Ctx{}) {
+		t.Fatal("gossip keeps pending broadcasts")
+	}
+}
+
+func TestAdaptiveNames(t *testing.T) {
+	da := DegreeAdaptive{C: 12}
+	if da.Name() != "degree(12)" {
+		t.Fatalf("name = %q", da.Name())
+	}
+	g := Gossip{P: 0.25, K: 2}
+	if g.Name() != "gossip(0.25,2)" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sensornet/internal/geom"
+)
+
+// Area is the area-based suppression scheme from the broadcast taxonomy
+// the paper cites (Williams et al.): a node rebroadcasts only while the
+// additional area its transmission would cover — beyond what the
+// transmitters it has already heard cover — stays above MinExtra times
+// the full disk area π r².
+//
+// Following the standard single-coverage approximation, the covered
+// area is estimated from the closest heard transmitter: a sender at
+// distance d already covers the lens of two radius-R disks at distance
+// d, so the node's marginal contribution is π R² minus that lens.
+type Area struct {
+	// MinExtra is the minimal marginal-coverage fraction in [0, 1]
+	// that keeps a rebroadcast alive. 0 never suppresses; values near
+	// 0.4 suppress nodes that heard a transmitter closer than ~R/2.
+	MinExtra float64
+	// R is the transmission radius of the deployment.
+	R float64
+}
+
+// Name implements Protocol.
+func (a Area) Name() string { return fmt.Sprintf("area(%.3g)", a.MinExtra) }
+
+// NewState implements Protocol.
+func (a Area) NewState(n int) State {
+	return &areaState{minExtra: a.MinExtra, r: a.R, minDist: make([]float64, n)}
+}
+
+type areaState struct {
+	minExtra float64
+	r        float64
+	minDist  []float64 // closest heard transmitter; 0 = none yet
+}
+
+// extraFraction returns the marginal coverage fraction for a node whose
+// closest heard transmitter is at distance d.
+func (s *areaState) extraFraction(d float64) float64 {
+	full := geom.DiskArea(s.r)
+	if full == 0 {
+		return 0
+	}
+	covered := geom.LensArea(s.r, s.r, d)
+	return (full - covered) / full
+}
+
+func (s *areaState) observe(node int32, dist float64) float64 {
+	if s.minDist[node] == 0 || dist < s.minDist[node] {
+		s.minDist[node] = dist
+	}
+	return s.minDist[node]
+}
+
+func (s *areaState) OnFirstReceive(node, _ int32, dist float64, _ Ctx, _ *rand.Rand) bool {
+	return s.extraFraction(s.observe(node, dist)) >= s.minExtra
+}
+
+func (s *areaState) OnDuplicate(node, _ int32, dist float64, _ Ctx) bool {
+	return s.extraFraction(s.observe(node, dist)) >= s.minExtra
+}

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAreaZeroThresholdNeverSuppresses(t *testing.T) {
+	s := Area{MinExtra: 0, R: 1}.NewState(2)
+	rng := rand.New(rand.NewSource(1))
+	if !s.OnFirstReceive(0, 1, 0.01, Ctx{}, rng) {
+		t.Fatal("threshold 0 must never suppress")
+	}
+	if !s.OnDuplicate(0, 1, 0.0, Ctx{}) {
+		t.Fatal("threshold 0 must keep pending broadcasts")
+	}
+}
+
+func TestAreaCoincidentTransmitterSuppresses(t *testing.T) {
+	// A transmitter at distance ~0 covers the whole disk: marginal
+	// coverage ~0.
+	s := Area{MinExtra: 0.05, R: 1}.NewState(1)
+	rng := rand.New(rand.NewSource(2))
+	if s.OnFirstReceive(0, 0, 1e-9, Ctx{}, rng) {
+		t.Fatal("coincident transmitter should suppress")
+	}
+}
+
+func TestAreaDistantTransmitterKeeps(t *testing.T) {
+	// At distance R, the lens covers ~39% of the disk: marginal ~0.61.
+	s := Area{MinExtra: 0.5, R: 1}.NewState(1)
+	rng := rand.New(rand.NewSource(3))
+	if !s.OnFirstReceive(0, 0, 1.0, Ctx{}, rng) {
+		t.Fatal("edge-of-range transmitter should not suppress at 0.5")
+	}
+}
+
+func TestAreaExtraFractionMonotone(t *testing.T) {
+	s := &areaState{minExtra: 0, r: 1, minDist: make([]float64, 1)}
+	prev := -1.0
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		f := s.extraFraction(d)
+		if f < prev {
+			t.Fatalf("marginal coverage not monotone at %v: %v < %v", d, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %v outside [0,1]", f)
+		}
+		prev = f
+	}
+}
+
+func TestAreaExtraFractionKnownValue(t *testing.T) {
+	// Two unit disks at distance 1: lens = 2π/3 - √3/2, so the
+	// marginal fraction is 1 - lens/π ≈ 0.609.
+	s := &areaState{r: 1, minDist: make([]float64, 1)}
+	want := 1 - (2*math.Pi/3-math.Sqrt(3)/2)/math.Pi
+	if got := s.extraFraction(1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("extraFraction(1) = %v, want %v", got, want)
+	}
+}
+
+func TestAreaTracksClosestTransmitter(t *testing.T) {
+	s := Area{MinExtra: 0.5, R: 1}.NewState(1)
+	rng := rand.New(rand.NewSource(4))
+	if !s.OnFirstReceive(0, 0, 0.95, Ctx{}, rng) {
+		t.Fatal("first distant reception should keep")
+	}
+	// A closer duplicate drags the marginal coverage down for good.
+	if s.OnDuplicate(0, 0, 0.1, Ctx{}) {
+		t.Fatal("close duplicate should suppress")
+	}
+	// A later distant duplicate must not resurrect the broadcast:
+	// the closest-heard distance is sticky.
+	if s.OnDuplicate(0, 0, 0.99, Ctx{}) {
+		t.Fatal("suppression must be sticky once a close transmitter was heard")
+	}
+}
+
+func TestAreaDegenerateRadius(t *testing.T) {
+	s := Area{MinExtra: 0.1, R: 0}.NewState(1)
+	rng := rand.New(rand.NewSource(5))
+	if s.OnFirstReceive(0, 0, 0.5, Ctx{}, rng) {
+		t.Fatal("zero radius should always suppress (no coverage to add)")
+	}
+}
+
+func TestAreaName(t *testing.T) {
+	a := Area{MinExtra: 0.4}
+	if a.Name() != "area(0.4)" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestAreaStateIsPerNode(t *testing.T) {
+	s := Area{MinExtra: 0.5, R: 1}.NewState(3)
+	rng := rand.New(rand.NewSource(6))
+	// Node 0 hears a very close transmitter; node 2 a distant one.
+	if s.OnFirstReceive(0, 1, 0.05, Ctx{}, rng) {
+		t.Fatal("node 0 should be suppressed")
+	}
+	if !s.OnFirstReceive(2, 1, 0.95, Ctx{}, rng) {
+		t.Fatal("node 2 must be unaffected by node 0's observations")
+	}
+	st := s.(*areaState)
+	if st.minDist[1] != 0 {
+		t.Fatal("untouched node gained state")
+	}
+}

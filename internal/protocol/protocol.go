@@ -1,0 +1,141 @@
+// Package protocol implements the broadcast schemes the paper studies
+// and the suppression schemes it lists as future work.
+//
+// All schemes share the slotted-jitter execution of §4.2: a node that
+// first receives the packet decides whether to rebroadcast, and if so
+// transmits once in a uniformly random slot of its next time phase.
+// Duplicates heard before that transmission may cancel it (the
+// counter-based and distance-based schemes of Williams et al., which
+// the paper cites as the other members of the broadcast taxonomy).
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Protocol is a broadcast scheme factory. Implementations must be
+// immutable; per-run mutable state lives in the State they create.
+type Protocol interface {
+	// Name identifies the scheme in tables and logs.
+	Name() string
+	// NewState allocates per-run state for a network of n nodes.
+	NewState(n int) State
+}
+
+// Ctx carries the local information a scheme may consult when making a
+// decision: the current time phase and the deciding node's neighbour
+// count. Both are available to a real node (phases by counting since
+// its first reception, degree from Assumption 3's neighbour knowledge).
+type Ctx struct {
+	// Phase is the time phase in which the triggering packet arrived.
+	Phase int32
+	// Degree is the deciding node's neighbour count.
+	Degree int
+}
+
+// State is the per-run decision logic of a scheme. The simulator calls
+// OnFirstReceive exactly once per node (when it first decodes the
+// packet) and OnDuplicate for every further packet the node decodes
+// while its own transmission is still pending.
+type State interface {
+	// OnFirstReceive reports whether the node should schedule a
+	// broadcast in its next phase. dist is the distance to the
+	// transmitter it decoded.
+	OnFirstReceive(node, from int32, dist float64, ctx Ctx, rng *rand.Rand) bool
+	// OnDuplicate reports whether a pending broadcast should be kept
+	// after hearing one more duplicate.
+	OnDuplicate(node, from int32, dist float64, ctx Ctx) bool
+}
+
+// Flooding is simple flooding: every node rebroadcasts exactly once
+// after its first reception (PB_CAM with p = 1).
+type Flooding struct{}
+
+// Name implements Protocol.
+func (Flooding) Name() string { return "flooding" }
+
+// NewState implements Protocol.
+func (Flooding) NewState(int) State { return floodingState{} }
+
+type floodingState struct{}
+
+func (floodingState) OnFirstReceive(int32, int32, float64, Ctx, *rand.Rand) bool { return true }
+func (floodingState) OnDuplicate(int32, int32, float64, Ctx) bool                { return true }
+
+// Probability is the probability-based scheme PB_CAM: after first
+// reception a node rebroadcasts with probability P, otherwise stays
+// silent forever.
+type Probability struct {
+	// P is the broadcast probability in [0, 1].
+	P float64
+}
+
+// Name implements Protocol.
+func (p Probability) Name() string { return fmt.Sprintf("pb(%.3g)", p.P) }
+
+// NewState implements Protocol.
+func (p Probability) NewState(int) State { return probabilityState{p: p.P} }
+
+type probabilityState struct{ p float64 }
+
+func (s probabilityState) OnFirstReceive(_, _ int32, _ float64, _ Ctx, rng *rand.Rand) bool {
+	return rng.Float64() < s.p
+}
+func (probabilityState) OnDuplicate(int32, int32, float64, Ctx) bool { return true }
+
+// Counter is the counter-based suppression scheme: a pending broadcast
+// is cancelled once the node has heard the packet Threshold times in
+// total (first reception included).
+type Counter struct {
+	// Threshold is the number of receptions that suppresses the
+	// rebroadcast; must be >= 2 to ever transmit.
+	Threshold int
+}
+
+// Name implements Protocol.
+func (c Counter) Name() string { return fmt.Sprintf("counter(%d)", c.Threshold) }
+
+// NewState implements Protocol.
+func (c Counter) NewState(n int) State {
+	return &counterState{threshold: c.Threshold, heard: make([]int32, n)}
+}
+
+type counterState struct {
+	threshold int
+	heard     []int32
+}
+
+func (s *counterState) OnFirstReceive(node, _ int32, _ float64, _ Ctx, _ *rand.Rand) bool {
+	s.heard[node] = 1
+	return s.threshold >= 2
+}
+
+func (s *counterState) OnDuplicate(node, _ int32, _ float64, _ Ctx) bool {
+	s.heard[node]++
+	return int(s.heard[node]) < s.threshold
+}
+
+// Distance is the distance-based suppression scheme: a broadcast is
+// cancelled when any heard transmitter is closer than MinDist (the
+// additional coverage a nearby rebroadcast adds is negligible).
+type Distance struct {
+	// MinDist is the suppression distance in the deployment's length
+	// units (typically a fraction of the transmission radius).
+	MinDist float64
+}
+
+// Name implements Protocol.
+func (d Distance) Name() string { return fmt.Sprintf("distance(%.3g)", d.MinDist) }
+
+// NewState implements Protocol.
+func (d Distance) NewState(int) State { return distanceState{minDist: d.MinDist} }
+
+type distanceState struct{ minDist float64 }
+
+func (s distanceState) OnFirstReceive(_, _ int32, dist float64, _ Ctx, _ *rand.Rand) bool {
+	return dist >= s.minDist
+}
+func (s distanceState) OnDuplicate(_, _ int32, dist float64, _ Ctx) bool {
+	return dist >= s.minDist
+}

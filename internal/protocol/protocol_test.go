@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFloodingAlwaysBroadcasts(t *testing.T) {
+	s := Flooding{}.NewState(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := int32(0); i < 10; i++ {
+		if !s.OnFirstReceive(i, 0, 0.5, Ctx{}, rng) {
+			t.Fatal("flooding must always rebroadcast")
+		}
+		if !s.OnDuplicate(i, 0, 0.5, Ctx{}) {
+			t.Fatal("flooding never cancels")
+		}
+	}
+}
+
+func TestProbabilityZeroAndOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s0 := Probability{P: 0}.NewState(1)
+	s1 := Probability{P: 1}.NewState(1)
+	for i := 0; i < 100; i++ {
+		if s0.OnFirstReceive(0, 0, 1, Ctx{}, rng) {
+			t.Fatal("p=0 must never broadcast")
+		}
+		if !s1.OnFirstReceive(0, 0, 1, Ctx{}, rng) {
+			t.Fatal("p=1 must always broadcast")
+		}
+	}
+}
+
+func TestProbabilityEmpiricalRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Probability{P: 0.3}.NewState(1)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.OnFirstReceive(0, 0, 1, Ctx{}, rng) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.29 || rate > 0.31 {
+		t.Fatalf("empirical rate %v, want ~0.3", rate)
+	}
+}
+
+func TestProbabilityNeverCancels(t *testing.T) {
+	s := Probability{P: 0.5}.NewState(1)
+	if !s.OnDuplicate(0, 0, 1, Ctx{}) {
+		t.Fatal("PB keeps pending broadcasts regardless of duplicates")
+	}
+}
+
+func TestCounterSuppressesAtThreshold(t *testing.T) {
+	s := Counter{Threshold: 3}.NewState(4)
+	rng := rand.New(rand.NewSource(4))
+	if !s.OnFirstReceive(2, 0, 1, Ctx{}, rng) {
+		t.Fatal("first reception should schedule a broadcast")
+	}
+	if !s.OnDuplicate(2, 1, 1, Ctx{}) { // heard 2 of 3
+		t.Fatal("below threshold should keep the broadcast")
+	}
+	if s.OnDuplicate(2, 3, 1, Ctx{}) { // heard 3 of 3
+		t.Fatal("reaching the threshold should cancel")
+	}
+}
+
+func TestCounterThresholdOneNeverBroadcasts(t *testing.T) {
+	s := Counter{Threshold: 1}.NewState(1)
+	rng := rand.New(rand.NewSource(5))
+	if s.OnFirstReceive(0, 0, 1, Ctx{}, rng) {
+		t.Fatal("threshold 1 suppresses immediately")
+	}
+}
+
+func TestCounterStateIsPerNode(t *testing.T) {
+	s := Counter{Threshold: 3}.NewState(3)
+	rng := rand.New(rand.NewSource(6))
+	s.OnFirstReceive(0, 1, 1, Ctx{}, rng)
+	s.OnFirstReceive(1, 0, 1, Ctx{}, rng)
+	s.OnDuplicate(0, 2, 1, Ctx{})      // node 0 heard 2
+	if s.OnDuplicate(0, 2, 1, Ctx{}) { // node 0 heard 3: cancel
+		t.Fatal("node 0 should cancel at its own threshold")
+	}
+	if !s.OnDuplicate(1, 2, 1, Ctx{}) { // node 1 heard only 2: keep
+		t.Fatal("node 1 must be unaffected by node 0's duplicates")
+	}
+}
+
+func TestDistanceSuppression(t *testing.T) {
+	s := Distance{MinDist: 0.4}.NewState(1)
+	rng := rand.New(rand.NewSource(7))
+	if s.OnFirstReceive(0, 0, 0.2, Ctx{}, rng) {
+		t.Fatal("close transmitter should suppress")
+	}
+	if !s.OnFirstReceive(0, 0, 0.9, Ctx{}, rng) {
+		t.Fatal("distant transmitter should not suppress")
+	}
+	if s.OnDuplicate(0, 0, 0.1, Ctx{}) {
+		t.Fatal("close duplicate should cancel")
+	}
+	if !s.OnDuplicate(0, 0, 0.8, Ctx{}) {
+		t.Fatal("distant duplicate should keep")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		p    Protocol
+		want string
+	}{
+		{Flooding{}, "flooding"},
+		{Probability{P: 0.25}, "pb(0.25)"},
+		{Counter{Threshold: 4}, "counter(4)"},
+		{Distance{MinDist: 0.5}, "distance(0.5)"},
+	}
+	for _, c := range cases {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package reliable
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensornet/internal/deploy"
+)
+
+func genDep(t testing.TB, rho float64, sensing bool, seed int64) *deploy.Deployment {
+	t.Helper()
+	dep, err := deploy.Generate(deploy.Config{P: 3, Rho: rho, WithSensing: sensing},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestAckConfigValidation(t *testing.T) {
+	dep := genDep(t, 10, false, 1)
+	if _, err := AckBroadcast(dep, 0, AckConfig{Window: 0}); err == nil {
+		t.Fatal("window 0 should error")
+	}
+	if _, err := AckBroadcast(dep, 0, AckConfig{Window: 3, MaxRounds: -1}); err == nil {
+		t.Fatal("negative rounds should error")
+	}
+}
+
+func TestAckBroadcastCompletes(t *testing.T) {
+	dep := genDep(t, 20, false, 2)
+	res, err := AckBroadcast(dep, 0, AckConfig{Window: 4, Adaptive: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("ack broadcast did not complete: %+v", res)
+	}
+	if res.Neighbors != dep.Degree(0) {
+		t.Fatalf("neighbours %d, want %d", res.Neighbors, dep.Degree(0))
+	}
+	// Costs are at least one data transmission plus one ACK per
+	// neighbour.
+	if res.Transmissions < res.Neighbors+1 {
+		t.Fatalf("transmissions %d too low for %d neighbours",
+			res.Transmissions, res.Neighbors)
+	}
+	if res.Slots < 1+4 {
+		t.Fatalf("slots %d too low", res.Slots)
+	}
+}
+
+func TestAckBroadcastIsolatedSource(t *testing.T) {
+	single, err := deploy.Generate(deploy.Config{P: 1, N: 1},
+		rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AckBroadcast(single, 0, AckConfig{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Transmissions != 0 {
+		t.Fatalf("isolated source should trivially complete: %+v", res)
+	}
+}
+
+func TestAckCostGrowsWithDensity(t *testing.T) {
+	// The §3.2.1 claim: acknowledging a broadcast causes significant
+	// traffic, and it gets worse with density.
+	cost := func(rho float64) float64 {
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			dep := genDep(t, rho, false, seed)
+			res, err := AckBroadcast(dep, 0, AckConfig{Window: 4, Adaptive: true, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("rho=%v seed=%d incomplete", rho, seed)
+			}
+			total += res.Transmissions
+		}
+		return float64(total) / 5
+	}
+	lo, hi := cost(10), cost(60)
+	if hi <= lo {
+		t.Fatalf("ack cost should grow with density: %v vs %v", lo, hi)
+	}
+	// Superlinear growth: 6x the neighbours should cost clearly more
+	// than 6x the transmissions of the sparse case.
+	if hi < 4*lo {
+		t.Logf("note: growth milder than expected: %v -> %v", lo, hi)
+	}
+}
+
+func TestAckRoundsBoundedByMaxRounds(t *testing.T) {
+	dep := genDep(t, 80, false, 4)
+	res, err := AckBroadcast(dep, 0, AckConfig{Window: 1, MaxRounds: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("rounds %d exceed cap", res.Rounds)
+	}
+	// With one ACK slot and ~80 contenders, 3 rounds cannot finish.
+	if res.Complete {
+		t.Fatal("expected incomplete under a tiny round cap")
+	}
+}
+
+func TestAckAdaptiveBeatsFixedWindow(t *testing.T) {
+	// Load-matched windows finish where a tiny fixed window stalls.
+	dep := genDep(t, 50, false, 11)
+	fixed, err := AckBroadcast(dep, 0, AckConfig{Window: 2, MaxRounds: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := AckBroadcast(dep, 0, AckConfig{Window: 2, Adaptive: true, MaxRounds: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Complete {
+		t.Fatal("a 2-slot fixed window should stall at rho=50")
+	}
+	if !adaptive.Complete {
+		t.Fatal("the adaptive window should complete")
+	}
+}
+
+func TestAckDeterministicForSeed(t *testing.T) {
+	dep := genDep(t, 30, false, 5)
+	a, _ := AckBroadcast(dep, 0, AckConfig{Window: 4, Seed: 9})
+	b, _ := AckBroadcast(dep, 0, AckConfig{Window: 4, Seed: 9})
+	if a != b {
+		t.Fatalf("same-seed results differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestBuildTDMARequiresSensing(t *testing.T) {
+	dep := genDep(t, 10, false, 6)
+	if _, err := BuildTDMA(dep); err == nil {
+		t.Fatal("TDMA without sensing lists should error")
+	}
+	if _, err := BuildTDMA(nil); err == nil {
+		t.Fatal("nil deployment should error")
+	}
+}
+
+func TestBuildTDMAValidSchedule(t *testing.T) {
+	dep := genDep(t, 15, true, 7)
+	sched, err := BuildTDMA(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Verify(dep) {
+		t.Fatal("schedule has two-hop conflicts")
+	}
+	if sched.FrameLen < 1 {
+		t.Fatal("empty frame")
+	}
+	for _, s := range sched.Slot {
+		if s < 0 || s >= sched.FrameLen {
+			t.Fatalf("slot %d outside frame %d", s, sched.FrameLen)
+		}
+	}
+}
+
+func TestTDMAFrameGrowsWithDensity(t *testing.T) {
+	frame := func(rho float64) int {
+		dep := genDep(t, rho, true, 8)
+		sched, err := BuildTDMA(dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched.FrameLen
+	}
+	lo, hi := frame(5), frame(40)
+	if hi <= lo {
+		t.Fatalf("frame length should grow with density: %d vs %d", lo, hi)
+	}
+}
+
+func TestTDMAVerifyDetectsConflicts(t *testing.T) {
+	dep := genDep(t, 15, true, 9)
+	sched, err := BuildTDMA(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schedule: give two conflicting nodes the same slot.
+	if len(dep.Neighbors[0]) == 0 {
+		t.Skip("source isolated in this draw")
+	}
+	v := dep.Neighbors[0][0]
+	sched.Slot[v] = sched.Slot[0]
+	if sched.Verify(dep) {
+		t.Fatal("Verify missed an injected conflict")
+	}
+	short := TDMASchedule{Slot: sched.Slot[:1], FrameLen: 1}
+	if short.Verify(dep) {
+		t.Fatal("Verify should reject wrong-length schedules")
+	}
+}
+
+func TestTDMACostModel(t *testing.T) {
+	sched := TDMASchedule{FrameLen: 10}
+	tf, ef := sched.Cost()
+	if tf != 6 || ef != 1 {
+		t.Fatalf("cost = (%v, %v), want (6, 1)", tf, ef)
+	}
+}
+
+func TestTDMAVsAckTradeoff(t *testing.T) {
+	// TDMA pays time (frame wait) but almost no energy; ACK pays both,
+	// increasingly with density. At moderate density, TDMA's energy is
+	// strictly lower.
+	dep := genDep(t, 40, true, 10)
+	sched, err := BuildTDMA(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tdmaEnergy := sched.Cost()
+	ack, err := AckBroadcast(dep, 0, AckConfig{Window: 4, Adaptive: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ack.Transmissions) <= tdmaEnergy {
+		t.Fatalf("ACK energy %d should exceed TDMA's %v", ack.Transmissions, tdmaEnergy)
+	}
+}
+
+func BenchmarkAckBroadcastRho60(b *testing.B) {
+	dep := genDep(b, 60, false, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := AckBroadcast(dep, 0, AckConfig{Window: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTDMARho60(b *testing.B) {
+	dep := genDep(b, 60, true, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTDMA(dep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+	"sensornet/internal/desim"
+	"sensornet/internal/metrics"
+	"sensornet/internal/protocol"
+	"sensornet/internal/trace"
+)
+
+// errSensingLists reports a carrier-sense run over a deployment built
+// without sensing neighbour lists.
+var errSensingLists = errors.New("sim: carrier-sense model needs deploy.Config.WithSensing")
+
+// runAsync executes the asynchronous engine: every node's phase grid is
+// shifted by a private random offset, so transmissions are unit-length
+// intervals at arbitrary real times (measured in slots). A reception
+// succeeds iff no other audible transmission overlaps it (Assumption 6
+// verbatim, without the slot-alignment simplification the analysis
+// uses), with the optional carrier-sensing extension.
+func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error) {
+	if cfg.Model == channel.CAMCarrierSense && dep.Sensing == nil {
+		return nil, errSensingLists
+	}
+	n := dep.N()
+	state := cfg.Protocol.NewState(n)
+	phaseLen := float64(cfg.S)
+
+	offset := make([]float64, n)
+	for i := range offset {
+		offset[i] = rng.Float64() * phaseLen
+	}
+
+	var eng desim.Engine
+
+	hasPacket := make([]bool, n)
+	pendingTx := make([]bool, n) // scheduled but not yet started
+	cancelled := make([]bool, n)
+	firstPhase := make([]int32, n)
+	for i := range firstPhase {
+		firstPhase[i] = -1
+	}
+	firstPhase[0] = 0
+
+	// Per-receiver reception bookkeeping.
+	rxCount := make([]int32, n)   // concurrent in-range transmissions
+	senseCnt := make([]int32, n)  // concurrent sensing-annulus transmissions
+	corrupted := make([]bool, n)  // current reception window overlapped
+	currentTx := make([]int32, n) // transmitter of the sole reception
+	transmitting := make([]bool, n)
+
+	reached := 1
+	broadcasts := 0
+	hasPacket[0] = true
+	var succSum float64
+	var succN int
+	var rxTimes []float64 // first-reception times, for the timeline
+	var txTimes []float64 // transmission start times
+
+	horizon := phaseLen * float64(cfg.MaxPhases)
+
+	record := func(k trace.Kind, t float64, node, other int32) {
+		if cfg.Tracer != nil {
+			cfg.Tracer.Record(trace.Event{
+				Kind:  k,
+				Phase: int32(t / phaseLen),
+				Slot:  int32(t) % int32(cfg.S),
+				Node:  node,
+				Other: other,
+			})
+		}
+	}
+
+	// scheduleTx plans node u's single broadcast in a random slot of
+	// its first own phase starting at or after time t.
+	var scheduleTx func(u int32, t float64)
+
+	deliverTo := func(v int32, from int32, endTime float64) bool {
+		if transmitting[v] {
+			return false
+		}
+		d := dep.Pos[v].Dist(dep.Pos[from])
+		ctx := protocol.Ctx{Phase: int32(endTime / phaseLen), Degree: dep.Degree(int(v))}
+		record(trace.KindDeliver, endTime, v, from)
+		if !hasPacket[v] {
+			hasPacket[v] = true
+			reached++
+			rxTimes = append(rxTimes, endTime)
+			firstPhase[v] = int32(math.Ceil(endTime / phaseLen))
+			record(trace.KindFirstReceive, endTime, v, from)
+			if state.OnFirstReceive(v, from, d, ctx, rng) {
+				scheduleTx(v, endTime)
+			}
+		} else if pendingTx[v] && !cancelled[v] {
+			if !state.OnDuplicate(v, from, d, ctx) {
+				cancelled[v] = true
+				record(trace.KindCancel, endTime, v, from)
+			}
+		}
+		return true
+	}
+
+	transmit := func(u int32) {
+		start := eng.Now()
+		end := start + 1
+		transmitting[u] = true
+		broadcasts++
+		txTimes = append(txTimes, start)
+		record(trace.KindTx, start, u, -1)
+		if cfg.Model == channel.CFM {
+			// Collision-free: every neighbour decodes at transmission
+			// end, no corruption bookkeeping needed.
+			eng.At(end, desim.PriorityEnd, func() {
+				transmitting[u] = false
+				delivered := 0
+				for _, v := range dep.Neighbors[u] {
+					if deliverTo(v, u, end) {
+						delivered++
+					}
+				}
+				if deg := dep.Degree(int(u)); deg > 0 {
+					succSum += float64(delivered) / float64(deg)
+				}
+				succN++
+			})
+			return
+		}
+		// Reception bookkeeping at in-range receivers.
+		for _, v := range dep.Neighbors[u] {
+			if rxCount[v] == 0 {
+				currentTx[v] = u
+				corrupted[v] = senseCnt[v] > 0
+			} else {
+				corrupted[v] = true
+			}
+			rxCount[v]++
+		}
+		if cfg.Model == channel.CAMCarrierSense {
+			for _, v := range dep.Sensing[u] {
+				senseCnt[v]++
+				if rxCount[v] > 0 {
+					corrupted[v] = true
+				}
+			}
+		}
+		eng.At(end, desim.PriorityEnd, func() {
+			transmitting[u] = false
+			delivered := 0
+			for _, v := range dep.Neighbors[u] {
+				rxCount[v]--
+				if rxCount[v] == 0 {
+					if !corrupted[v] && currentTx[v] == u {
+						if deliverTo(v, u, end) {
+							delivered++
+						}
+					} else {
+						record(trace.KindCollision, end, v, -1)
+					}
+					corrupted[v] = false
+				}
+			}
+			if cfg.Model == channel.CAMCarrierSense {
+				for _, v := range dep.Sensing[u] {
+					senseCnt[v]--
+				}
+			}
+			if deg := dep.Degree(int(u)); deg > 0 {
+				succSum += float64(delivered) / float64(deg)
+			}
+			succN++
+		})
+	}
+
+	scheduleTx = func(u int32, t float64) {
+		// First phase boundary of node u at or after t.
+		k := math.Ceil((t - offset[u]) / phaseLen)
+		if k < 0 {
+			k = 0
+		}
+		start := offset[u] + k*phaseLen
+		if start < t {
+			start += phaseLen
+		}
+		slot := float64(rng.Intn(cfg.S))
+		at := start + slot
+		if at >= horizon {
+			return
+		}
+		pendingTx[u] = true
+		eng.At(at, desim.PriorityStart, func() {
+			pendingTx[u] = false
+			if cancelled[u] {
+				return
+			}
+			transmit(u)
+		})
+	}
+
+	// Kick off: the source broadcasts in a random slot of its phase 1.
+	scheduleTx(0, offset[0])
+	eng.RunUntil(horizon)
+
+	res := &Result{
+		N:          n,
+		Reached:    reached,
+		Broadcasts: broadcasts,
+		Connected:  dep.ReachableFromSource(),
+	}
+	if succN > 0 {
+		res.SuccessRate = succSum / float64(succN)
+	}
+	res.Timeline = buildTimeline(n, phaseLen, rxTimes, txTimes)
+	res.PhaseNew = bucketByPhase(rxTimes, phaseLen)
+	fillRingStats(res, dep, firstPhase)
+	return res, nil
+}
+
+// buildTimeline converts event times (in slots) into the shared
+// phase-boundary timeline shape.
+func buildTimeline(n int, phaseLen float64, rxTimes, txTimes []float64) (tl metrics.Timeline) {
+	sort.Float64s(rxTimes)
+	sort.Float64s(txTimes)
+	maxT := 0.0
+	if len(rxTimes) > 0 {
+		maxT = rxTimes[len(rxTimes)-1]
+	}
+	if len(txTimes) > 0 && txTimes[len(txTimes)-1]+1 > maxT {
+		maxT = txTimes[len(txTimes)-1] + 1
+	}
+	phases := int(math.Ceil(maxT / phaseLen))
+	tl.N = float64(n)
+	ri, ti := 0, 0
+	for ph := 0; ph <= phases; ph++ {
+		t := float64(ph) * phaseLen
+		for ri < len(rxTimes) && rxTimes[ri] <= t {
+			ri++
+		}
+		for ti < len(txTimes) && txTimes[ti] < t {
+			ti++
+		}
+		tl.Phases = append(tl.Phases, float64(ph))
+		tl.CumReach = append(tl.CumReach, float64(1+ri)/float64(n))
+		tl.CumBroadcasts = append(tl.CumBroadcasts, float64(ti))
+	}
+	return tl
+}
+
+func bucketByPhase(rxTimes []float64, phaseLen float64) []int {
+	if len(rxTimes) == 0 {
+		return nil
+	}
+	maxT := rxTimes[len(rxTimes)-1]
+	out := make([]int, int(math.Ceil(maxT/phaseLen))+1)
+	for _, t := range rxTimes {
+		idx := int(math.Ceil(t/phaseLen)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(out) {
+			idx = len(out) - 1
+		}
+		out[idx]++
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/protocol"
+)
+
+func asyncCfg(rho, p float64, seed int64) Config {
+	cfg := paperCfg(rho, p, seed)
+	cfg.Async = true
+	return cfg
+}
+
+func TestAsyncTimelineValid(t *testing.T) {
+	res := mustRun(t, asyncCfg(40, 0.3, 1))
+	if !res.Timeline.Valid() {
+		t.Fatalf("invalid async timeline %+v", res.Timeline)
+	}
+}
+
+func TestAsyncDeterministicForSeed(t *testing.T) {
+	a := mustRun(t, asyncCfg(40, 0.3, 2))
+	b := mustRun(t, asyncCfg(40, 0.3, 2))
+	if a.Reached != b.Reached || a.Broadcasts != b.Broadcasts {
+		t.Fatalf("async same-seed runs diverged")
+	}
+}
+
+func TestAsyncCFMFloodingReachesComponent(t *testing.T) {
+	cfg := asyncCfg(30, 1, 3)
+	cfg.Model = channel.CFM
+	cfg.Protocol = protocol.Flooding{}
+	res := mustRun(t, cfg)
+	if res.Reached != res.Connected {
+		t.Fatalf("async CFM flooding reached %d of %d", res.Reached, res.Connected)
+	}
+}
+
+func TestAsyncReachedConsistentWithTimeline(t *testing.T) {
+	res := mustRun(t, asyncCfg(50, 0.4, 4))
+	got := res.Timeline.FinalReachability()
+	want := float64(res.Reached) / float64(res.N)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("timeline reach %v vs counted %v", got, want)
+	}
+	if res.Timeline.TotalBroadcasts() != float64(res.Broadcasts) {
+		t.Fatalf("timeline broadcasts %v vs counted %d",
+			res.Timeline.TotalBroadcasts(), res.Broadcasts)
+	}
+}
+
+func TestAsyncMatchesSyncOnAverage(t *testing.T) {
+	// The paper analyses the aligned case but argues the algorithm
+	// tolerates asynchrony; reachability should be in the same
+	// ballpark. Average several seeds of each.
+	avg := func(async bool) float64 {
+		sum := 0.0
+		for seed := int64(0); seed < 6; seed++ {
+			cfg := paperCfg(60, 0.2, seed)
+			cfg.Async = async
+			sum += mustRun(t, cfg).Timeline.ReachabilityAtPhase(6)
+		}
+		return sum / 6
+	}
+	s, a := avg(false), avg(true)
+	if math.Abs(s-a) > 0.25 {
+		t.Fatalf("sync %v and async %v reachability diverge too much", s, a)
+	}
+}
+
+func TestAsyncBellCurve(t *testing.T) {
+	reach := func(p float64) float64 {
+		sum := 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			sum += mustRun(t, asyncCfg(100, p, seed)).Timeline.ReachabilityAtPhase(6)
+		}
+		return sum / 3
+	}
+	low, mid, flood := reach(0.02), reach(0.15), reach(1)
+	if !(mid > low && mid > flood) {
+		t.Fatalf("async bell curve missing: %v %v %v", low, mid, flood)
+	}
+}
+
+func TestAsyncCarrierSense(t *testing.T) {
+	cfg := asyncCfg(60, 0.3, 5)
+	cfg.Model = channel.CAMCarrierSense
+	res := mustRun(t, cfg)
+	if !res.Timeline.Valid() {
+		t.Fatal("carrier-sense async timeline invalid")
+	}
+	plain := mustRun(t, asyncCfg(60, 0.3, 5))
+	if res.Reached > plain.Reached {
+		t.Fatalf("carrier sense should not reach more: %d vs %d", res.Reached, plain.Reached)
+	}
+}
+
+func TestAsyncSuccessRateBounded(t *testing.T) {
+	cfg := asyncCfg(80, 1, 6)
+	cfg.Protocol = protocol.Flooding{}
+	res := mustRun(t, cfg)
+	if res.SuccessRate < 0 || res.SuccessRate > 1 {
+		t.Fatalf("async success rate %v outside [0,1]", res.SuccessRate)
+	}
+}
+
+func TestAsyncMaxPhasesHorizon(t *testing.T) {
+	cfg := asyncCfg(60, 1, 7)
+	cfg.Protocol = protocol.Flooding{}
+	cfg.MaxPhases = 3
+	res := mustRun(t, cfg)
+	if res.Timeline.Duration() > 4 {
+		t.Fatalf("async duration %v beyond horizon+1", res.Timeline.Duration())
+	}
+}
+
+func BenchmarkRunAsyncRho60(b *testing.B) {
+	cfg := asyncCfg(60, 0.2, 1)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

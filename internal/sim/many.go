@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sensornet/internal/metrics"
+)
+
+// Aggregate is the cross-run summary RunMany produces: per-run metric
+// samples plus the pointwise-mean timeline, mirroring how the paper
+// averages 30 random runs per configuration.
+type Aggregate struct {
+	// Runs holds the individual run results, in seed order.
+	Runs []*Result
+	// Mean is the pointwise-average timeline over all runs.
+	Mean metrics.Timeline
+}
+
+// RunMany executes `runs` independent simulations with seeds Seed,
+// Seed+1, ... and aggregates them. Runs execute in parallel, bounded by
+// `workers` (<= 0 means one worker per run, capped internally by the
+// scheduler).
+func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("sim: runs must be > 0, got %d", runs)
+	}
+	if workers <= 0 || workers > runs {
+		workers = runs
+	}
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	sem := make(chan struct{}, workers)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			results[i], errs[i] = Run(c)
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg := &Aggregate{Runs: results}
+	tls := make([]metrics.Timeline, runs)
+	for i, r := range results {
+		tls[i] = r.Timeline
+	}
+	agg.Mean = metrics.MeanTimeline(tls)
+	return agg, nil
+}
+
+// ReachabilityAtPhase returns the per-run samples of metric 1.
+func (a *Aggregate) ReachabilityAtPhase(l float64) []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		out[i] = r.Timeline.ReachabilityAtPhase(l)
+	}
+	return out
+}
+
+// LatencyToReach returns the per-run samples of metric 3; infeasible
+// runs yield NaN.
+func (a *Aggregate) LatencyToReach(target float64) []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		if l, ok := r.Timeline.LatencyToReach(target); ok {
+			out[i] = l
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// BroadcastsToReach returns the per-run samples of metric 4; infeasible
+// runs yield NaN.
+func (a *Aggregate) BroadcastsToReach(target float64) []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		if b, ok := r.Timeline.BroadcastsToReach(target); ok {
+			out[i] = b
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// ReachabilityAtBudget returns the per-run samples of metric 5.
+func (a *Aggregate) ReachabilityAtBudget(budget float64) []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		out[i] = r.Timeline.ReachabilityAtBudget(budget)
+	}
+	return out
+}
+
+// SuccessRates returns the per-run mean broadcast success rates.
+func (a *Aggregate) SuccessRates() []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		out[i] = r.SuccessRate
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+// Package sim is the network simulator used to validate the analytical
+// framework — the role GloMoSim plays in the paper's §5, rebuilt on the
+// repository's own deployment, channel, and protocol substrates.
+//
+// Executions follow the PB_CAM schedule of §4.2: time is organised in
+// phases of S slots; the source transmits in phase 1; a node that first
+// decodes the packet runs its protocol decision and, if positive,
+// transmits once in a uniformly random slot of its next phase. The
+// default engine assumes network-wide slot alignment (the assumption the
+// paper makes for analysis); the asynchronous engine gives every node a
+// random phase offset and resolves collisions in continuous time on a
+// discrete-event kernel, exercising the paper's remark that the
+// algorithm itself needs no synchronisation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+	"sensornet/internal/metrics"
+	"sensornet/internal/protocol"
+	"sensornet/internal/trace"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// P, R, Rho, N describe the deployment (see deploy.Config).
+	P   int
+	R   float64
+	Rho float64
+	N   int
+	// S is the number of slots per phase (paper: 3).
+	S int
+	// Model is the link-level communication model (default CAM).
+	Model channel.Model
+	// Protocol is the broadcast scheme (default Flooding).
+	Protocol protocol.Protocol
+	// Seed drives deployment sampling and every protocol coin flip.
+	Seed int64
+	// Async enables per-node random phase offsets with continuous-time
+	// collision resolution.
+	Async bool
+	// MaxPhases caps the execution length (default 1000).
+	MaxPhases int
+	// Deployment, when non-nil, is used instead of sampling a fresh
+	// one (the deployment's own parameters then take precedence).
+	Deployment *deploy.Deployment
+	// Tracer, when non-nil, receives every channel event (see the
+	// trace package). Tracing adds per-event overhead; leave nil in
+	// parameter sweeps.
+	Tracer trace.Tracer
+}
+
+func (c *Config) applyDefaults() {
+	if c.R == 0 {
+		c.R = 1
+	}
+	if c.MaxPhases == 0 {
+		c.MaxPhases = 1000
+	}
+	if c.Protocol == nil {
+		c.Protocol = protocol.Flooding{}
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.S < 1 {
+		return errors.New("sim: S must be >= 1")
+	}
+	if c.Deployment == nil {
+		dc := deploy.Config{P: c.P, R: c.R, Rho: c.Rho, N: c.N}
+		if err := dc.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if c.MaxPhases < 0 {
+		return errors.New("sim: MaxPhases must be >= 0")
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Timeline carries cumulative reachability and broadcast counts at
+	// phase boundaries, in the shared metrics shape.
+	Timeline metrics.Timeline
+	// N is the node count, Reached the nodes holding the packet at
+	// termination (source included), Broadcasts the transmissions
+	// performed.
+	N          int
+	Reached    int
+	Broadcasts int
+	// Connected is the number of nodes reachable from the source in
+	// the communication graph: the ceiling on Reached.
+	Connected int
+	// SuccessRate is the mean, over transmissions, of the fraction of
+	// the transmitter's neighbours that decoded the packet (Fig. 12's
+	// measured quantity). NaN-free: transmissions with no neighbours
+	// count as zero-success.
+	SuccessRate float64
+	// PhaseNew[i] is the number of first receptions during phase i+1.
+	PhaseNew []int
+	// RingReached[j-1] counts the nodes of ring j holding the packet
+	// at termination (the source counts towards ring 1); RingNodes is
+	// the ring population. Together they resolve the broadcast
+	// wavefront by ring, the quantity the analytic recursion predicts.
+	RingReached []int
+	RingNodes   []int
+	// RingArrival[j-1] is the mean phase of first reception in ring j
+	// (NaN for unreached rings).
+	RingArrival []float64
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dep := cfg.Deployment
+	if dep == nil {
+		var err error
+		dep, err = deploy.Generate(deploy.Config{
+			P: cfg.P, R: cfg.R, Rho: cfg.Rho, N: cfg.N,
+			WithSensing: cfg.Model == channel.CAMCarrierSense,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Async {
+		return runAsync(cfg, dep, rng)
+	}
+	return runSync(cfg, dep, rng)
+}
+
+// runSync executes the slot-aligned engine.
+func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error) {
+	resolver, err := channel.NewResolver(cfg.Model, dep)
+	if err != nil {
+		return nil, err
+	}
+	n := dep.N()
+	state := cfg.Protocol.NewState(n)
+
+	const noTx = -1
+	txSlot := make([]int32, n) // slot of the pending transmission
+	txPhase := make([]int32, n)
+	hasPacket := make([]bool, n)
+	cancelled := make([]bool, n)
+	for i := range txSlot {
+		txSlot[i] = noTx
+	}
+
+	firstPhase := make([]int32, n)
+	for i := range firstPhase {
+		firstPhase[i] = -1
+	}
+	firstPhase[0] = 0
+
+	res := &Result{N: n, Connected: dep.ReachableFromSource()}
+	tl := &res.Timeline
+	tl.N = float64(n)
+	sample := func(phase int, reached, broadcasts int) {
+		tl.Phases = append(tl.Phases, float64(phase))
+		tl.CumReach = append(tl.CumReach, float64(reached)/float64(n))
+		tl.CumBroadcasts = append(tl.CumBroadcasts, float64(broadcasts))
+	}
+
+	// Phase 0 anchor: only the source holds the packet.
+	hasPacket[0] = true
+	reached, broadcasts := 1, 0
+	sample(0, reached, broadcasts)
+
+	// The source transmits in a random slot of phase 1.
+	txSlot[0] = int32(rng.Intn(cfg.S))
+	txPhase[0] = 1
+	pendingCount := 1
+
+	var succSum float64
+	var succN int
+	deliveredBy := make([]int32, n) // per-slot scratch, reset after use
+	bySlot := make([][]int32, cfg.S)
+
+	for phase := 1; phase <= cfg.MaxPhases && pendingCount > 0; phase++ {
+		for s := range bySlot {
+			bySlot[s] = bySlot[s][:0]
+		}
+		// Collect this phase's transmitters (cancellation may still
+		// strike before their slot).
+		for i := 0; i < n; i++ {
+			if txSlot[i] != noTx && int(txPhase[i]) == phase {
+				bySlot[txSlot[i]] = append(bySlot[txSlot[i]], int32(i))
+			}
+		}
+		phaseNew := 0
+		for s := 0; s < cfg.S; s++ {
+			// Drop transmissions cancelled by duplicates heard in
+			// earlier slots.
+			txs := bySlot[s][:0]
+			for _, id := range bySlot[s] {
+				if !cancelled[id] {
+					txs = append(txs, id)
+				}
+				txSlot[id] = noTx
+			}
+			if len(txs) == 0 {
+				continue
+			}
+			broadcasts += len(txs)
+
+			record := func(k trace.Kind, node, other int32) {
+				if cfg.Tracer != nil {
+					cfg.Tracer.Record(trace.Event{
+						Kind: k, Phase: int32(phase), Slot: int32(s),
+						Node: node, Other: other,
+					})
+				}
+			}
+			if cfg.Tracer != nil {
+				for _, id := range txs {
+					record(trace.KindTx, id, -1)
+				}
+			}
+			type rx struct {
+				to, from int32
+			}
+			var firstRx []rx
+			var collided func(to, heard int32)
+			if cfg.Tracer != nil {
+				collided = func(to, heard int32) {
+					record(trace.KindCollision, to, heard)
+				}
+			}
+			resolver.ResolveSlotTraced(txs, func(from, to int32) {
+				deliveredBy[from]++
+				record(trace.KindDeliver, to, from)
+				if !hasPacket[to] {
+					firstRx = append(firstRx, rx{to, from})
+					hasPacket[to] = true
+					record(trace.KindFirstReceive, to, from)
+				} else if txSlot[to] != noTx && !cancelled[to] {
+					d := dep.Pos[to].Dist(dep.Pos[from])
+					ctx := protocol.Ctx{Phase: int32(phase), Degree: dep.Degree(int(to))}
+					if !state.OnDuplicate(to, from, d, ctx) {
+						cancelled[to] = true
+						pendingCount--
+						record(trace.KindCancel, to, from)
+					}
+				}
+			}, collided)
+			// Every transmission contributes to the success rate, the
+			// zero-delivery ones included (Fig. 12's measured ratio).
+			for _, id := range txs {
+				if deg := dep.Degree(int(id)); deg > 0 {
+					succSum += float64(deliveredBy[id]) / float64(deg)
+				}
+				succN++
+				deliveredBy[id] = 0
+			}
+
+			for _, r := range firstRx {
+				reached++
+				phaseNew++
+				firstPhase[r.to] = int32(phase)
+				d := dep.Pos[r.to].Dist(dep.Pos[r.from])
+				ctx := protocol.Ctx{Phase: int32(phase), Degree: dep.Degree(int(r.to))}
+				if state.OnFirstReceive(r.to, r.from, d, ctx, rng) {
+					txSlot[r.to] = int32(rng.Intn(cfg.S))
+					txPhase[r.to] = int32(phase + 1)
+					pendingCount++
+				}
+			}
+		}
+		// Pending transmissions for this phase have all fired or been
+		// dropped; recount what remains for the next phase.
+		pendingCount = 0
+		for i := 0; i < n; i++ {
+			if txSlot[i] != noTx && !cancelled[i] {
+				pendingCount++
+			}
+		}
+		res.PhaseNew = append(res.PhaseNew, phaseNew)
+		sample(phase, reached, broadcasts)
+	}
+
+	res.Reached = reached
+	res.Broadcasts = broadcasts
+	if succN > 0 {
+		res.SuccessRate = succSum / float64(succN)
+	}
+	fillRingStats(res, dep, firstPhase)
+	return res, nil
+}
+
+// fillRingStats resolves first-reception phases by ring, producing the
+// simulated counterpart of the analytic n_j^i wavefront.
+func fillRingStats(res *Result, dep *deploy.Deployment, firstPhase []int32) {
+	p := int(math.Round(dep.FieldRadius / dep.R))
+	if p < 1 {
+		p = 1
+	}
+	res.RingReached = make([]int, p)
+	res.RingNodes = make([]int, p)
+	res.RingArrival = make([]float64, p)
+	sum := make([]float64, p)
+	cnt := make([]int, p)
+	for i := range dep.Pos {
+		j := dep.RingOf(i) - 1
+		res.RingNodes[j]++
+		if firstPhase[i] >= 0 {
+			res.RingReached[j]++
+			sum[j] += float64(firstPhase[i])
+			cnt[j]++
+		}
+	}
+	for j := 0; j < p; j++ {
+		if cnt[j] > 0 {
+			res.RingArrival[j] = sum[j] / float64(cnt[j])
+		} else {
+			res.RingArrival[j] = math.NaN()
+		}
+	}
+}

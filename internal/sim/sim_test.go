@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+	"sensornet/internal/protocol"
+)
+
+func paperCfg(rho, p float64, seed int64) Config {
+	return Config{
+		P: 5, S: 3, Rho: rho,
+		Model:    channel.CAM,
+		Protocol: protocol.Probability{P: p},
+		Seed:     seed,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{S: 0, P: 5, Rho: 20},
+		{S: 3, P: 0, Rho: 20},
+		{S: 3, P: 5, Rho: -1},
+		{S: 3, P: 5, Rho: 20, MaxPhases: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestTimelineValidAndConsistent(t *testing.T) {
+	res := mustRun(t, paperCfg(40, 0.3, 1))
+	tl := res.Timeline
+	if !tl.Valid() {
+		t.Fatalf("invalid timeline %+v", tl)
+	}
+	if got := tl.FinalReachability(); math.Abs(got-float64(res.Reached)/float64(res.N)) > 1e-9 {
+		t.Fatalf("timeline reach %v vs counted %v", got, float64(res.Reached)/float64(res.N))
+	}
+	if got := tl.TotalBroadcasts(); got != float64(res.Broadcasts) {
+		t.Fatalf("timeline broadcasts %v vs counted %d", got, res.Broadcasts)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := mustRun(t, paperCfg(40, 0.3, 7))
+	b := mustRun(t, paperCfg(40, 0.3, 7))
+	if a.Reached != b.Reached || a.Broadcasts != b.Broadcasts {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := mustRun(t, paperCfg(40, 0.3, 8))
+	if a.Reached == c.Reached && a.Broadcasts == c.Broadcasts && a.SuccessRate == c.SuccessRate {
+		t.Fatal("different seeds suspiciously identical")
+	}
+}
+
+func TestReachedNeverExceedsConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		res := mustRun(t, paperCfg(30, 1, seed))
+		if res.Reached > res.Connected {
+			t.Fatalf("reached %d > connected %d", res.Reached, res.Connected)
+		}
+	}
+}
+
+func TestZeroProbabilityOnlySourceBroadcasts(t *testing.T) {
+	res := mustRun(t, paperCfg(40, 0, 3))
+	if res.Broadcasts != 1 {
+		t.Fatalf("broadcasts = %d, want 1", res.Broadcasts)
+	}
+	// Everyone in range of the source receives its lone broadcast.
+	if res.Reached < 2 {
+		t.Fatalf("reached = %d, expected the source's neighbours", res.Reached)
+	}
+}
+
+func TestFloodingCFMReachesWholeComponent(t *testing.T) {
+	cfg := paperCfg(30, 1, 4)
+	cfg.Model = channel.CFM
+	cfg.Protocol = protocol.Flooding{}
+	res := mustRun(t, cfg)
+	if res.Reached != res.Connected {
+		t.Fatalf("CFM flooding reached %d of %d connected", res.Reached, res.Connected)
+	}
+	// Every reached node broadcasts exactly once under flooding.
+	if res.Broadcasts != res.Reached {
+		t.Fatalf("broadcasts %d != reached %d", res.Broadcasts, res.Reached)
+	}
+}
+
+func TestCFMFloodingLatencyEqualsHopDepth(t *testing.T) {
+	// Under CFM flooding a node receives in phase = its BFS hop
+	// distance from the source, so the latency to full component
+	// coverage equals the component's eccentricity (O(P·r) in the
+	// paper's terms).
+	dep, err := deploy.Generate(deploy.Config{P: 5, Rho: 40}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperCfg(40, 1, 5)
+	cfg.Model = channel.CFM
+	cfg.Protocol = protocol.Flooding{}
+	cfg.Deployment = dep
+	res := mustRun(t, cfg)
+
+	// BFS depth of the connected component.
+	depth := make([]int, dep.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	queue := []int32{0}
+	maxDepth := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range dep.Neighbors[u] {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				if depth[v] > maxDepth {
+					maxDepth = depth[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	frac := float64(res.Reached) / float64(res.N)
+	lat, ok := res.Timeline.LatencyToReach(frac)
+	if !ok {
+		t.Fatal("final reachability must be crossed")
+	}
+	if math.Abs(lat-float64(maxDepth)) > 1e-9 {
+		t.Fatalf("CFM flooding latency %v, want BFS eccentricity %d", lat, maxDepth)
+	}
+}
+
+func TestCAMFloodingLosesToCFMAtHighDensity(t *testing.T) {
+	cfm := paperCfg(100, 1, 6)
+	cfm.Model = channel.CFM
+	cfm.Protocol = protocol.Flooding{}
+	cam := paperCfg(100, 1, 6)
+	cam.Protocol = protocol.Flooding{}
+	a := mustRun(t, cfm)
+	b := mustRun(t, cam)
+	ra := a.Timeline.ReachabilityAtPhase(5)
+	rb := b.Timeline.ReachabilityAtPhase(5)
+	if rb >= ra {
+		t.Fatalf("CAM flooding (%v) should trail CFM (%v) at rho=100", rb, ra)
+	}
+	if rb > 0.8 {
+		t.Fatalf("CAM flooding reach@5 = %v, expected collision losses", rb)
+	}
+}
+
+func TestBellCurveInProbability(t *testing.T) {
+	// Fig. 8: at high density, moderate p beats both extremes within
+	// 5 phases. Average a few seeds to de-noise.
+	reach := func(p float64) float64 {
+		sum := 0.0
+		for seed := int64(0); seed < 4; seed++ {
+			sum += mustRun(t, paperCfg(100, p, seed)).Timeline.ReachabilityAtPhase(5)
+		}
+		return sum / 4
+	}
+	low, mid, flood := reach(0.02), reach(0.15), reach(1)
+	if !(mid > low && mid > flood) {
+		t.Fatalf("no bell curve: low %v, mid %v, flood %v", low, mid, flood)
+	}
+}
+
+func TestSuccessRateWithinUnitInterval(t *testing.T) {
+	res := mustRun(t, paperCfg(60, 1, 9))
+	if res.SuccessRate < 0 || res.SuccessRate > 1 {
+		t.Fatalf("success rate %v outside [0,1]", res.SuccessRate)
+	}
+	if res.SuccessRate == 0 {
+		t.Fatal("flooding run should have some successful deliveries")
+	}
+}
+
+func TestSuccessRateFallsWithDensity(t *testing.T) {
+	rate := func(rho float64) float64 {
+		sum := 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			cfg := paperCfg(rho, 1, seed)
+			cfg.Protocol = protocol.Flooding{}
+			sum += mustRun(t, cfg).SuccessRate
+		}
+		return sum / 3
+	}
+	if !(rate(120) < rate(30)) {
+		t.Fatalf("success rate should fall with density: %v vs %v", rate(120), rate(30))
+	}
+}
+
+func TestCounterProtocolReducesBroadcasts(t *testing.T) {
+	flood := paperCfg(60, 1, 10)
+	flood.Protocol = protocol.Flooding{}
+	counter := paperCfg(60, 1, 10)
+	counter.Protocol = protocol.Counter{Threshold: 3}
+	a := mustRun(t, flood)
+	b := mustRun(t, counter)
+	if b.Broadcasts >= a.Broadcasts {
+		t.Fatalf("counter scheme should suppress: %d vs flooding %d", b.Broadcasts, a.Broadcasts)
+	}
+}
+
+func TestDistanceProtocolReducesBroadcasts(t *testing.T) {
+	flood := paperCfg(60, 1, 11)
+	flood.Protocol = protocol.Flooding{}
+	dist := paperCfg(60, 1, 11)
+	dist.Protocol = protocol.Distance{MinDist: 0.5}
+	a := mustRun(t, flood)
+	b := mustRun(t, dist)
+	if b.Broadcasts >= a.Broadcasts {
+		t.Fatalf("distance scheme should suppress: %d vs flooding %d", b.Broadcasts, a.Broadcasts)
+	}
+}
+
+func TestCarrierSenseReducesReach(t *testing.T) {
+	plain := paperCfg(80, 0.3, 12)
+	cs := paperCfg(80, 0.3, 12)
+	cs.Model = channel.CAMCarrierSense
+	a := mustRun(t, plain)
+	b := mustRun(t, cs)
+	if b.Timeline.ReachabilityAtPhase(5) > a.Timeline.ReachabilityAtPhase(5)+0.05 {
+		t.Fatalf("carrier sense should not increase reach: %v vs %v",
+			b.Timeline.ReachabilityAtPhase(5), a.Timeline.ReachabilityAtPhase(5))
+	}
+}
+
+func TestMaxPhasesCap(t *testing.T) {
+	cfg := paperCfg(60, 0.1, 13)
+	cfg.MaxPhases = 2
+	res := mustRun(t, cfg)
+	if res.Timeline.Duration() > 2 {
+		t.Fatalf("duration %v exceeds cap 2", res.Timeline.Duration())
+	}
+}
+
+func TestPhaseNewSumsToReachedMinusSource(t *testing.T) {
+	res := mustRun(t, paperCfg(50, 0.4, 14))
+	sum := 0
+	for _, v := range res.PhaseNew {
+		sum += v
+	}
+	if sum != res.Reached-1 {
+		t.Fatalf("phase receipts %d != reached-1 %d", sum, res.Reached-1)
+	}
+}
+
+func BenchmarkRunSyncRho60(b *testing.B) {
+	cfg := paperCfg(60, 0.2, 1)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSyncRho140Flooding(b *testing.B) {
+	cfg := paperCfg(140, 1, 1)
+	cfg.Protocol = protocol.Flooding{}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/protocol"
+	"sensornet/internal/trace"
+)
+
+func TestTracerCountsMatchResult(t *testing.T) {
+	var col trace.Collector
+	cfg := paperCfg(40, 0.3, 21)
+	cfg.Tracer = &col
+	res := mustRun(t, cfg)
+
+	tot := col.Totals()
+	if tot.Transmissions != res.Broadcasts {
+		t.Fatalf("traced tx %d != result broadcasts %d", tot.Transmissions, res.Broadcasts)
+	}
+	if tot.FirstReceives != res.Reached-1 {
+		t.Fatalf("traced first receives %d != reached-1 %d", tot.FirstReceives, res.Reached-1)
+	}
+	if tot.Deliveries < tot.FirstReceives {
+		t.Fatalf("deliveries %d < first receives %d", tot.Deliveries, tot.FirstReceives)
+	}
+}
+
+func TestTracerSeesCollisionsUnderFlooding(t *testing.T) {
+	var col trace.Collector
+	cfg := paperCfg(80, 1, 22)
+	cfg.Protocol = protocol.Flooding{}
+	cfg.Tracer = &col
+	mustRun(t, cfg)
+	if col.Totals().Collisions == 0 {
+		t.Fatal("dense flooding must produce collisions")
+	}
+	if r := col.CollisionRate(); r <= 0 || r >= 1 {
+		t.Fatalf("collision rate %v implausible", r)
+	}
+}
+
+func TestTracerCFMNeverCollides(t *testing.T) {
+	var col trace.Collector
+	cfg := paperCfg(60, 1, 23)
+	cfg.Model = channel.CFM
+	cfg.Protocol = protocol.Flooding{}
+	cfg.Tracer = &col
+	mustRun(t, cfg)
+	if col.Totals().Collisions != 0 {
+		t.Fatalf("CFM recorded %d collisions", col.Totals().Collisions)
+	}
+}
+
+func TestTracerCollisionRateGrowsWithP(t *testing.T) {
+	rate := func(p float64) float64 {
+		var col trace.Collector
+		cfg := paperCfg(80, p, 24)
+		cfg.Tracer = &col
+		mustRun(t, cfg)
+		return col.CollisionRate()
+	}
+	lo, hi := rate(0.05), rate(1)
+	if hi <= lo {
+		t.Fatalf("collision rate should grow with p: %v vs %v", lo, hi)
+	}
+}
+
+func TestTracerRecordsCancels(t *testing.T) {
+	var col trace.Collector
+	cfg := paperCfg(60, 1, 25)
+	cfg.Protocol = protocol.Counter{Threshold: 2}
+	cfg.Tracer = &col
+	mustRun(t, cfg)
+	if col.Totals().Cancels == 0 {
+		t.Fatal("counter suppression should record cancels")
+	}
+}
+
+func TestTracerAsyncEngine(t *testing.T) {
+	var col trace.Collector
+	cfg := asyncCfg(60, 0.3, 26)
+	cfg.Tracer = &col
+	res := mustRun(t, cfg)
+	tot := col.Totals()
+	if tot.Transmissions != res.Broadcasts {
+		t.Fatalf("async traced tx %d != broadcasts %d", tot.Transmissions, res.Broadcasts)
+	}
+	if tot.FirstReceives != res.Reached-1 {
+		t.Fatalf("async first receives %d != reached-1 %d", tot.FirstReceives, res.Reached-1)
+	}
+}
+
+func TestTracerNilByDefaultIsFree(t *testing.T) {
+	// Just assert the default path still works (no tracer).
+	res := mustRun(t, paperCfg(30, 0.3, 27))
+	if res.Broadcasts == 0 {
+		t.Fatal("run with nil tracer broken")
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace records what happens on the channel during a
+// simulation run: transmissions, successful deliveries, and collision
+// losses. The collision profile is the mechanism behind every headline
+// result in the paper — reachability bells over p because the delivery
+// rate collapses once concurrent transmissions saturate the slots — and
+// this package makes that mechanism measurable instead of inferred.
+package trace
+
+import "fmt"
+
+// Kind labels a channel event.
+type Kind uint8
+
+const (
+	// KindTx is one packet transmission (Node = transmitter).
+	KindTx Kind = iota
+	// KindDeliver is a successful reception (Node = receiver, Other =
+	// transmitter).
+	KindDeliver
+	// KindCollision is a destroyed reception opportunity (Node =
+	// receiver, Other = number of simultaneous transmitters heard).
+	KindCollision
+	// KindFirstReceive marks a node's first successful reception of
+	// the broadcast payload (Node = receiver, Other = transmitter).
+	KindFirstReceive
+	// KindCancel marks a suppressed pending rebroadcast (Node = the
+	// suppressed node, Other = the transmitter that caused it).
+	KindCancel
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTx:
+		return "tx"
+	case KindDeliver:
+		return "deliver"
+	case KindCollision:
+		return "collision"
+	case KindFirstReceive:
+		return "first-receive"
+	case KindCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one channel event, stamped with its phase and slot.
+type Event struct {
+	Kind  Kind
+	Phase int32
+	Slot  int32
+	Node  int32
+	Other int32
+}
+
+// Tracer consumes simulation events. Implementations must be cheap:
+// the simulator calls Record inside its hot loop.
+type Tracer interface {
+	Record(Event)
+}
+
+// PhaseStats aggregates one phase's channel activity.
+type PhaseStats struct {
+	Transmissions int
+	Deliveries    int
+	Collisions    int // destroyed reception opportunities
+	FirstReceives int
+	Cancels       int
+}
+
+// Collector is a bounded in-memory Tracer that keeps per-phase
+// statistics and (up to Cap) raw events. The zero value collects
+// statistics only.
+type Collector struct {
+	// Cap bounds the retained raw events; 0 retains none.
+	Cap int
+
+	events  []Event
+	dropped int
+	phases  []PhaseStats
+}
+
+var _ Tracer = (*Collector)(nil)
+
+// Record implements Tracer.
+func (c *Collector) Record(e Event) {
+	for int(e.Phase) >= len(c.phases) {
+		c.phases = append(c.phases, PhaseStats{})
+	}
+	ps := &c.phases[e.Phase]
+	switch e.Kind {
+	case KindTx:
+		ps.Transmissions++
+	case KindDeliver:
+		ps.Deliveries++
+	case KindCollision:
+		ps.Collisions++
+	case KindFirstReceive:
+		ps.FirstReceives++
+	case KindCancel:
+		ps.Cancels++
+	}
+	if len(c.events) < c.Cap {
+		c.events = append(c.events, e)
+	} else if c.Cap > 0 {
+		c.dropped++
+	}
+}
+
+// Events returns the retained raw events.
+func (c *Collector) Events() []Event { return c.events }
+
+// Dropped returns how many events exceeded Cap.
+func (c *Collector) Dropped() int { return c.dropped }
+
+// Phases returns the per-phase statistics (index = phase number).
+func (c *Collector) Phases() []PhaseStats { return c.phases }
+
+// Totals sums the per-phase statistics.
+func (c *Collector) Totals() PhaseStats {
+	var t PhaseStats
+	for _, p := range c.phases {
+		t.Transmissions += p.Transmissions
+		t.Deliveries += p.Deliveries
+		t.Collisions += p.Collisions
+		t.FirstReceives += p.FirstReceives
+		t.Cancels += p.Cancels
+	}
+	return t
+}
+
+// CollisionRate returns the fraction of reception opportunities lost to
+// collisions: Collisions / (Collisions + Deliveries). It returns 0 when
+// the channel was silent.
+func (c *Collector) CollisionRate() float64 {
+	t := c.Totals()
+	den := t.Collisions + t.Deliveries
+	if den == 0 {
+		return 0
+	}
+	return float64(t.Collisions) / float64(den)
+}

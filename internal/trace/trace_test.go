@@ -1,0 +1,80 @@
+package trace
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindTx: "tx", KindDeliver: "deliver", KindCollision: "collision",
+		KindFirstReceive: "first-receive", KindCancel: "cancel",
+		Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCollectorStats(t *testing.T) {
+	var c Collector
+	c.Record(Event{Kind: KindTx, Phase: 1, Node: 3})
+	c.Record(Event{Kind: KindDeliver, Phase: 1, Node: 4, Other: 3})
+	c.Record(Event{Kind: KindCollision, Phase: 2, Node: 5, Other: 2})
+	c.Record(Event{Kind: KindFirstReceive, Phase: 1, Node: 4, Other: 3})
+	c.Record(Event{Kind: KindCancel, Phase: 2, Node: 6, Other: 3})
+
+	phases := c.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (0..2)", len(phases))
+	}
+	if phases[1].Transmissions != 1 || phases[1].Deliveries != 1 ||
+		phases[1].FirstReceives != 1 {
+		t.Fatalf("phase 1 stats wrong: %+v", phases[1])
+	}
+	if phases[2].Collisions != 1 || phases[2].Cancels != 1 {
+		t.Fatalf("phase 2 stats wrong: %+v", phases[2])
+	}
+	tot := c.Totals()
+	if tot.Transmissions != 1 || tot.Deliveries != 1 || tot.Collisions != 1 ||
+		tot.FirstReceives != 1 || tot.Cancels != 1 {
+		t.Fatalf("totals wrong: %+v", tot)
+	}
+}
+
+func TestCollectorCollisionRate(t *testing.T) {
+	var c Collector
+	if c.CollisionRate() != 0 {
+		t.Fatal("silent channel should have rate 0")
+	}
+	c.Record(Event{Kind: KindDeliver})
+	c.Record(Event{Kind: KindCollision})
+	c.Record(Event{Kind: KindCollision})
+	if got := c.CollisionRate(); got != 2.0/3 {
+		t.Fatalf("collision rate = %v, want 2/3", got)
+	}
+}
+
+func TestCollectorEventCap(t *testing.T) {
+	c := Collector{Cap: 2}
+	for i := 0; i < 5; i++ {
+		c.Record(Event{Kind: KindTx, Node: int32(i)})
+	}
+	if len(c.Events()) != 2 {
+		t.Fatalf("retained %d events, want 2", len(c.Events()))
+	}
+	if c.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", c.Dropped())
+	}
+	// Stats still count everything.
+	if c.Totals().Transmissions != 5 {
+		t.Fatalf("stats should see all events: %+v", c.Totals())
+	}
+}
+
+func TestCollectorZeroCapRetainsNothing(t *testing.T) {
+	var c Collector
+	c.Record(Event{Kind: KindTx})
+	if len(c.Events()) != 0 || c.Dropped() != 0 {
+		t.Fatal("zero-cap collector should retain nothing and not count drops")
+	}
+}

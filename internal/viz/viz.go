@@ -1,0 +1,150 @@
+// Package viz renders series as plain-text charts, so the experiment
+// reports can show the paper's curves — bell-shaped reachability, the
+// falling optimal probability — directly in a terminal or a text file.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// glyphs mark successive series in a chart.
+var glyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Chart is a fixed-size text canvas with data-space scaling.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	XLabel string
+	YLabel string
+
+	names  []string
+	series map[string][2][]float64 // name -> (xs, ys)
+}
+
+// NewChart returns a chart with default geometry.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 60, Height: 16,
+		series: map[string][2][]float64{}}
+}
+
+// Add registers one named series. xs and ys must have equal lengths;
+// NaN entries are skipped at render time.
+func (c *Chart) Add(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("viz: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	if _, dup := c.series[name]; dup {
+		return fmt.Errorf("viz: duplicate series %q", name)
+	}
+	c.names = append(c.names, name)
+	c.series[name] = [2][]float64{xs, ys}
+	return nil
+}
+
+// bounds computes the finite data range across all series.
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64, ok bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		xs, ys := s[0], s[1]
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+				continue
+			}
+			xMin = math.Min(xMin, xs[i])
+			xMax = math.Max(xMax, xs[i])
+			yMin = math.Min(yMin, ys[i])
+			yMax = math.Max(yMax, ys[i])
+			ok = true
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, ok
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w < 10 {
+		w = 10
+	}
+	if h < 4 {
+		h = 4
+	}
+	xMin, xMax, yMin, yMax, ok := c.bounds()
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	names := append([]string(nil), c.names...)
+	sort.Strings(names)
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		s := c.series[name]
+		xs, ys := s[0], s[1]
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+				continue
+			}
+			col := int(math.Round((xs[i] - xMin) / (xMax - xMin) * float64(w-1)))
+			row := h - 1 - int(math.Round((ys[i]-yMin)/(yMax-yMin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	yTop := fmt.Sprintf("%.3g", yMax)
+	yBot := fmt.Sprintf("%.3g", yMin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	xl := fmt.Sprintf("%.3g", xMin)
+	xr := fmt.Sprintf("%.3g", xMax)
+	gap := w - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s %s%s%s\n", strings.Repeat(" ", pad), xl,
+		strings.Repeat(" ", gap), xr)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s x: %s  y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	for si, name := range names {
+		fmt.Fprintf(&b, "%s %c %s\n", strings.Repeat(" ", pad), glyphs[si%len(glyphs)], name)
+	}
+	return b.String()
+}

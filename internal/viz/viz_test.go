@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasicRender(t *testing.T) {
+	c := NewChart("demo")
+	if err := c.Add("line", []float64{0, 1, 2}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("glyph missing")
+	}
+	if !strings.Contains(out, "line") {
+		t.Fatal("legend missing")
+	}
+	// Axis labels carry the data range.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Fatal("axis range labels missing")
+	}
+}
+
+func TestChartRisingLinePlacement(t *testing.T) {
+	c := NewChart("")
+	c.Width, c.Height = 20, 10
+	_ = c.Add("up", []float64{0, 1}, []float64{0, 1})
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	// First plot row holds the maximum (right end), the last plot row
+	// the minimum (left end).
+	top, bottom := lines[0], lines[9]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("top row missing the max point: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("bottom row missing the min point: %q", bottom)
+	}
+	if strings.Index(top, "*") <= strings.Index(bottom, "*") {
+		t.Fatal("rising line should place max to the right of min")
+	}
+}
+
+func TestChartMultipleSeriesGlyphs(t *testing.T) {
+	c := NewChart("two")
+	_ = c.Add("a", []float64{0, 1}, []float64{0, 0.2})
+	_ = c.Add("b", []float64{0, 1}, []float64{1, 0.8})
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two glyphs:\n%s", out)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	c := NewChart("bad")
+	if err := c.Add("x", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := c.Add("dup", []float64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("dup", []float64{1}, []float64{1}); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+}
+
+func TestChartNoData(t *testing.T) {
+	c := NewChart("empty")
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+	_ = c.Add("nan", []float64{math.NaN()}, []float64{math.NaN()})
+	if out := c.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN chart should say so:\n%s", out)
+	}
+}
+
+func TestChartNaNPointsSkipped(t *testing.T) {
+	c := NewChart("gaps")
+	_ = c.Add("s", []float64{0, 1, 2}, []float64{0, math.NaN(), 2})
+	out := c.Render()
+	// Two plotted points plus one legend glyph.
+	if strings.Count(out, "*") != 3 {
+		t.Fatalf("expected 2 plotted points + legend:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	c := NewChart("flat")
+	_ = c.Add("s", []float64{1, 1}, []float64{5, 5})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat data should still plot:\n%s", out)
+	}
+}
+
+func TestChartMinimumGeometry(t *testing.T) {
+	c := NewChart("tiny")
+	c.Width, c.Height = 1, 1
+	_ = c.Add("s", []float64{0, 1}, []float64{0, 1})
+	out := c.Render()
+	if len(out) == 0 {
+		t.Fatal("tiny chart should clamp geometry and render")
+	}
+}
+
+func TestChartAxisLabels(t *testing.T) {
+	c := NewChart("labels")
+	c.XLabel, c.YLabel = "p", "reach"
+	_ = c.Add("s", []float64{0, 1}, []float64{0, 1})
+	out := c.Render()
+	if !strings.Contains(out, "x: p") || !strings.Contains(out, "y: reach") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
