@@ -6,9 +6,12 @@ package sensornet_test
 // evaluation; run cmd/experiments for the full paper grids.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"sensornet/internal/buckets"
+	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
 	"sensornet/internal/optimize"
 	"sensornet/internal/sim"
@@ -317,6 +320,70 @@ func BenchmarkRefinedCFM(b *testing.B) {
 	pre := benchPresetAnalytic()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RefinedCFM(pre, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCampaign measures the engine-backed simulated
+// campaign (the Figs. 8-11 surfaces plus the analytic figures) at
+// several worker counts: workers=1 is the fully sequential baseline,
+// and the higher counts track the engine's wall-clock speedup in the
+// perf trajectory.
+func BenchmarkEngineCampaign(b *testing.B) {
+	pa := benchPresetAnalytic()
+	ps := benchPresetSim()
+	ps.Runs = 4
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := experiments.Campaign{
+					Analytic: pa, Sim: ps,
+					Engine: engine.New(engine.Config{Workers: workers}),
+				}
+				figs, err := c.RunContext(context.Background(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(figs) != 10 {
+					b.Fatalf("campaign produced %d figures", len(figs))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCachedCampaign measures the same campaign with a warm
+// result cache: the cost of a no-change rerun, i.e. the engine's cache
+// lookup plus figure assembly.
+func BenchmarkEngineCachedCampaign(b *testing.B) {
+	pa := benchPresetAnalytic()
+	ps := benchPresetSim()
+	eng := engine.New(engine.Config{Cache: engine.NewCache("", experiments.CacheSalt)})
+	c := experiments.Campaign{Analytic: pa, Sim: ps, Engine: eng}
+	if _, err := c.RunContext(context.Background(), nil); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunContext(context.Background(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOverhead measures the engine's per-job scheduling cost
+// with no-op jobs: the fixed tax every sweep pays per grid row.
+func BenchmarkEngineOverhead(b *testing.B) {
+	eng := engine.New(engine.Config{Workers: 4})
+	jobs := make([]engine.Job, 64)
+	for i := range jobs {
+		jobs[i] = engine.JobFunc{JobName: "noop",
+			Fn: func(context.Context) (any, error) { return nil, nil }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

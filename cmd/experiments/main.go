@@ -7,15 +7,21 @@
 //	experiments -figure all -quick          # fast coarse-grid campaign
 //	experiments -figure fig4                # one figure, paper grids
 //	experiments -figure all -out report.txt # full campaign to a file
+//	experiments -figure all -workers=8      # saturate 8 cores
+//	experiments -figure all -cache-dir .cache/experiments  # reuse results
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 
+	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
 	"sensornet/internal/export"
 )
@@ -24,12 +30,16 @@ func main() {
 	var (
 		figure = flag.String("figure", "all",
 			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|all")
-		quick   = flag.Bool("quick", false, "coarse grids and few runs (fast)")
-		skipSim = flag.Bool("skip-sim", false, "omit the simulated figures")
-		out     = flag.String("out", "", "write the report to a file instead of stdout")
-		csvDir  = flag.String("csv-dir", "", "additionally dump figure series as CSV files into this directory")
-		runs    = flag.Int("runs", 0, "override simulation runs per grid point")
-		async   = flag.Bool("async", false, "simulate with unaligned phase grids")
+		quick    = flag.Bool("quick", false, "coarse grids and few runs (fast)")
+		skipSim  = flag.Bool("skip-sim", false, "omit the simulated figures")
+		out      = flag.String("out", "", "write the report to a file instead of stdout")
+		csvDir   = flag.String("csv-dir", "", "additionally dump figure series as CSV files into this directory")
+		runs     = flag.Int("runs", 0, "override simulation runs per grid point")
+		async    = flag.Bool("async", false, "simulate with unaligned phase grids")
+		workers  = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-job timeout (0 = none)")
+		cacheDir = flag.String("cache-dir", "", "persist surface results here and reuse them across runs")
+		stats    = flag.Bool("stats", false, "print engine telemetry to stderr when done")
 	)
 	flag.Parse()
 
@@ -53,7 +63,34 @@ func main() {
 	}
 	ps.Async = *async
 
-	if err := run(*figure, pa, ps, *skipSim, w, *csvDir); err != nil {
+	var cache *engine.Cache
+	if *cacheDir != "" {
+		cache = engine.NewCache(*cacheDir, experiments.CacheSalt)
+	}
+	eng := engine.New(engine.Config{
+		Workers: *workers,
+		Timeout: *timeout,
+		Cache:   cache,
+	})
+
+	// Ctrl-C cancels outstanding jobs and exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	err := run(ctx, eng, *figure, pa, ps, *skipSim, w, *csvDir)
+	if *stats {
+		fmt.Fprintln(os.Stderr, eng.Stats())
+		if cache != nil {
+			cs := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d stores\n",
+				cs.Hits, cs.Misses, cs.Stores)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -84,10 +121,12 @@ func dumpCSV(dir string, rhos []float64, figs ...*experiments.FigureResult) erro
 	return nil
 }
 
-func run(figure string, pa, ps experiments.Preset, skipSim bool, w io.Writer, csvDir string) error {
+func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experiments.Preset,
+	skipSim bool, w io.Writer, csvDir string) error {
 	if figure == "all" {
-		c := experiments.Campaign{Analytic: pa, Sim: ps, SkipSim: skipSim, Extras: true}
-		figs, err := c.Run(w)
+		c := experiments.Campaign{Analytic: pa, Sim: ps, SkipSim: skipSim,
+			Extras: true, Engine: eng}
+		figs, err := c.RunContext(ctx, w)
 		if err != nil {
 			return err
 		}
@@ -104,7 +143,7 @@ func run(figure string, pa, ps experiments.Preset, skipSim bool, w io.Writer, cs
 	switch {
 	case needAnalytic[figure]:
 		var surf *experiments.Surface
-		surf, err = experiments.AnalyticSurface(pa)
+		surf, err = experiments.AnalyticSurfaceCtx(ctx, eng, pa)
 		if err != nil {
 			return err
 		}
@@ -122,7 +161,7 @@ func run(figure string, pa, ps experiments.Preset, skipSim bool, w io.Writer, cs
 		}
 	case needSim[figure]:
 		var surf *experiments.Surface
-		surf, err = experiments.SimSurface(ps)
+		surf, err = experiments.SimSurfaceCtx(ctx, eng, ps)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is a content-addressed result store with two layers: an
+// in-memory map holding live result values, and an optional on-disk
+// JSON store (one file per entry) that survives across processes.
+// Entries are addressed by sha256(salt ‖ fingerprint), so changing the
+// code-version salt invalidates every prior entry at once.
+type Cache struct {
+	dir  string
+	salt string
+
+	mu     sync.Mutex
+	mem    map[string]any
+	hits   int
+	misses int
+	stores int
+}
+
+// envelope is the on-disk cache entry format. The fingerprint is
+// retained verbatim so an address-level hash collision (or a salt
+// mix-up) is detected on read instead of silently returning a wrong
+// result.
+type envelope struct {
+	Fingerprint string          `json:"fingerprint"`
+	Salt        string          `json:"salt"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// NewCache returns a cache salted with the given code-version string.
+// A non-empty dir enables the on-disk layer rooted there (created on
+// first store).
+func NewCache(dir, salt string) *Cache {
+	return &Cache{dir: dir, salt: salt, mem: make(map[string]any)}
+}
+
+// key computes the content address of a fingerprint under the cache's
+// salt.
+func (c *Cache) key(fingerprint string) string {
+	h := sha256.New()
+	h.Write([]byte(c.salt))
+	h.Write([]byte{0x1f})
+	h.Write([]byte(fingerprint))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get looks a fingerprint up, first in memory, then (when decode is
+// non-nil and a directory is configured) on disk. Disk hits are
+// promoted into the memory layer.
+func (c *Cache) Get(fingerprint string, decode func([]byte) (any, error)) (any, bool) {
+	if c == nil || fingerprint == "" {
+		return nil, false
+	}
+	k := c.key(fingerprint)
+	c.mu.Lock()
+	if v, ok := c.mem[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" && decode != nil {
+		if v, ok := c.diskGet(k, fingerprint, decode); ok {
+			c.mu.Lock()
+			c.mem[k] = v
+			c.hits++
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+func (c *Cache) diskGet(key, fingerprint string, decode func([]byte) (any, error)) (any, bool) {
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, false
+	}
+	if env.Fingerprint != fingerprint || env.Salt != c.salt {
+		return nil, false
+	}
+	v, err := decode(env.Payload)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put stores a result under a fingerprint. When encode is non-nil and
+// a directory is configured, the entry is also written to disk; encode
+// failures degrade to memory-only caching rather than failing the job.
+func (c *Cache) Put(fingerprint string, v any, encode func(any) ([]byte, error)) {
+	if c == nil || fingerprint == "" {
+		return
+	}
+	k := c.key(fingerprint)
+	c.mu.Lock()
+	c.mem[k] = v
+	c.stores++
+	c.mu.Unlock()
+
+	if c.dir == "" || encode == nil {
+		return
+	}
+	payload, err := encode(v)
+	if err != nil || !json.Valid(payload) {
+		return
+	}
+	raw, err := json.Marshal(envelope{Fingerprint: fingerprint, Salt: c.salt, Payload: payload})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	// Write-rename so concurrent readers never observe a torn entry.
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses, Stores int
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Stores: c.stores}
+}

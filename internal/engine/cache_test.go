@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func jsonCodec() (func(any) ([]byte, error), func([]byte) (any, error)) {
+	encode := func(v any) ([]byte, error) { return json.Marshal(v) }
+	decode := func(b []byte) (any, error) {
+		var v float64
+		err := json.Unmarshal(b, &v)
+		return v, err
+	}
+	return encode, decode
+}
+
+func TestCacheMemoryRoundTrip(t *testing.T) {
+	c := NewCache("", "salt")
+	if _, ok := c.Get("k", nil); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k", 3.5, nil)
+	v, ok := c.Get("k", nil)
+	if !ok || v != 3.5 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheDiskPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	encode, decode := jsonCodec()
+
+	first := NewCache(dir, "salt")
+	first.Put("fp", 2.25, encode)
+
+	// A fresh instance (cold memory layer) must hit via disk.
+	second := NewCache(dir, "salt")
+	v, ok := second.Get("fp", decode)
+	if !ok || v != 2.25 {
+		t.Fatalf("disk layer miss: %v %v", v, ok)
+	}
+	// And promote the value into memory: a nil decoder now suffices.
+	v, ok = second.Get("fp", nil)
+	if !ok || v != 2.25 {
+		t.Fatalf("promotion failed: %v %v", v, ok)
+	}
+}
+
+func TestCacheSaltInvalidatesEntries(t *testing.T) {
+	dir := t.TempDir()
+	encode, decode := jsonCodec()
+	NewCache(dir, "v1").Put("fp", 1.0, encode)
+	if _, ok := NewCache(dir, "v2").Get("fp", decode); ok {
+		t.Fatal("entry survived a salt bump")
+	}
+}
+
+func TestCacheRejectsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	encode, decode := jsonCodec()
+	c := NewCache(dir, "salt")
+	c.Put("fp", 1.5, encode)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries %v err %v", entries, err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NewCache(dir, "salt").Get("fp", decode); ok {
+		t.Fatal("corrupt entry served")
+	}
+}
+
+func TestCacheEnvelopeFingerprintChecked(t *testing.T) {
+	dir := t.TempDir()
+	encode, decode := jsonCodec()
+	c := NewCache(dir, "salt")
+	c.Put("fp", 9.0, encode)
+
+	// Rewrite the entry claiming a different fingerprint: the address
+	// matches but the identity check must reject it.
+	entries, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, entries[0].Name())
+	raw, _ := json.Marshal(envelope{Fingerprint: "other", Salt: "salt",
+		Payload: json.RawMessage("9")})
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NewCache(dir, "salt").Get("fp", decode); ok {
+		t.Fatal("mismatched fingerprint served")
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("fp", nil); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("fp", 1, nil) // must not panic
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v", s)
+	}
+}
+
+func TestEngineDiskCacheSkipsRecomputeAcrossEngines(t *testing.T) {
+	dir := t.TempDir()
+	var computes atomic.Int64
+	mkJob := func() Job {
+		return JobFunc{
+			JobName:  "expensive",
+			Key:      "expensive-key",
+			EncodeFn: func(v any) ([]byte, error) { return json.Marshal(v) },
+			DecodeFn: func(b []byte) (any, error) {
+				var v string
+				err := json.Unmarshal(b, &v)
+				return v, err
+			},
+			Fn: func(context.Context) (any, error) {
+				computes.Add(1)
+				return "result", nil
+			},
+		}
+	}
+	for i := 0; i < 2; i++ {
+		eng := New(Config{Workers: 2, Cache: NewCache(dir, "salt")})
+		results, err := eng.Run(context.Background(), []Job{mkJob()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Value != "result" {
+			t.Fatalf("run %d: %v", i, results[0].Value)
+		}
+		if wantCached := i > 0; results[0].FromCache != wantCached {
+			t.Fatalf("run %d: FromCache = %v, want %v", i, results[0].FromCache, wantCached)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times across engines, want 1", n)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(t.TempDir(), "salt")
+	encode, decode := jsonCodec()
+	eng := New(Config{Workers: 8})
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = JobFunc{JobName: fmt.Sprintf("c%d", i),
+			Fn: func(context.Context) (any, error) {
+				fp := fmt.Sprintf("fp%d", i%8)
+				c.Put(fp, float64(i%8), encode)
+				if v, ok := c.Get(fp, decode); ok {
+					return v, nil
+				}
+				return nil, nil
+			}}
+	}
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+}

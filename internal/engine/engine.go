@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sensornet/internal/metrics"
+	"sensornet/internal/trace"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers bounds job concurrency; <= 0 means runtime.GOMAXPROCS.
+	Workers int
+	// Timeout bounds each job attempt; 0 means no per-job timeout.
+	Timeout time.Duration
+	// Retries is the number of re-attempts granted to jobs that fail
+	// with a Transient error (0 = fail on first error).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt. Defaults to 50ms when Retries > 0.
+	Backoff time.Duration
+	// Cache, when non-nil, short-circuits jobs whose fingerprint has a
+	// stored result and stores fresh results after success.
+	Cache *Cache
+	// Spans receives one trace span per attempt and cache hit;
+	// defaults to a fresh log owned by the engine.
+	Spans *trace.SpanLog
+	// OnEvent, when non-nil, observes the engine's progress events.
+	// It is called from worker goroutines and must be cheap and
+	// concurrency-safe.
+	OnEvent func(Event)
+}
+
+// EventKind labels an engine progress event.
+type EventKind uint8
+
+const (
+	// EventStart fires when a job attempt begins executing.
+	EventStart EventKind = iota
+	// EventDone fires when a job attempt returns (ok or failed).
+	EventDone
+	// EventRetry fires when a transient failure schedules a retry.
+	EventRetry
+	// EventCacheHit fires when a job is satisfied from the cache.
+	EventCacheHit
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventDone:
+		return "done"
+	case EventRetry:
+		return "retry"
+	case EventCacheHit:
+		return "cache-hit"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one engine progress notification.
+type Event struct {
+	Kind     EventKind
+	Job      string
+	Worker   int
+	Attempt  int
+	Duration time.Duration
+	Err      error
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Name is the job's Name().
+	Name string
+	// Value is the job's computed (or cached) result.
+	Value any
+	// Err is the job's final error, nil on success.
+	Err error
+	// Attempts counts executions (0 for a pure cache hit).
+	Attempts int
+	// Duration is the total execution time across attempts.
+	Duration time.Duration
+	// FromCache marks results satisfied without executing the job.
+	FromCache bool
+}
+
+// Engine is a reusable concurrent job executor. It is safe for use
+// from multiple goroutines; batches submitted concurrently share the
+// cache and telemetry but are executed independently.
+type Engine struct {
+	cfg   Config
+	spans *trace.SpanLog
+
+	mu      sync.Mutex
+	batches int
+	jobs    int
+	hits    int
+	retries int
+	wall    time.Duration
+}
+
+// New builds an Engine, applying Config defaults.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.Spans == nil {
+		cfg.Spans = &trace.SpanLog{}
+	}
+	return &Engine{cfg: cfg, spans: cfg.Spans}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Cache returns the engine's cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache { return e.cfg.Cache }
+
+// Spans returns the engine's telemetry span log.
+func (e *Engine) Spans() *trace.SpanLog { return e.spans }
+
+// Run executes the jobs on the worker pool and returns their results
+// in submission order. On failure the first error encountered is
+// returned (wrapped with the job name) alongside the partial results;
+// outstanding jobs are cancelled. When ctx is cancelled, the returned
+// error wraps the context's cause (errors.Is(err, context.Canceled)
+// holds for a plain cancel).
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	workers := e.cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range idxCh {
+				res := e.runJob(ctx, worker, jobs[idx])
+				results[idx] = res
+				if res.Err != nil {
+					fail(res.Err)
+				}
+			}
+		}(w)
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	e.account(len(jobs), results, time.Since(start))
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err == nil && ctx.Err() != nil {
+		err = fmt.Errorf("engine: %w", context.Cause(ctx))
+	}
+	return results, err
+}
+
+// runJob executes one job with cache lookup, per-attempt timeout, and
+// transient-failure retry.
+func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
+	name := job.Name()
+	res := Result{Name: name}
+	fp := job.Fingerprint()
+	encode, decode := codecOf(job)
+	epoch := e.spans.Epoch()
+
+	if v, ok := e.cfg.Cache.Get(fp, decode); ok {
+		res.Value = v
+		res.FromCache = true
+		e.spans.Record(trace.Span{Name: name, Worker: worker, Cached: true,
+			Start: time.Since(epoch)})
+		e.emit(Event{Kind: EventCacheHit, Job: name, Worker: worker})
+		return res
+	}
+
+	attempts := 1 + e.cfg.Retries
+	for a := 1; a <= attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = jobError(name, context.Cause(ctx))
+			return res
+		}
+		res.Attempts = a
+		e.emit(Event{Kind: EventStart, Job: name, Worker: worker, Attempt: a})
+		attemptCtx, cancelAttempt := ctx, context.CancelFunc(func() {})
+		if e.cfg.Timeout > 0 {
+			attemptCtx, cancelAttempt = context.WithTimeoutCause(ctx, e.cfg.Timeout,
+				fmt.Errorf("job %q exceeded its %v timeout: %w", name, e.cfg.Timeout, context.DeadlineExceeded))
+		}
+		began := time.Now()
+		v, err := job.Run(attemptCtx)
+		cancelAttempt()
+		dur := time.Since(began)
+		res.Duration += dur
+		e.spans.Record(trace.Span{Name: name, Worker: worker, Attempt: a,
+			Start: began.Sub(epoch), Duration: dur, Failed: err != nil})
+		e.emit(Event{Kind: EventDone, Job: name, Worker: worker, Attempt: a,
+			Duration: dur, Err: err})
+		if err == nil {
+			res.Value = v
+			res.Err = nil
+			e.cfg.Cache.Put(fp, v, encode)
+			return res
+		}
+		res.Err = jobError(name, err)
+		if !IsTransient(err) || a == attempts || ctx.Err() != nil {
+			return res
+		}
+		e.noteRetry()
+		e.emit(Event{Kind: EventRetry, Job: name, Worker: worker, Attempt: a, Err: err})
+		backoff := e.cfg.Backoff << (a - 1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			res.Err = jobError(name, context.Cause(ctx))
+			return res
+		}
+	}
+	return res
+}
+
+func codecOf(job Job) (func(any) ([]byte, error), func([]byte) (any, error)) {
+	if c, ok := job.(Codec); ok {
+		return c.ResultCodec()
+	}
+	return nil, nil
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
+}
+
+func (e *Engine) noteRetry() {
+	e.mu.Lock()
+	e.retries++
+	e.mu.Unlock()
+}
+
+func (e *Engine) account(jobs int, results []Result, wall time.Duration) {
+	hits := 0
+	for _, r := range results {
+		if r.FromCache {
+			hits++
+		}
+	}
+	e.mu.Lock()
+	e.batches++
+	e.jobs += jobs
+	e.hits += hits
+	e.wall += wall
+	e.mu.Unlock()
+}
+
+// Stats summarises everything the engine has executed so far.
+type Stats struct {
+	Workers   int
+	Batches   int
+	Jobs      int
+	CacheHits int
+	Retries   int
+	// Wall is the summed wall-clock time of all Run calls; Busy the
+	// summed execution time across workers; Utilization their ratio
+	// normalised by the worker count.
+	Wall        time.Duration
+	Busy        time.Duration
+	Utilization float64
+	// JobSeconds summarises per-attempt execution times in seconds.
+	JobSeconds metrics.Summary
+}
+
+// Stats snapshots the engine's cumulative telemetry.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Workers:   e.cfg.Workers,
+		Batches:   e.batches,
+		Jobs:      e.jobs,
+		CacheHits: e.hits,
+		Retries:   e.retries,
+		Wall:      e.wall,
+	}
+	e.mu.Unlock()
+	var secs []float64
+	for _, sp := range e.spans.Spans() {
+		if !sp.Cached {
+			secs = append(secs, sp.Duration.Seconds())
+			s.Busy += sp.Duration
+		}
+	}
+	s.JobSeconds = metrics.Summarize(secs)
+	if s.Wall > 0 && s.Workers > 0 {
+		s.Utilization = float64(s.Busy) / (float64(s.Workers) * float64(s.Wall))
+	}
+	return s
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"engine: %d jobs in %d batches on %d workers: wall %v, busy %v (%.0f%% utilization), %d cache hits, %d retries, job mean %.3fs",
+		s.Jobs, s.Batches, s.Workers, s.Wall.Round(time.Millisecond),
+		s.Busy.Round(time.Millisecond), 100*s.Utilization, s.CacheHits,
+		s.Retries, s.JobSeconds.Mean)
+}
+
+// Map fans fn out over items on the engine and returns the outputs in
+// item order: the ordered-batch convenience used by sweep loops. Jobs
+// created by Map are not cached (no fingerprint).
+func Map[T, R any](ctx context.Context, e *Engine, name string, items []T,
+	fn func(ctx context.Context, item T, i int) (R, error)) ([]R, error) {
+
+	jobs := make([]Job, len(items))
+	for i := range items {
+		i := i
+		jobs[i] = JobFunc{
+			JobName: fmt.Sprintf("%s[%d]", name, i),
+			Fn: func(ctx context.Context) (any, error) {
+				return fn(ctx, items[i], i)
+			},
+		}
+	}
+	results, err := e.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]R, len(items))
+	for i, r := range results {
+		v, ok := r.Value.(R)
+		if !ok {
+			return nil, fmt.Errorf("engine: job %q returned %T", r.Name, r.Value)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

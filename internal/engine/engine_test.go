@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func constJob(name string, v any) JobFunc {
+	return JobFunc{JobName: name, Fn: func(context.Context) (any, error) { return v, nil }}
+}
+
+func TestRunPreservesSubmissionOrder(t *testing.T) {
+	eng := New(Config{Workers: 8})
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = constJob(fmt.Sprintf("j%d", i), i)
+	}
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != i {
+			t.Fatalf("result[%d] = %v, want %d", i, r.Value, i)
+		}
+		if r.Attempts != 1 || r.FromCache {
+			t.Fatalf("result[%d] unexpected execution record: %+v", i, r)
+		}
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	eng := New(Config{})
+	results, err := eng.Run(context.Background(), nil)
+	if err != nil || results != nil {
+		t.Fatalf("empty batch: %v, %v", results, err)
+	}
+}
+
+func TestRunDefaultsWorkers(t *testing.T) {
+	eng := New(Config{})
+	if eng.Workers() <= 0 {
+		t.Fatalf("default worker count %d", eng.Workers())
+	}
+}
+
+func TestCancellationReturnsPromptlyWithWrappedCanceled(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = JobFunc{
+			JobName: fmt.Sprintf("block%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				if once.CompareAndSwap(false, true) {
+					close(started)
+				}
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	_, err := eng.Run(ctx, jobs)
+	if time.Now().After(deadline) {
+		t.Fatal("cancellation did not return promptly")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestCacheHitSkipsRecompute(t *testing.T) {
+	var computes atomic.Int64
+	job := JobFunc{
+		JobName: "counted",
+		Key:     "counted-key",
+		Fn: func(context.Context) (any, error) {
+			computes.Add(1)
+			return 42, nil
+		},
+	}
+	eng := New(Config{Workers: 4, Cache: NewCache("", "test-salt")})
+	for round := 0; round < 3; round++ {
+		results, err := eng.Run(context.Background(), []Job{job})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Value != 42 {
+			t.Fatalf("round %d: value %v", round, results[0].Value)
+		}
+		if wantCached := round > 0; results[0].FromCache != wantCached {
+			t.Fatalf("round %d: FromCache = %v", round, results[0].FromCache)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("job computed %d times, want 1", n)
+	}
+	if s := eng.Stats(); s.CacheHits != 2 {
+		t.Fatalf("stats cache hits = %d, want 2", s.CacheHits)
+	}
+}
+
+func TestDistinctFingerprintsDoNotShareEntries(t *testing.T) {
+	cache := NewCache("", "salt")
+	eng := New(Config{Workers: 1, Cache: cache})
+	mk := func(key string, v int) Job {
+		return JobFunc{JobName: key, Key: key,
+			Fn: func(context.Context) (any, error) { return v, nil }}
+	}
+	results, err := eng.Run(context.Background(),
+		[]Job{mk("a", 1), mk("b", 2), mk("a", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Value != 1 || results[1].Value != 2 {
+		t.Fatalf("values %v %v", results[0].Value, results[1].Value)
+	}
+	// Same key as job 0: served from cache with job 0's result.
+	if !results[2].FromCache || results[2].Value != 1 {
+		t.Fatalf("duplicate key not deduplicated: %+v", results[2])
+	}
+}
+
+func TestRetryStopsAfterConfiguredAttempts(t *testing.T) {
+	var attempts atomic.Int64
+	job := JobFunc{
+		JobName: "flaky",
+		Fn: func(context.Context) (any, error) {
+			attempts.Add(1)
+			return nil, Transient(errors.New("spurious"))
+		},
+	}
+	eng := New(Config{Workers: 1, Retries: 2, Backoff: time.Millisecond})
+	results, err := eng.Run(context.Background(), []Job{job})
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", n)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("result attempts = %d, want 3", results[0].Attempts)
+	}
+	if !strings.Contains(err.Error(), "flaky") {
+		t.Fatalf("error %q does not name the job", err)
+	}
+	if s := eng.Stats(); s.Retries != 2 {
+		t.Fatalf("stats retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	var attempts atomic.Int64
+	job := JobFunc{
+		JobName: "recovers",
+		Fn: func(context.Context) (any, error) {
+			if attempts.Add(1) < 3 {
+				return nil, Transient(errors.New("not yet"))
+			}
+			return "ok", nil
+		},
+	}
+	eng := New(Config{Workers: 1, Retries: 3, Backoff: time.Millisecond})
+	results, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Value != "ok" || results[0].Attempts != 3 {
+		t.Fatalf("result %+v", results[0])
+	}
+}
+
+func TestNonTransientFailureIsNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	sentinel := errors.New("fatal")
+	job := JobFunc{JobName: "fatal", Fn: func(context.Context) (any, error) {
+		attempts.Add(1)
+		return nil, sentinel
+	}}
+	eng := New(Config{Workers: 1, Retries: 5, Backoff: time.Millisecond})
+	_, err := eng.Run(context.Background(), []Job{job})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1", n)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	job := JobFunc{JobName: "slow", Fn: func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return "too late", nil
+		}
+	}}
+	eng := New(Config{Workers: 1, Timeout: 10 * time.Millisecond})
+	start := time.Now()
+	_, err := eng.Run(context.Background(), []Job{job})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout not enforced promptly")
+	}
+}
+
+func TestFirstErrorCancelsBatch(t *testing.T) {
+	var ran atomic.Int64
+	jobs := []Job{
+		JobFunc{JobName: "boom", Fn: func(context.Context) (any, error) {
+			return nil, errors.New("boom")
+		}},
+	}
+	for i := 0; i < 64; i++ {
+		jobs = append(jobs, JobFunc{JobName: fmt.Sprintf("later%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				ran.Add(1)
+				return nil, nil
+			}})
+	}
+	eng := New(Config{Workers: 1})
+	_, err := eng.Run(context.Background(), jobs)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// With one worker the failing job runs first and cancels the feed:
+	// the remaining jobs must not all have executed.
+	if n := ran.Load(); n == 64 {
+		t.Fatal("batch not cancelled after first error")
+	}
+}
+
+func TestTelemetrySpansAndStats(t *testing.T) {
+	var events atomic.Int64
+	eng := New(Config{Workers: 2, OnEvent: func(Event) { events.Add(1) }})
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = JobFunc{JobName: fmt.Sprintf("t%d", i),
+			Fn: func(context.Context) (any, error) {
+				time.Sleep(2 * time.Millisecond)
+				return nil, nil
+			}}
+	}
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Jobs != 6 || s.Batches != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Busy <= 0 || s.Wall <= 0 {
+		t.Fatalf("no time accounted: %+v", s)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1.01 {
+		t.Fatalf("utilization %v out of range", s.Utilization)
+	}
+	if s.JobSeconds.Count != 6 || s.JobSeconds.Mean <= 0 {
+		t.Fatalf("job time summary %+v", s.JobSeconds)
+	}
+	if eng.Spans().Len() != 6 {
+		t.Fatalf("spans = %d, want 6", eng.Spans().Len())
+	}
+	if events.Load() != 12 { // start + done per job
+		t.Fatalf("events = %d, want 12", events.Load())
+	}
+	if str := s.String(); !strings.Contains(str, "6 jobs") {
+		t.Fatalf("stats string %q", str)
+	}
+}
+
+func TestMapPreservesOrderAndTypes(t *testing.T) {
+	eng := New(Config{Workers: 4})
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	out, err := Map(context.Background(), eng, "square", items,
+		func(_ context.Context, x, _ int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := items[i] * items[i]; v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestTransientPredicates(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) should be nil")
+	}
+	base := errors.New("x")
+	if !IsTransient(Transient(base)) {
+		t.Fatal("wrapped error should be transient")
+	}
+	if IsTransient(base) {
+		t.Fatal("plain error should not be transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient should preserve the error chain")
+	}
+}

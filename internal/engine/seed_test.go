@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(7, "costfn", 40.0)
+	b := DeriveSeed(7, "costfn", 40.0)
+	if a != b {
+		t.Fatalf("same inputs, different seeds: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("seed %d negative", a)
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := DeriveSeed(7, "costfn", 40.0)
+	for name, other := range map[string]int64{
+		"base":  DeriveSeed(8, "costfn", 40.0),
+		"label": DeriveSeed(7, "hetero", 40.0),
+		"part":  DeriveSeed(7, "costfn", 60.0),
+		"arity": DeriveSeed(7, "costfn", 40.0, 0),
+	} {
+		if other == base {
+			t.Fatalf("changing %s did not change the seed", name)
+		}
+	}
+}
+
+// TestDeriveSeedAvoidsAffineCollisions reproduces the collision class
+// of the former seed*7919+rho derivation: nearby (seed, rho) pairs that
+// alias under an affine map must not alias under DeriveSeed.
+func TestDeriveSeedAvoidsAffineCollisions(t *testing.T) {
+	// Affine: 0*7919+7919 == 1*7919+0, so (seed=0, rho=7919) and
+	// (seed=1, rho=0) collided. More practically, seeds 0..n and the
+	// paper's rho grid 20..140 step 20 generate dense affine overlap.
+	seen := map[int64][2]any{}
+	for seed := int64(0); seed < 50; seed++ {
+		for _, rho := range []float64{20, 40, 60, 80, 100, 120, 140} {
+			s := DeriveSeed(seed, "costfn-deploy", rho)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%v) and %v both map to %d",
+					seed, rho, prev, s)
+			}
+			seen[s] = [2]any{seed, rho}
+		}
+	}
+}
+
+func TestFingerprintSeparatesFields(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("field boundaries not preserved")
+	}
+	if Fingerprint("a", 1, 2.5) != Fingerprint("a", 1, 2.5) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint([]float64{1, 2}) == Fingerprint([]float64{1, 2, 3}) {
+		t.Fatal("slice contents not captured")
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
 	"sensornet/internal/protocol"
 	"sensornet/internal/sim"
@@ -18,87 +20,145 @@ type Campaign struct {
 	SkipSim bool
 	// Extras enables the CFM baseline and carrier-sense ablation.
 	Extras bool
+	// Engine, when non-nil, executes the campaign's jobs; a default
+	// engine (GOMAXPROCS workers, no cache) is used otherwise.
+	Engine *engine.Engine
+}
+
+// campaignOrder is the canonical emission order: figures are rendered
+// and returned in this sequence no matter how the engine schedules the
+// underlying jobs, so campaign reports and CSV dumps are byte-identical
+// for any worker count.
+var campaignOrder = []string{
+	"fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "fig12sim",
+	"fig12",
+	"cfm", "carrier", "costfn", "slots", "field", "percolation",
 }
 
 // Run executes the campaign, streaming each figure to w as it
 // completes, and returns all results.
 func (c Campaign) Run(w io.Writer) ([]*FigureResult, error) {
-	var out []*FigureResult
-	emit := func(f *FigureResult, err error) error {
-		if err != nil {
-			return err
-		}
-		out = append(out, f)
-		if w != nil {
-			return f.Render(w)
-		}
-		return nil
+	return c.RunContext(context.Background(), w)
+}
+
+// RunContext executes the campaign on the engine: every surface row
+// (analytic and simulated) is submitted as one concurrent batch, then
+// the figures that run their own model evaluations form a second
+// batch, and the results are emitted in canonical order. Cancelling
+// ctx aborts outstanding jobs and returns an error wrapping the
+// context's cause.
+func (c Campaign) RunContext(ctx context.Context, w io.Writer) ([]*FigureResult, error) {
+	eng := c.Engine
+	if eng == nil {
+		eng = defaultEngine(c.Analytic)
 	}
 
-	surf, err := AnalyticSurface(c.Analytic)
+	// Batch 1: the metric surfaces behind Figs. 4-11, one job per
+	// (engine, density) row.
+	var jobs []engine.Job
+	for _, rho := range c.Analytic.Rhos {
+		jobs = append(jobs, analyticRowJob(c.Analytic, rho))
+	}
+	nAnalytic := len(jobs)
+	if !c.SkipSim {
+		for _, rho := range c.Sim.Rhos {
+			jobs = append(jobs, simRowJob(c.Sim, rho, eng.Workers()))
+		}
+	}
+	rows, err := eng.Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
-	if err := emit(Fig4(surf), nil); err != nil {
+	surf, err := surfaceFromResults(c.Analytic, rows[:nAnalytic], false)
+	if err != nil {
 		return nil, err
 	}
-	if err := emit(Fig5(surf), nil); err != nil {
-		return nil, err
-	}
-	if err := emit(Fig6(surf), nil); err != nil {
-		return nil, err
-	}
-	if err := emit(Fig7(surf), nil); err != nil {
-		return nil, err
-	}
+	var simSurf *Surface
 	if !c.SkipSim {
-		simSurf, err := SimSurface(c.Sim)
-		if err != nil {
-			return nil, err
-		}
-		if err := emit(Fig8(simSurf), nil); err != nil {
-			return nil, err
-		}
-		if err := emit(Fig9(simSurf), nil); err != nil {
-			return nil, err
-		}
-		if err := emit(Fig10(simSurf), nil); err != nil {
-			return nil, err
-		}
-		if err := emit(Fig11(simSurf), nil); err != nil {
-			return nil, err
-		}
-		if err := emit(SimSuccessRate(c.Sim, simSurf)); err != nil {
+		if simSurf, err = surfaceFromResults(c.Sim, rows[nAnalytic:], true); err != nil {
 			return nil, err
 		}
 	}
-	if err := emit(Fig12(surf)); err != nil {
+
+	figs := map[string]*FigureResult{
+		"fig4": Fig4(surf), "fig5": Fig5(surf),
+		"fig6": Fig6(surf), "fig7": Fig7(surf),
+	}
+	if simSurf != nil {
+		figs["fig8"], figs["fig9"] = Fig8(simSurf), Fig9(simSurf)
+		figs["fig10"], figs["fig11"] = Fig10(simSurf), Fig11(simSurf)
+	}
+
+	// Batch 2: figures that evaluate the models themselves.
+	var figJobs []engine.Job
+	addFig := func(id string, fn func(ctx context.Context) (*FigureResult, error)) {
+		figJobs = append(figJobs, engine.JobFunc{
+			JobName: id,
+			Fn: func(ctx context.Context) (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return fn(ctx)
+			},
+		})
+	}
+	if simSurf != nil {
+		addFig("fig12sim", func(ctx context.Context) (*FigureResult, error) {
+			return simSuccessRateCtx(ctx, c.Sim, simSurf, eng.Workers())
+		})
+	}
+	addFig("fig12", func(context.Context) (*FigureResult, error) { return Fig12(surf) })
+	if c.Extras {
+		addFig("cfm", func(context.Context) (*FigureResult, error) {
+			return CFMBaseline(c.Analytic)
+		})
+		addFig("carrier", func(context.Context) (*FigureResult, error) {
+			return CarrierSenseAblation(c.Analytic)
+		})
+		addFig("costfn", func(context.Context) (*FigureResult, error) {
+			return CostFunctions(c.Analytic, 5)
+		})
+		addFig("slots", func(context.Context) (*FigureResult, error) {
+			return SlotSweep(80, []int{1, 2, 3, 4, 6, 8},
+				c.Analytic.Grid, c.Analytic.Constraints)
+		})
+		addFig("field", func(context.Context) (*FigureResult, error) {
+			return FieldScaling(80, []int{3, 5, 8, 12}, 0.15,
+				c.Analytic.Constraints)
+		})
+		addFig("percolation", func(context.Context) (*FigureResult, error) {
+			grid := make([]float64, 0, 12)
+			for p := 0.35; p <= 0.9; p += 0.05 {
+				grid = append(grid, p)
+			}
+			return Percolation(18, grid, 10, 1)
+		})
+	}
+	derived, err := eng.Run(ctx, figJobs)
+	if err != nil {
 		return nil, err
 	}
-	if c.Extras {
-		if err := emit(CFMBaseline(c.Analytic)); err != nil {
-			return nil, err
+	for _, r := range derived {
+		f, ok := r.Value.(*FigureResult)
+		if !ok {
+			return nil, fmt.Errorf("experiments: job %q returned %T, want *FigureResult",
+				r.Name, r.Value)
 		}
-		if err := emit(CarrierSenseAblation(c.Analytic)); err != nil {
-			return nil, err
+		figs[r.Name] = f
+	}
+
+	var out []*FigureResult
+	for _, id := range campaignOrder {
+		f, ok := figs[id]
+		if !ok {
+			continue
 		}
-		if err := emit(CostFunctions(c.Analytic, 5)); err != nil {
-			return nil, err
-		}
-		if err := emit(SlotSweep(80, []int{1, 2, 3, 4, 6, 8},
-			c.Analytic.Grid, c.Analytic.Constraints)); err != nil {
-			return nil, err
-		}
-		if err := emit(FieldScaling(80, []int{3, 5, 8, 12}, 0.15,
-			c.Analytic.Constraints)); err != nil {
-			return nil, err
-		}
-		grid := make([]float64, 0, 12)
-		for p := 0.35; p <= 0.9; p += 0.05 {
-			grid = append(grid, p)
-		}
-		if err := emit(Percolation(18, grid, 10, 1)); err != nil {
-			return nil, err
+		out = append(out, f)
+		if w != nil {
+			if err := f.Render(w); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -108,6 +168,10 @@ func (c Campaign) Run(w io.Writer) ([]*FigureResult, error) {
 // per density and compares it with the simulated optimal probability
 // from the Fig. 8 surface: the measured counterpart of Fig. 12.
 func SimSuccessRate(pre Preset, surf *Surface) (*FigureResult, error) {
+	return simSuccessRateCtx(context.Background(), pre, surf, pre.Workers)
+}
+
+func simSuccessRateCtx(ctx context.Context, pre Preset, surf *Surface, workers int) (*FigureResult, error) {
 	f := &FigureResult{ID: "fig12sim",
 		Title:  "Simulated flooding success rate vs optimal probability",
 		Series: map[string][]float64{}}
@@ -120,7 +184,7 @@ func SimSuccessRate(pre Preset, surf *Surface) (*FigureResult, error) {
 	for i, rho := range pre.Rhos {
 		cfg := pre.SimConfig(rho)
 		cfg.Protocol = protocol.Flooding{}
-		agg, err := sim.RunMany(cfg, pre.Runs, pre.Workers)
+		agg, err := sim.RunManyCtx(ctx, cfg, pre.Runs, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
 	"sensornet/internal/reliable"
 )
@@ -32,14 +32,18 @@ func CostFunctions(pre Preset, seeds int) (*FigureResult, error) {
 	for _, rho := range pre.Rhos {
 		var slots, txs, frames []float64
 		for seed := int64(0); seed < int64(seeds); seed++ {
+			// Deployment and protocol seeds are derived through the
+			// engine's splitmix mixer: the former affine derivation
+			// (seed*7919+rho) collided across nearby (seed, rho) pairs.
 			dep, err := deploy.Generate(deploy.Config{
 				P: pre.P, Rho: rho, WithSensing: true,
-			}, rand.New(rand.NewSource(seed*7919+int64(rho))))
+			}, seededRand(engine.DeriveSeed(seed, "costfn-deploy", rho)))
 			if err != nil {
 				return nil, err
 			}
 			ack, err := reliable.AckBroadcast(dep, 0, reliable.AckConfig{
-				Window: pre.S, Adaptive: true, Seed: seed,
+				Window: pre.S, Adaptive: true,
+				Seed: engine.DeriveSeed(seed, "costfn-ack", rho),
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"sensornet/internal/analytic"
+	"sensornet/internal/engine"
+	"sensornet/internal/optimize"
+	"sensornet/internal/sim"
+)
+
+// CacheSalt is the code-version salt mixed into every job fingerprint
+// and into the engine.Cache address space: bump it whenever the
+// analytic model, the simulator, or the sweep semantics change, so
+// stale cache entries can never leak into a regenerated figure.
+const CacheSalt = "sensornet-exp-v1"
+
+// defaultEngine builds the engine used by the context-free entry
+// points, honouring the preset's worker bound.
+func defaultEngine(pre Preset) *engine.Engine {
+	return engine.New(engine.Config{Workers: pre.Workers})
+}
+
+// analyticRowKey fingerprints one analytic surface row: every field of
+// the model config plus the probability grid and constraint levels.
+func analyticRowKey(cfg analytic.Config, grid []float64, c optimize.Constraints) string {
+	return engine.Fingerprint("analytic-row", CacheSalt,
+		cfg.P, cfg.S, cfg.Rho, cfg.R, cfg.KMode, cfg.BinomialMix,
+		cfg.CarrierSense, cfg.IntegrationPoints, cfg.MaxPhases,
+		grid, c.Latency, c.Reach, c.Budget)
+}
+
+// simRowKey fingerprints one simulated surface row. The worker count is
+// deliberately excluded: it changes scheduling, never results.
+func simRowKey(cfg sim.Config, grid []float64, c optimize.Constraints, runs int) string {
+	return engine.Fingerprint("sim-row", CacheSalt,
+		cfg.P, cfg.R, cfg.Rho, cfg.N, cfg.S, cfg.Model, cfg.Seed,
+		cfg.Async, cfg.MaxPhases,
+		grid, c.Latency, c.Reach, c.Budget, runs)
+}
+
+// pointJSON is the NaN-safe serialisation of optimize.Point: the
+// constrained metrics are NaN when infeasible, which encoding/json
+// rejects, so they round-trip as null.
+type pointJSON struct {
+	P             float64  `json:"p"`
+	ReachAtL      *float64 `json:"reachAtL"`
+	Latency       *float64 `json:"latency"`
+	Broadcasts    *float64 `json:"broadcasts"`
+	ReachAtBudget *float64 `json:"reachAtBudget"`
+	SuccessRate   *float64 `json:"successRate"`
+	Final         *float64 `json:"final"`
+}
+
+func toNullable(x float64) (*float64, error) {
+	if math.IsNaN(x) {
+		return nil, nil
+	}
+	if math.IsInf(x, 0) {
+		return nil, fmt.Errorf("experiments: non-cacheable infinite metric")
+	}
+	return &x, nil
+}
+
+func fromNullable(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// encodePoints serialises a surface row for the disk cache layer.
+func encodePoints(v any) ([]byte, error) {
+	pts, ok := v.([]optimize.Point)
+	if !ok {
+		return nil, fmt.Errorf("experiments: expected []optimize.Point, got %T", v)
+	}
+	rows := make([]pointJSON, len(pts))
+	for i, pt := range pts {
+		var err error
+		row := pointJSON{P: pt.P}
+		if row.ReachAtL, err = toNullable(pt.ReachAtL); err != nil {
+			return nil, err
+		}
+		if row.Latency, err = toNullable(pt.Latency); err != nil {
+			return nil, err
+		}
+		if row.Broadcasts, err = toNullable(pt.Broadcasts); err != nil {
+			return nil, err
+		}
+		if row.ReachAtBudget, err = toNullable(pt.ReachAtBudget); err != nil {
+			return nil, err
+		}
+		if row.SuccessRate, err = toNullable(pt.SuccessRate); err != nil {
+			return nil, err
+		}
+		if row.Final, err = toNullable(pt.Final); err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return json.Marshal(rows)
+}
+
+// decodePoints is the inverse of encodePoints.
+func decodePoints(data []byte) (any, error) {
+	var rows []pointJSON
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, err
+	}
+	pts := make([]optimize.Point, len(rows))
+	for i, row := range rows {
+		pts[i] = optimize.Point{
+			P:             row.P,
+			ReachAtL:      fromNullable(row.ReachAtL),
+			Latency:       fromNullable(row.Latency),
+			Broadcasts:    fromNullable(row.Broadcasts),
+			ReachAtBudget: fromNullable(row.ReachAtBudget),
+			SuccessRate:   fromNullable(row.SuccessRate),
+			Final:         fromNullable(row.Final),
+		}
+	}
+	return pts, nil
+}
+
+// analyticRowJob builds the cached job computing one analytic surface
+// row (all grid probabilities at one density).
+func analyticRowJob(pre Preset, rho float64) engine.Job {
+	cfg := pre.AnalyticConfig(rho)
+	return engine.JobFunc{
+		JobName:  fmt.Sprintf("analytic-row(rho=%g)", rho),
+		Key:      analyticRowKey(cfg, pre.Grid, pre.Constraints),
+		EncodeFn: encodePoints,
+		DecodeFn: decodePoints,
+		Fn: func(ctx context.Context) (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return optimize.SweepAnalytic(cfg, pre.Grid, pre.Constraints)
+		},
+	}
+}
+
+// simRowJob builds the cached job computing one simulated surface row.
+// Replications inside the row run through sim.RunManyCtx bounded by
+// `workers`, so the engine's worker count composes with replication
+// parallelism.
+func simRowJob(pre Preset, rho float64, workers int) engine.Job {
+	cfg := pre.SimConfig(rho)
+	return engine.JobFunc{
+		JobName:  fmt.Sprintf("sim-row(rho=%g)", rho),
+		Key:      simRowKey(cfg, pre.Grid, pre.Constraints, pre.Runs),
+		EncodeFn: encodePoints,
+		DecodeFn: decodePoints,
+		Fn: func(ctx context.Context) (any, error) {
+			return optimize.SweepSimCtx(ctx, cfg, pre.Grid, pre.Constraints,
+				pre.Runs, workers)
+		},
+	}
+}
+
+// surfaceFromResults assembles engine results (one []optimize.Point per
+// density, in Rhos order) into a Surface.
+func surfaceFromResults(pre Preset, results []engine.Result, simulated bool) (*Surface, error) {
+	s := &Surface{Pre: pre, Simulated: simulated}
+	for _, r := range results {
+		pts, ok := r.Value.([]optimize.Point)
+		if !ok {
+			return nil, fmt.Errorf("experiments: job %q returned %T, want []optimize.Point",
+				r.Name, r.Value)
+		}
+		s.Points = append(s.Points, pts)
+	}
+	return s, nil
+}

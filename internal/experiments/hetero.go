@@ -6,6 +6,7 @@ import (
 
 	"sensornet/internal/analytic"
 	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
 	"sensornet/internal/protocol"
 	"sensornet/internal/sim"
@@ -44,16 +45,20 @@ func Heterogeneity(pre Preset, meanRho float64) (*FigureResult, error) {
 	for _, scheme := range schemes {
 		var finals, reach, bcasts []float64
 		for r := 0; r < pre.Runs; r++ {
+			// Per-replication seeds go through the engine's derivation
+			// helper so deployment sampling and protocol coin flips draw
+			// from unrelated streams (the former Seed+r reused the
+			// deployment stream as the protocol stream).
 			dep, err := deploy.Generate(deploy.Config{
 				P: pre.P, Rho: meanRho, Profile: heteroProfile,
-			}, seededRand(pre.Seed+int64(r)))
+			}, seededRand(engine.DeriveSeed(pre.Seed, "hetero-deploy", r)))
 			if err != nil {
 				return nil, err
 			}
 			cfg := pre.SimConfig(meanRho)
 			cfg.Deployment = dep
 			cfg.Protocol = scheme
-			cfg.Seed = pre.Seed + int64(r)
+			cfg.Seed = engine.DeriveSeed(pre.Seed, "hetero-run", r)
 			res, err := sim.Run(cfg)
 			if err != nil {
 				return nil, err

@@ -5,8 +5,11 @@
 package experiments
 
 import (
+	"context"
+
 	"sensornet/internal/analytic"
 	"sensornet/internal/channel"
+	"sensornet/internal/engine"
 	"sensornet/internal/mathx"
 	"sensornet/internal/optimize"
 	"sensornet/internal/sim"
@@ -110,29 +113,44 @@ type Surface struct {
 	Simulated bool
 }
 
-// AnalyticSurface sweeps the analytical model over the preset.
+// AnalyticSurface sweeps the analytical model over the preset on a
+// default engine.
 func AnalyticSurface(pre Preset) (*Surface, error) {
-	s := &Surface{Pre: pre}
-	for _, rho := range pre.Rhos {
-		pts, err := optimize.SweepAnalytic(pre.AnalyticConfig(rho), pre.Grid, pre.Constraints)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, pts)
-	}
-	return s, nil
+	return AnalyticSurfaceCtx(context.Background(), defaultEngine(pre), pre)
 }
 
-// SimSurface sweeps the simulator over the preset.
-func SimSurface(pre Preset) (*Surface, error) {
-	s := &Surface{Pre: pre, Simulated: true}
-	for _, rho := range pre.Rhos {
-		pts, err := optimize.SweepSim(pre.SimConfig(rho), pre.Grid, pre.Constraints,
-			pre.Runs, pre.Workers)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, pts)
+// AnalyticSurfaceCtx sweeps the analytical model over the preset,
+// submitting one cached job per density to eng. Rows come back in Rhos
+// order regardless of the engine's worker count.
+func AnalyticSurfaceCtx(ctx context.Context, eng *engine.Engine, pre Preset) (*Surface, error) {
+	jobs := make([]engine.Job, len(pre.Rhos))
+	for i, rho := range pre.Rhos {
+		jobs[i] = analyticRowJob(pre, rho)
 	}
-	return s, nil
+	results, err := eng.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return surfaceFromResults(pre, results, false)
+}
+
+// SimSurface sweeps the simulator over the preset on a default engine.
+func SimSurface(pre Preset) (*Surface, error) {
+	return SimSurfaceCtx(context.Background(), defaultEngine(pre), pre)
+}
+
+// SimSurfaceCtx sweeps the simulator over the preset, submitting one
+// cached job per density to eng; replications inside each row fan out
+// up to the engine's worker bound. For a fixed preset seed the surface
+// is identical for any worker count.
+func SimSurfaceCtx(ctx context.Context, eng *engine.Engine, pre Preset) (*Surface, error) {
+	jobs := make([]engine.Job, len(pre.Rhos))
+	for i, rho := range pre.Rhos {
+		jobs[i] = simRowJob(pre, rho, eng.Workers())
+	}
+	results, err := eng.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return surfaceFromResults(pre, results, true)
 }

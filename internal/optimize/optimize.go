@@ -12,6 +12,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,6 +91,12 @@ func SweepAnalytic(base analytic.Config, grid []float64, c Constraints) ([]Point
 // the paper's 30-run averages; infeasible runs are skipped NaN-style).
 // base.Protocol is overridden with PB_CAM at each grid probability.
 func SweepSim(base sim.Config, grid []float64, c Constraints, runs, workers int) ([]Point, error) {
+	return SweepSimCtx(context.Background(), base, grid, c, runs, workers)
+}
+
+// SweepSimCtx is SweepSim with cooperative cancellation, checked
+// between grid points and between replications.
+func SweepSimCtx(ctx context.Context, base sim.Config, grid []float64, c Constraints, runs, workers int) ([]Point, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("optimize: empty probability grid")
 	}
@@ -97,7 +104,7 @@ func SweepSim(base sim.Config, grid []float64, c Constraints, runs, workers int)
 	for _, p := range grid {
 		cfg := base
 		cfg.Protocol = protocol.Probability{P: p}
-		agg, err := sim.RunMany(cfg, runs, workers)
+		agg, err := sim.RunManyCtx(ctx, cfg, runs, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,15 @@ type Aggregate struct {
 // `workers` (<= 0 means one worker per run, capped internally by the
 // scheduler).
 func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
+	return RunManyCtx(context.Background(), cfg, runs, workers)
+}
+
+// RunManyCtx is RunMany with cooperative cancellation: replications not
+// yet started when ctx is cancelled are skipped and the context's error
+// is returned (wrapped, so errors.Is(err, context.Canceled) holds).
+// Per-replication seeds (Seed+i) and the aggregation order are
+// index-derived, so the aggregate is identical for any worker count.
+func RunManyCtx(ctx context.Context, cfg Config, runs, workers int) (*Aggregate, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("sim: runs must be > 0, got %d", runs)
 	}
@@ -36,6 +46,10 @@ func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
 			results[i], errs[i] = Run(c)
@@ -43,6 +57,9 @@ func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
 	}
 	for i := 0; i < runs; i++ {
 		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: aborted after cancellation: %w", context.Cause(ctx))
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Span records one unit of executor work: a job attempt (or cache hit)
+// with its placement on a worker and its wall-clock extent. The
+// execution engine (internal/engine) records spans here so that job
+// timing and worker utilization are observable through the same package
+// that makes channel activity observable.
+type Span struct {
+	// Name identifies the job the span belongs to.
+	Name string
+	// Worker is the index of the pool worker that ran the span.
+	Worker int
+	// Attempt is 1 for the first execution, 2+ for retries, 0 for a
+	// cache hit (no execution happened).
+	Attempt int
+	// Start is the span's offset from the log's epoch.
+	Start time.Duration
+	// Duration is the span's wall-clock extent.
+	Duration time.Duration
+	// Cached marks a span satisfied from the result cache.
+	Cached bool
+	// Failed marks a span whose attempt returned an error.
+	Failed bool
+}
+
+// SpanLog is a concurrency-safe collector of Spans. The zero value is
+// ready to use; its epoch is fixed on the first Record call.
+type SpanLog struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+}
+
+// Epoch returns the log's time origin, fixing it to now when the log is
+// still empty.
+func (l *SpanLog) Epoch() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epochLocked()
+}
+
+func (l *SpanLog) epochLocked() time.Time {
+	if l.epoch.IsZero() {
+		l.epoch = time.Now()
+	}
+	return l.epoch
+}
+
+// Record appends one span.
+func (l *SpanLog) Record(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epochLocked()
+	l.spans = append(l.spans, s)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spans)
+}
+
+// Busy sums the wall-clock extents of all executed (non-cached) spans:
+// the total time pool workers spent running jobs.
+func (l *SpanLog) Busy() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var busy time.Duration
+	for _, s := range l.spans {
+		if !s.Cached {
+			busy += s.Duration
+		}
+	}
+	return busy
+}
+
+// Utilization returns Busy divided by the capacity workers×wall: the
+// fraction of the pool's available compute that executed jobs. It
+// returns 0 when the capacity is not positive.
+func (l *SpanLog) Utilization(workers int, wall time.Duration) float64 {
+	if workers <= 0 || wall <= 0 {
+		return 0
+	}
+	return float64(l.Busy()) / (float64(workers) * float64(wall))
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLogRecordAndTotals(t *testing.T) {
+	var l SpanLog
+	l.Record(Span{Name: "a", Worker: 0, Attempt: 1, Duration: 10 * time.Millisecond})
+	l.Record(Span{Name: "b", Worker: 1, Attempt: 1, Duration: 30 * time.Millisecond})
+	l.Record(Span{Name: "a", Worker: 0, Cached: true})
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if got := l.Busy(); got != 40*time.Millisecond {
+		t.Fatalf("busy = %v, cached spans must not count", got)
+	}
+	spans := l.Spans()
+	if len(spans) != 3 || spans[1].Name != "b" {
+		t.Fatalf("spans %+v", spans)
+	}
+	// The returned slice is a copy.
+	spans[0].Name = "mutated"
+	if l.Spans()[0].Name != "a" {
+		t.Fatal("Spans() exposed internal state")
+	}
+}
+
+func TestSpanLogUtilization(t *testing.T) {
+	var l SpanLog
+	l.Record(Span{Name: "a", Duration: 50 * time.Millisecond})
+	l.Record(Span{Name: "b", Duration: 50 * time.Millisecond})
+	if u := l.Utilization(2, 100*time.Millisecond); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := l.Utilization(0, time.Second); u != 0 {
+		t.Fatalf("zero workers should yield 0, got %v", u)
+	}
+	if u := l.Utilization(2, 0); u != 0 {
+		t.Fatalf("zero wall should yield 0, got %v", u)
+	}
+}
+
+func TestSpanLogEpochStable(t *testing.T) {
+	var l SpanLog
+	e1 := l.Epoch()
+	l.Record(Span{Name: "x"})
+	if e2 := l.Epoch(); !e1.Equal(e2) {
+		t.Fatalf("epoch moved: %v vs %v", e1, e2)
+	}
+}
+
+func TestSpanLogConcurrentRecord(t *testing.T) {
+	var l SpanLog
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Span{Name: "j", Worker: w, Attempt: 1,
+					Duration: time.Microsecond})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d, want 800", l.Len())
+	}
+	if l.Busy() != 800*time.Microsecond {
+		t.Fatalf("busy = %v", l.Busy())
+	}
+}
