@@ -1,0 +1,21 @@
+// Sensorlint enforces this repository's determinism and context
+// contracts as static checks: seed derivation through
+// engine.DeriveSeed, no wall-clock or global-rand reads in libraries,
+// contexts flowing down from callers, no exact float comparison, and
+// concurrency routed through the engine pool. Run it over the module:
+//
+//	go run ./cmd/sensorlint ./...
+//
+// It exits non-zero on findings; see internal/lint for the checks and
+// the //lint:ignore suppression convention.
+package main
+
+import (
+	"os"
+
+	"sensornet/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

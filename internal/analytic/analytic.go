@@ -71,6 +71,7 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	//lint:ignore floateq exact zero is the "unset" sentinel for config fields, not a computed value
 	if c.R == 0 {
 		c.R = 1
 	}
@@ -80,6 +81,7 @@ func (c *Config) applyDefaults() {
 	if c.MaxPhases == 0 {
 		c.MaxPhases = 64
 	}
+	//lint:ignore floateq exact zero is the "unset" sentinel for config fields, not a computed value
 	if c.Epsilon == 0 {
 		c.Epsilon = 1e-9
 	}

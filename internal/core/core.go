@@ -101,6 +101,7 @@ func (m NetworkModel) Analyze(p float64) (Timeline, error) {
 		return Timeline{}, err
 	}
 	if m.Comm == CFM {
+		//lint:ignore floateq flooding is exactly p = 1 by definition; callers pass the literal, nothing is computed
 		if p != 1 {
 			return Timeline{}, errors.New("core: CFM analysis covers flooding (p = 1) only")
 		}

@@ -20,6 +20,7 @@ func (m NetworkModel) Deploy(seed int64) (*deploy.Deployment, error) {
 	return deploy.Generate(deploy.Config{
 		P: m.P, R: m.R, Rho: m.Rho,
 		WithSensing: m.Comm == CAMCarrierSense,
+		//lint:ignore seedderive Deploy's contract is to seed the root RNG from the caller's seed verbatim
 	}, rand.New(rand.NewSource(seed)))
 }
 
@@ -58,6 +59,7 @@ func (m NetworkModel) ReliableBroadcastCost(seed int64) (reliable.AckResult, err
 // multi-packet-reception realisation of CFM.
 func (m NetworkModel) TDMACost(seed int64) (frameLen int, err error) {
 	cfg := deploy.Config{P: m.P, R: m.R, Rho: m.Rho, WithSensing: true}
+	//lint:ignore seedderive TDMACost seeds the root RNG from the caller's seed verbatim, mirroring Deploy
 	dep, err := deploy.Generate(cfg, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return 0, err

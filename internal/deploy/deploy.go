@@ -47,6 +47,7 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	//lint:ignore floateq exact zero is the "unset" sentinel for config fields, not a computed value
 	if c.R == 0 {
 		c.R = 1
 	}

@@ -33,6 +33,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floateq heap ordering must break ties on bitwise-equal times only; an epsilon would make the event order ambiguous
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

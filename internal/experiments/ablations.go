@@ -30,6 +30,7 @@ func CollisionProfile(pre Preset, rho float64) (*FigureResult, error) {
 			var col trace.Collector
 			cfg := pre.SimConfig(rho)
 			cfg.Protocol = protocol.Probability{P: p}
+			//lint:ignore seedderive sequential seeds pair replications across grid probabilities (variance reduction by common random numbers)
 			cfg.Seed = pre.Seed + int64(r)
 			cfg.Tracer = &col
 			res, err := sim.Run(cfg)
@@ -81,6 +82,7 @@ func SlotSweep(rho float64, slots []int, grid []float64, c optimize.Constraints)
 		// Latency at the same operating point.
 		lat := math.NaN()
 		for _, pt := range pts {
+			//lint:ignore floateq o.P is a verbatim copy of one pts[i].P; this looks up that same point by identity
 			if pt.P == o.P {
 				lat = pt.Latency
 			}

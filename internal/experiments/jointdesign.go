@@ -45,6 +45,7 @@ func JointDesign(pre Preset, rho float64, slotBudget float64, slots []int) (*Fig
 			cfg := pre.SimConfig(rho)
 			cfg.S = s
 			cfg.Protocol = protocol.Probability{P: bestP}
+			//lint:ignore seedderive sequential seeds pair replications across slot counts (variance reduction by common random numbers)
 			cfg.Seed = pre.Seed + int64(r)
 			sr, err := sim.Run(cfg)
 			if err != nil {

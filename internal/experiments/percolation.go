@@ -6,6 +6,7 @@ import (
 
 	"sensornet/internal/channel"
 	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
 	"sensornet/internal/mathx"
 	"sensornet/internal/protocol"
 	"sensornet/internal/sim"
@@ -32,6 +33,7 @@ func Percolation(p int, grid []float64, runs int, seed int64) (*FigureResult, er
 	t.Header = []string{"p", "final reach"}
 
 	dep, err := deploy.Generate(deploy.Config{P: p, Grid: true},
+		//lint:ignore seedderive the caller-provided root seed seeds the single shared grid deployment
 		rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
@@ -45,7 +47,7 @@ func Percolation(p int, grid []float64, runs int, seed int64) (*FigureResult, er
 				P: p, S: 1, Rho: 1, // Rho unused with an explicit deployment
 				Model:      channel.CFM,
 				Protocol:   protocol.Probability{P: prob},
-				Seed:       seed + int64(r)*1009 + int64(prob*1e6),
+				Seed:       engine.DeriveSeed(seed, "percolation", prob, r),
 				Deployment: dep,
 			}
 			res, err := sim.Run(cfg)

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sensornet/internal/analytic"
 	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
 	"sensornet/internal/reliable"
 )
@@ -30,13 +30,18 @@ func RefinedCFM(pre Preset, seeds int) (*FigureResult, error) {
 	for _, rho := range pre.Rhos {
 		var slots, txs []float64
 		for seed := int64(0); seed < int64(seeds); seed++ {
+			// Deployment and ACK streams are derived, not computed: the
+			// former seed*104729+int64(rho) collided whenever two
+			// densities truncated to the same int64 and reused one ACK
+			// stream across every density at a fixed seed.
 			dep, err := deploy.Generate(deploy.Config{P: pre.P, Rho: rho},
-				rand.New(rand.NewSource(seed*104729+int64(rho))))
+				seededRand(engine.DeriveSeed(seed, "refinedcfm-deploy", rho)))
 			if err != nil {
 				return nil, err
 			}
 			ack, err := reliable.AckBroadcast(dep, 0, reliable.AckConfig{
-				Window: pre.S, Adaptive: true, Seed: seed,
+				Window: pre.S, Adaptive: true,
+				Seed: engine.DeriveSeed(seed, "refinedcfm-ack", rho),
 			})
 			if err != nil {
 				return nil, err

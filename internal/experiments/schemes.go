@@ -40,6 +40,7 @@ func SchemeComparison(pre Preset, rhos []float64) (*FigureResult, error) {
 			for r := 0; r < pre.Runs; r++ {
 				cfg := pre.SimConfig(rho)
 				cfg.Protocol = scheme
+				//lint:ignore seedderive sequential seeds pair replications across schemes so every scheme sees the same deployments
 				cfg.Seed = pre.Seed + int64(r)
 				res, err := sim.Run(cfg)
 				if err != nil {

@@ -142,6 +142,7 @@ func runCAM(dep *deploy.Deployment, cfg Config, res *Result, parent []int32, dep
 	if err != nil {
 		return err
 	}
+	//lint:ignore seedderive Config.Seed is the caller-provided root seed for the convergecast contention stream
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	byLevel := make([][]int32, res.Depth+1)

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// BareGoroutine flags `go` statements outside internal/engine and
+// cmd/. The engine's worker pool is the sanctioned concurrency
+// surface: it bounds parallelism, propagates cancellation, and keeps
+// result order canonical so outputs stay byte-identical across worker
+// counts. A goroutine spawned anywhere else is unbounded, invisible to
+// the pool's accounting, and a standing invitation to ordering races.
+// Binaries keep the usual latitude for signal handling and shutdown.
+var BareGoroutine = &Analyzer{
+	Name: "baregoroutine",
+	Doc:  "go statement outside internal/engine's worker pool and cmd/",
+	Run:  runBareGoroutine,
+}
+
+func runBareGoroutine(p *Pass) {
+	if p.Rel() == "internal/engine" || strings.HasPrefix(p.Rel(), "cmd/") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "bare goroutine outside internal/engine: route the work through the engine pool so it is bounded, cancellable, and deterministic in output order")
+			}
+			return true
+		})
+	}
+}

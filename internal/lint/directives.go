@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment. A directive suppresses
+// findings of its named check on the comment's own line (trailing form)
+// and on the line directly below it (standalone form).
+type directive struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+	// malformed carries a parse problem ("" when well-formed); the
+	// runner reports it under the "ignore" pseudo-check.
+	malformed string
+}
+
+// ignoreCheck is the pseudo-check name used for problems with the
+// suppression directives themselves (malformed, unknown check, unused).
+// It cannot itself be suppressed: a broken suppression must be fixed,
+// not silenced.
+const ignoreCheck = "ignore"
+
+const directivePrefix = "//lint:ignore"
+
+// parseDirectives extracts every //lint:ignore directive from the
+// package's sources. known maps valid check names (nil disables the
+// unknown-name validation, used when running a single analyzer in
+// tests).
+func parseDirectives(pkg *Package, known map[string]bool) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: pkg.fset.Position(c.Slash)}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing check name and reason; want //lint:ignore <check> <reason>"
+				case len(fields) == 1:
+					d.check = fields[0]
+					d.malformed = "missing reason; every suppression must say why it is safe"
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if d.malformed == "" && known != nil && !known[d.check] {
+					d.malformed = "unknown check " + quote(d.check)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// applyDirectives filters findings through the package's directives.
+// It returns the surviving findings plus one "ignore" finding per
+// malformed directive. Unused directives are only reported when
+// reportUnused is set (the full check set ran, so "matched nothing"
+// actually means the suppression is stale).
+func applyDirectives(findings []Finding, dirs []*directive, reportUnused bool) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.malformed != "" || d.check != f.Check || d.pos.Filename != f.File {
+				continue
+			}
+			if f.Line == d.pos.Line || f.Line == d.pos.Line+1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.malformed != "":
+			out = append(out, Finding{
+				File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
+				Check:   ignoreCheck,
+				Message: "malformed //lint:ignore directive: " + d.malformed,
+			})
+		case !d.used && reportUnused:
+			out = append(out, Finding{
+				File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
+				Check:   ignoreCheck,
+				Message: "unused //lint:ignore directive for check " + quote(d.check) + ": it suppresses nothing, delete it",
+			})
+		}
+	}
+	return out
+}

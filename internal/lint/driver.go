@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Main is the sensorlint driver, factored here so cmd/sensorlint stays
+// a one-line shim and tests can run the whole CLI in-process. It lints
+// the requested packages and returns the process exit code: 0 clean,
+// 1 findings, 2 usage or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sensorlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	rootFlag := fs.String("root", ".", "module root directory (must contain go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sensorlint [-json] [-checks c1,c2] [-root dir] [packages]\n\n"+
+			"Packages are module-root-relative patterns (default ./...). Checks:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := Analyzers()
+	fullSet := true
+	if *checksFlag != "" {
+		byName := map[string]*Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "sensorlint: unknown check %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+		fullSet = len(analyzers) == len(Analyzers())
+	}
+
+	loader, err := NewLoader(*rootFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+		return 2
+	}
+	findings := RelativeTo(Lint(pkgs, analyzers, fullSet), loader.Root)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "sensorlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

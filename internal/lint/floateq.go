@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. The
+// analytic and simulated surfaces are full of accumulated float sums;
+// exact comparison on them encodes an accident of rounding, not a
+// property. internal/mathx owns the epsilon and NaN helpers and is the
+// one package allowed to compare floats exactly (its interpolation
+// code legitimately tests for degenerate duplicated knots).
+//
+// Typing is best-effort: the loader stubs stdlib imports, so an
+// operand whose type only the stdlib knows is silently skipped rather
+// than guessed at.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= on floating-point values; compare via an epsilon or math.IsNaN",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if p.Rel() == "internal/mathx" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(b.X)) && !isFloat(p.TypeOf(b.Y)) {
+				return true
+			}
+			if render(p.Fset, b.X) == render(p.Fset, b.Y) {
+				p.Reportf(b.Pos(), "x %s x on floats is a NaN test in disguise; say math.IsNaN explicitly", b.Op)
+				return true
+			}
+			p.Reportf(b.Pos(), "exact %s on floating-point values compares rounding accidents; use an epsilon (internal/mathx) or restructure", b.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,164 @@
+// Package lint is a stdlib-only static-analysis framework that encodes
+// this repository's correctness contracts as executable checks. The
+// reproduction's core promise is bit-for-bit determinism: PB_CAM
+// surfaces and figure CSVs must be byte-identical across worker counts
+// at a fixed seed. That property is easy to break silently — one ad-hoc
+// `seed*K+rho` derivation, one `time.Now()` in a library, one bare
+// goroutine racing an aggregation — so instead of relying on review-time
+// vigilance the invariants live here, as analyzers the verify tier runs
+// over `./...` on every change (see cmd/sensorlint).
+//
+// The framework deliberately uses only go/ast, go/parser, go/token and
+// go/types: no external analysis dependencies. Findings can be silenced
+// with an in-source directive carrying a written justification:
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or on the line directly above it.
+// Directives with no reason, with an unknown check name, or that match
+// no finding are themselves reported, so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Analyzer is one named check run over a loaded package.
+type Analyzer struct {
+	// Name is the check identifier used in reports and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the check enforces.
+	Doc string
+	// Run inspects the package behind pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// Pass hands one analyzer one loaded package plus a report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Rel returns the package directory relative to the module root
+// ("internal/sim", "cmd/experiments", "" for the root package).
+// Allowlists key off this, so they are independent of the module name.
+func (p *Pass) Rel() string { return p.Pkg.Rel }
+
+// InDir reports whether the package sits at rel or anywhere below it.
+func (p *Pass) InDir(rel string) bool {
+	return p.Pkg.Rel == rel || strings.HasPrefix(p.Pkg.Rel, rel+"/")
+}
+
+// ImportedPkg resolves the base of a selector expression to the import
+// path of the package it names, or "" if the expression is not a
+// package qualifier. Resolution prefers type information (robust
+// against renamed imports and shadowing) and falls back to the
+// enclosing file's import table when the checker could not resolve the
+// identifier.
+func (p *Pass) ImportedPkg(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // resolved to something local: shadowed
+	}
+	file := p.Pkg.fileAt(id.Pos())
+	if file == nil {
+		return ""
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// IsPkgCall reports whether call invokes pkgPath.fn (e.g. "math/rand",
+// "NewSource") through a package qualifier.
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath string, fns ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if p.ImportedPkg(sel.X) != pkgPath {
+		return "", false
+	}
+	for _, fn := range fns {
+		if sel.Sel.Name == fn {
+			return fn, true
+		}
+	}
+	return "", false
+}
+
+// TypeOf returns the checked type of e, or nil when the checker could
+// not type it (partial information is expected: stdlib imports are
+// stubbed by the loader).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// sortFindings orders findings by file, line, column, check for stable
+// text and JSON output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (partially) type-checked package.
+type Package struct {
+	// Rel is the package directory relative to the module root; "" for
+	// the root package itself.
+	Rel string
+	// ImportPath is the module-qualified import path.
+	ImportPath string
+	// Dir is the absolute directory.
+	Dir string
+	// Files holds the parsed non-test sources, in file-name order.
+	// Test files are excluded by design: sensorlint checks library and
+	// binary code, while tests legitimately pin fixed seeds and compare
+	// floats bit-for-bit in determinism assertions.
+	Files []*ast.File
+	// Info carries type information. It is intentionally partial:
+	// stdlib imports are stubbed (see Loader), so expressions whose
+	// types depend on stdlib results may be untyped. Analyzers treat a
+	// missing type as "unknown", never as a finding.
+	Info *types.Info
+	// Types is the checked package object (may be incomplete).
+	Types *types.Package
+	// TypeErrors collects checker diagnostics; they are expected (the
+	// stub importer guarantees unresolved stdlib members) and only
+	// surface in debug output.
+	TypeErrors []error
+
+	fset *token.FileSet
+}
+
+// fileAt returns the parsed file containing pos.
+func (p *Package) fileAt(pos token.Pos) *ast.File {
+	tf := p.fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.fset.File(f.Pos()) == tf {
+			return f
+		}
+	}
+	return nil
+}
+
+// Loader parses and type-checks packages under one module root without
+// leaving the standard library. Module-internal imports are loaded
+// recursively from source; every other import resolves to an empty stub
+// package. That keeps the tool hermetic and fast at the cost of partial
+// type information for stdlib-derived expressions — an explicit trade
+// documented on Package.Info.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // absolute module root
+	Module string // module path from go.mod
+
+	pkgs    map[string]*Package       // by Rel
+	loading map[string]bool           // cycle guard, by Rel
+	stubs   map[string]*types.Package // by import path
+}
+
+// NewLoader roots a loader at dir, which must contain go.mod (parent
+// directories are not searched: the tool is always invoked from, or
+// pointed at, the module root).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		Root:    abs,
+		Module:  module,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		stubs:   map[string]*types.Package{},
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot find module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadAll walks every package under the given root-relative patterns
+// ("./..." style; "x/..." walks the subtree at x, anything else names a
+// single package directory) and returns them in Rel order.
+func (l *Loader) LoadAll(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	rels := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "." {
+			pat = ""
+		}
+		dir := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(dir) {
+				rels[pat] = true
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(l.Root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				rels[filepath.ToSlash(rel)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+		}
+	}
+	var out []*Package
+	for rel := range rels {
+		pkg, err := l.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and checks the package at rel, memoized.
+func (l *Loader) load(rel string) (*Package, error) {
+	if pkg, ok := l.pkgs[rel]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	pkg, err := l.loadDirAs(dir, rel)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[rel] = pkg
+	return pkg, nil
+}
+
+// LoadDirAs loads the single package in dir, recording it under the
+// given root-relative path. Tests use this to check allowlisting:
+// a testdata package loaded as "internal/engine" must be exempt from
+// the engine-allowlisted analyzers.
+func (l *Loader) LoadDirAs(dir, rel string) (*Package, error) {
+	return l.loadDirAs(dir, rel)
+}
+
+func (l *Loader) loadDirAs(dir, rel string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	importPath := l.Module
+	if rel != "" {
+		importPath = l.Module + "/" + rel
+	}
+	pkg := &Package{
+		Rel:        rel,
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		fset:       l.Fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	l.loading[rel] = true
+	tpkg, _ := conf.Check(importPath, l.Fset, files, pkg.Info) // errors collected above
+	delete(l.loading, rel)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type checking: module-internal
+// paths load recursively from source, everything else (stdlib, absent
+// third parties) becomes an empty stub so checking proceeds with
+// partial information instead of failing.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		if l.loading[rel] {
+			return l.stub(path), nil // import cycle: invalid Go, let vet complain
+		}
+		pkg, err := l.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stub(path), nil
+}
+
+func (l *Loader) stub(path string) *types.Package {
+	if p, ok := l.stubs[path]; ok {
+		return p
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	l.stubs[path] = p
+	return p
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// Analyzers returns the full registered check set, in name order. The
+// "ignore" pseudo-check (problems with suppression directives
+// themselves) is implicit and always on.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{BareGoroutine, CtxBg, FloatEq, NoDeterm, SeedDerive}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// Lint runs the analyzers over every package, applies each package's
+// //lint:ignore directives, and returns the surviving findings sorted
+// by position. reportUnused should be true only when the full check
+// set ran: with a subset active, a directive that matched nothing may
+// simply belong to a disabled check.
+func Lint(pkgs []*Package, analyzers []*Analyzer, reportUnused bool) []Finding {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.fset, Pkg: pkg, findings: &findings}
+			a.Run(pass)
+		}
+		out = append(out, applyDirectives(findings, parseDirectives(pkg, known), reportUnused)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// RelativeTo rewrites finding file paths relative to base, for stable,
+// readable output; paths that cannot be relativized are left alone.
+func RelativeTo(findings []Finding, base string) []Finding {
+	out := make([]Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(base, f.File); err == nil {
+			f.File = filepath.ToSlash(rel)
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SeedDerive flags ad-hoc seed derivation outside internal/engine. PR 1
+// established that affine maps of nearby seeds (`seed*7919+int64(rho)`)
+// collide or correlate across nearby parameter values, and replaced
+// them with the splitmix64-based engine.DeriveSeed — then PR 2 found
+// the same pattern had survived in refinedcfm. Two rules:
+//
+//  1. Any rand.NewSource call outside internal/engine is reported. If
+//     its argument contains arithmetic it is a derivation bug to fix
+//     with engine.DeriveSeed; if it merely forwards a caller-provided
+//     root seed, suppress with a reason saying so.
+//  2. Arithmetic (+ - * / % ^ etc.) on a seed-named operand (`seed`,
+//     `cfg.Seed`, `baseSeed`, ...) is reported wherever it occurs: the
+//     sum of two seeds is not an independent seed.
+var SeedDerive = &Analyzer{
+	Name: "seedderive",
+	Doc:  "ad-hoc seed arithmetic and raw rand.NewSource outside internal/engine; use engine.DeriveSeed",
+	Run:  runSeedDerive,
+}
+
+func runSeedDerive(p *Pass) {
+	if p.Rel() == "internal/engine" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		// flaggedArgs tracks arguments of already-reported NewSource
+		// calls so rule 2 does not report the same expression twice.
+		flaggedArgs := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if _, ok := p.IsPkgCall(n, "math/rand", "NewSource"); !ok {
+					return true
+				}
+				if len(n.Args) == 1 && containsArith(n.Args[0]) {
+					flaggedArgs[n.Args[0]] = true
+					p.Reportf(n.Pos(), "seed derived by inline arithmetic collides across nearby parameters; derive it with engine.DeriveSeed(base, parts...)")
+				} else {
+					p.Reportf(n.Pos(), "raw rand.NewSource outside internal/engine: derive per-stream seeds with engine.DeriveSeed, or suppress if this seeds the root RNG from a caller-provided seed")
+				}
+			case *ast.BinaryExpr:
+				if !arithOp(n.Op) || !mentionsSeed(n) {
+					return true
+				}
+				for arg := range flaggedArgs {
+					if n.Pos() >= arg.Pos() && n.End() <= arg.End() {
+						return false
+					}
+				}
+				p.Reportf(n.Pos(), "arithmetic on a seed yields correlated or colliding streams; derive child seeds with engine.DeriveSeed(base, parts...)")
+				return false // one report per expression tree
+			}
+			return true
+		})
+	}
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.XOR, token.OR, token.AND, token.AND_NOT, token.SHL, token.SHR:
+		return true
+	}
+	return false
+}
+
+// containsArith reports whether the expression tree contains any
+// arithmetic binary operator.
+func containsArith(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && arithOp(b.Op) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsSeed reports whether either operand of the (possibly nested)
+// arithmetic expression is seed-named: the identifier or field `seed`
+// or anything ending in `Seed` (`cfg.Seed`, `baseSeed`). The plural
+// `seeds` — a count, not a seed — deliberately does not match.
+func mentionsSeed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		default:
+			return true
+		}
+		if strings.EqualFold(name, "seed") || strings.HasSuffix(name, "Seed") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

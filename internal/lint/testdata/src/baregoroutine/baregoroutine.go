@@ -1,0 +1,26 @@
+// Package baregoroutine is lint testdata: go statements outside the
+// engine pool.
+package baregoroutine
+
+func fanOut(jobs []func()) {
+	done := make(chan struct{}, len(jobs))
+	for _, job := range jobs {
+		go func(f func()) { // want: bare goroutine
+			defer func() { done <- struct{}{} }()
+			f()
+		}(job)
+	}
+	for range jobs {
+		<-done
+	}
+}
+
+func fireAndForget(f func()) {
+	go f() // want: bare goroutine
+}
+
+// A suppressed goroutine with a written reason is clean.
+func justified(f func()) {
+	//lint:ignore baregoroutine testdata: bounded and joined by the caller
+	go f()
+}

@@ -1,0 +1,10 @@
+// Package main is lint testdata loaded under the rel path cmd/tool:
+// binaries keep the usual latitude (signal handlers, shutdown), so the
+// goroutine below may not be reported.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,37 @@
+// Package ctxbg is lint testdata: context.Background/TODO in internal
+// code, with the blessed XxxCtx wrapper pattern as the exemption.
+package ctxbg
+
+import "context"
+
+type runner struct{}
+
+func (runner) SweepCtx(ctx context.Context, n int) error     { return ctx.Err() }
+func (runner) SweepContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// Sweep is the documented wrapper pattern: allowed.
+func (r runner) Sweep(n int) error {
+	return r.SweepCtx(context.Background(), n)
+}
+
+// sweep delegates to the Context-suffixed twin, lower-cased: allowed.
+func sweep(r runner, n int) error {
+	return r.SweepContext(context.Background(), n)
+}
+
+// Orphan builds a context out of thin air mid-library: flagged.
+func Orphan(r runner, n int) error {
+	ctx := context.Background() // want: ctxbg
+	return r.SweepCtx(ctx, n)
+}
+
+// Todo is no better: flagged.
+func Todo(r runner, n int) error {
+	return r.SweepCtx(context.TODO(), n) // wrapper twin is SweepCtx, not TodoCtx: flagged
+}
+
+// Mismatch delegates to something that is not its own Ctx twin:
+// flagged.
+func Mismatch(r runner, n int) error {
+	return r.SweepCtx(context.Background(), n)
+}

@@ -1,0 +1,46 @@
+// Package floateq is lint testdata: exact floating-point comparisons
+// and the comparisons that must stay legal.
+package floateq
+
+type point struct{ X, Y float64 }
+
+func equal(a, b float64) bool {
+	return a == b // want: exact ==
+}
+
+func notEqual(a float32, b float32) bool {
+	return a != b // want: exact !=
+}
+
+func nanTest(x float64) bool {
+	return x != x // want: NaN test in disguise
+}
+
+func fieldCompare(p, q point) bool {
+	return p.X == q.X // want: exact ==
+}
+
+func mixed(n int, x float64) bool {
+	return float64(n) == x // want: exact ==
+}
+
+func sentinel(r float64) float64 {
+	//lint:ignore floateq testdata: zero is the unset sentinel
+	if r == 0 {
+		return 1
+	}
+	return r
+}
+
+// Negatives: integer and string comparisons, float ordering, and
+// epsilon-style comparison.
+func negatives(i, j int, s string, a, b float64) bool {
+	if i == j || s == "x" {
+		return true
+	}
+	if a < b || a > b {
+		return false
+	}
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

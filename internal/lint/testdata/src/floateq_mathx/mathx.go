@@ -1,0 +1,8 @@
+// Package floateq_mathx is lint testdata loaded under the rel path
+// internal/mathx: the epsilon-helper package is allowed to compare
+// floats exactly, so nothing here may be reported.
+package floateq_mathx
+
+func dupKnot(xs []float64, i int) bool {
+	return xs[i] == xs[i-1]
+}

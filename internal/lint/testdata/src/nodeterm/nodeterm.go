@@ -1,0 +1,38 @@
+// Package nodeterm is lint testdata: nondeterministic inputs in
+// library code, plus the deterministic look-alikes the analyzer must
+// not touch.
+package nodeterm
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want: time.Now
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want: time.Since
+}
+
+func env() string {
+	return os.Getenv("SENSORNET_DEBUG") // want: os.Getenv
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want: global generator
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: global generator
+}
+
+// Negatives: constructing a seeded generator is deterministic (that is
+// seedderive's territory, not nodeterm's), methods on an injected
+// *rand.Rand are fine, and fixed durations read no clock.
+func negatives(rng *rand.Rand) (float64, time.Duration) {
+	_ = rand.New(rand.NewSource(1))
+	return rng.Float64(), 5 * time.Second
+}

@@ -1,0 +1,10 @@
+// Package nodeterm_trace is lint testdata loaded under the rel path
+// internal/trace: allowlisted for wall-clock reads (span timestamps),
+// so nothing here may be reported.
+package nodeterm_trace
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

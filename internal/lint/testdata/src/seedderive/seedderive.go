@@ -1,0 +1,53 @@
+// Package seedderive is lint testdata: every construct the seedderive
+// analyzer must flag, plus the patterns it must leave alone.
+package seedderive
+
+import (
+	"math/rand"
+
+	mrand "math/rand"
+)
+
+// Computed argument: the classic affine derivation bug.
+func affine(seed int64, rho float64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*104729 + int64(rho))) // want: inline arithmetic
+}
+
+// Raw construction from a forwarded seed: flagged, suppressible.
+func raw(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want: raw rand.NewSource
+}
+
+// Renamed import must still resolve to math/rand.
+func renamed(seed int64) mrand.Source {
+	return mrand.NewSource(seed) // want: raw rand.NewSource
+}
+
+// Seed arithmetic away from any NewSource call.
+func arith(baseSeed int64, r int) int64 {
+	derived := baseSeed + int64(r) // want: arithmetic on a seed
+	return derived
+}
+
+type config struct{ Seed int64 }
+
+// Field access spelled ...Seed counts as a seed operand.
+func fieldArith(cfg config, i int) int64 {
+	return cfg.Seed * int64(i) // want: arithmetic on a seed
+}
+
+// A suppressed root construction is clean.
+func suppressed(seed int64) *rand.Rand {
+	//lint:ignore seedderive testdata: caller-provided root seed
+	return rand.New(rand.NewSource(seed))
+}
+
+// Negatives: comparisons and increments are not derivations, and the
+// plural `seeds` is a count, not a seed.
+func negatives(seeds int) int {
+	total := 0
+	for seed := 0; seed < seeds; seed++ {
+		total += seeds - 1
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Package seedderive_engine is lint testdata loaded under the rel path
+// internal/engine: the one package allowed to construct sources and do
+// seed mixing, so none of this may be reported.
+package seedderive_engine
+
+import "math/rand"
+
+func mix(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*31 + int64(i)))
+}

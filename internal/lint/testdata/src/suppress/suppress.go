@@ -1,0 +1,43 @@
+// Package suppress is lint testdata for the directive machinery
+// itself: well-formed suppressions in both placements, plus the
+// malformed and stale forms that must be reported under "ignore".
+package suppress
+
+import "math/rand"
+
+// Standalone directive on the line above the finding: suppressed.
+func above(seed int64) rand.Source {
+	//lint:ignore seedderive testdata: root seed forwarded verbatim
+	return rand.NewSource(seed)
+}
+
+// Trailing directive on the finding's own line: suppressed.
+func trailing(seed int64) rand.Source {
+	return rand.NewSource(seed) //lint:ignore seedderive testdata: root seed forwarded verbatim
+}
+
+// A directive with no reason must be reported, and it suppresses
+// nothing: the finding below it survives.
+func noReason(seed int64) rand.Source {
+	//lint:ignore seedderive
+	return rand.NewSource(seed)
+}
+
+// A directive naming an unknown check must be reported.
+func unknownCheck(seed int64) rand.Source {
+	//lint:ignore notacheck testdata: this check does not exist
+	return rand.NewSource(seed)
+}
+
+// A directive that matches no finding is stale and must be reported.
+func stale() int {
+	//lint:ignore floateq testdata: nothing here compares floats
+	return 42
+}
+
+// A directive for the wrong check does not suppress: both the finding
+// and the stale directive are reported.
+func wrongCheck(seed int64) rand.Source {
+	//lint:ignore baregoroutine testdata: wrong check name for this line
+	return rand.NewSource(seed)
+}

@@ -59,6 +59,7 @@ func RefineOptimum(pts []Point, opt Optimum, eval func(p float64) float64, maxim
 	// Find the bracketing neighbours of the grid optimum.
 	idx := -1
 	for i, pt := range pts {
+		//lint:ignore floateq opt.P is a verbatim copy of one pts[i].P; this recovers that point's index by identity
 		if pt.P == opt.P {
 			idx = i
 			break

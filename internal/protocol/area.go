@@ -44,6 +44,7 @@ type areaState struct {
 // closest heard transmitter is at distance d.
 func (s *areaState) extraFraction(d float64) float64 {
 	full := geom.DiskArea(s.r)
+	//lint:ignore floateq a zero-radius disk has exactly zero area; this guards the degenerate config, not a rounding outcome
 	if full == 0 {
 		return 0
 	}
@@ -52,6 +53,7 @@ func (s *areaState) extraFraction(d float64) float64 {
 }
 
 func (s *areaState) observe(node int32, dist float64) float64 {
+	//lint:ignore floateq exact zero is the "no transmitter heard yet" sentinel (real distances are strictly positive)
 	if s.minDist[node] == 0 || dist < s.minDist[node] {
 		s.minDist[node] = dist
 	}

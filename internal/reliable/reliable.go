@@ -85,6 +85,7 @@ func AckBroadcast(dep *deploy.Deployment, source int32, cfg AckConfig) (AckResul
 	if err != nil {
 		return AckResult{}, err
 	}
+	//lint:ignore seedderive AckConfig.Seed is the caller-provided root seed for this broadcast's contention stream
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	neighbors := dep.Neighbors[source]

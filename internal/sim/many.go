@@ -43,6 +43,7 @@ func RunManyCtx(ctx context.Context, cfg Config, runs, workers int) (*Aggregate,
 	sem := make(chan struct{}, workers)
 	done := make(chan int, runs)
 	for i := 0; i < runs; i++ {
+		//lint:ignore baregoroutine replication fan-out predates the engine pool: sem-bounded, ctx-checked, and aggregated in index order
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
@@ -51,6 +52,7 @@ func RunManyCtx(ctx context.Context, cfg Config, runs, workers int) (*Aggregate,
 				return
 			}
 			c := cfg
+			//lint:ignore seedderive seeds Seed..Seed+runs-1 are RunMany's documented public contract (paper's 30-run averages)
 			c.Seed = cfg.Seed + int64(i)
 			results[i], errs[i] = Run(c)
 		}(i)

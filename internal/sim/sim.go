@@ -56,6 +56,7 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	//lint:ignore floateq exact zero is the "unset" sentinel for config fields, not a computed value
 	if c.R == 0 {
 		c.R = 1
 	}
@@ -122,6 +123,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	//lint:ignore seedderive Config.Seed is the run's root seed; campaigns derive it per row via engine.DeriveSeed
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	dep := cfg.Deployment
 	if dep == nil {

@@ -62,9 +62,11 @@ func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64, ok bool) {
 			ok = true
 		}
 	}
+	//lint:ignore floateq widening a degenerate axis needs bitwise equality: any epsilon would also widen valid near-flat ranges
 	if xMax == xMin {
 		xMax = xMin + 1
 	}
+	//lint:ignore floateq widening a degenerate axis needs bitwise equality: any epsilon would also widen valid near-flat ranges
 	if yMax == yMin {
 		yMax = yMin + 1
 	}

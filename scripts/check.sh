@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# check.sh runs the full verification ladder. Tier 1 is the build/test
+# contract every PR must keep green; tier 2 adds vet, the race detector
+# (campaigns execute on the concurrent engine pool), and sensorlint,
+# the repo-specific static-analysis pass that enforces the determinism,
+# seed-derivation, and context invariants (see internal/lint).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: go build ./... && go test ./..."
+go build ./...
+go test ./...
+
+echo "== tier 2: go vet ./..."
+go vet ./...
+
+echo "== tier 2: go test -race ./..."
+go test -race ./...
+
+echo "== tier 2: go run ./cmd/sensorlint ./..."
+go run ./cmd/sensorlint ./...
+
+echo "all checks passed"
