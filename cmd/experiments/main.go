@@ -9,6 +9,8 @@
 //	experiments -figure all -out report.txt # full campaign to a file
 //	experiments -figure all -workers=8      # saturate 8 cores
 //	experiments -figure all -cache-dir .cache/experiments  # reuse results
+//	experiments -figure degradation -quick -deg-rho 40 \
+//	    -crash-rates 0,0.2,0.4 -loss-rates 0,0.3    # fault tolerance study
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
@@ -29,7 +33,7 @@ import (
 func main() {
 	var (
 		figure = flag.String("figure", "all",
-			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|all")
+			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|degradation|all")
 		quick    = flag.Bool("quick", false, "coarse grids and few runs (fast)")
 		skipSim  = flag.Bool("skip-sim", false, "omit the simulated figures")
 		out      = flag.String("out", "", "write the report to a file instead of stdout")
@@ -40,8 +44,23 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-job timeout (0 = none)")
 		cacheDir = flag.String("cache-dir", "", "persist surface results here and reuse them across runs")
 		stats    = flag.Bool("stats", false, "print engine telemetry to stderr when done")
+
+		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
+		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
+		lossRates  = flag.String("loss-rates", "", "comma-separated link-loss rates for -figure degradation (default 0,0.1,0.3)")
 	)
 	flag.Parse()
+
+	deg := degParams{rho: *degRho}
+	var err error
+	if deg.crash, err = parseRates(*crashRates); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -crash-rates:", err)
+		os.Exit(2)
+	}
+	if deg.loss, err = parseRates(*lossRates); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -loss-rates:", err)
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -77,7 +96,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	err := run(ctx, eng, *figure, pa, ps, *skipSim, w, *csvDir)
+	err = run(ctx, eng, *figure, pa, ps, deg, *skipSim, w, *csvDir)
 	if *stats {
 		fmt.Fprintln(os.Stderr, eng.Stats())
 		if cache != nil {
@@ -94,6 +113,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// degParams collects the -figure degradation knobs. Empty rate slices
+// pick the study's defaults.
+type degParams struct {
+	rho         float64
+	crash, loss []float64
+}
+
+// parseRates parses a comma-separated list of rates in [0, 1]; an
+// empty string means "use the default grid".
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", p, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("rate %v outside [0, 1]", r)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 // dumpCSV writes each figure's density-indexed series to
@@ -122,7 +169,7 @@ func dumpCSV(dir string, rhos []float64, figs ...*experiments.FigureResult) erro
 }
 
 func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experiments.Preset,
-	skipSim bool, w io.Writer, csvDir string) error {
+	deg degParams, skipSim bool, w io.Writer, csvDir string) error {
 	if figure == "all" {
 		c := experiments.Campaign{Analytic: pa, Sim: ps, SkipSim: skipSim,
 			Extras: true, Engine: eng}
@@ -195,6 +242,8 @@ func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experime
 		f, err = experiments.JointDesign(ps, 100, 15, []int{1, 2, 3, 4, 6, 9})
 	case figure == "mumode":
 		f, err = experiments.MuModeAblation(pa)
+	case figure == "degradation":
+		f, err = experiments.DegradationCtx(ctx, eng, ps, deg.rho, deg.crash, deg.loss)
 	case figure == "slots":
 		f, err = experiments.SlotSweep(80, []int{1, 2, 3, 4, 6, 8, 12}, pa.Grid, pa.Constraints)
 	case figure == "field":

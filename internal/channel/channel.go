@@ -81,6 +81,29 @@ type Resolver struct {
 	epoch    uint32
 
 	unicastScratch []int32 // sender list reused by ResolveSlotUnicast
+	faultScratch   []int32 // up-transmitter list reused by ResolveSlotFaults
+}
+
+// Faults is the non-collision failure filter ResolveSlotFaults layers
+// over a model's collision resolution: node-level outages (crash-stop,
+// sleep, energy depletion) and per-packet link loss. Implementations
+// must be deterministic for a fixed fault plan. The resolver consults
+// TxUp once per transmitter before collision resolution, RxUp once per
+// audible (transmitter, receiver) pair, and DropPacket exactly once per
+// reception that survived both collision resolution and the RxUp
+// filter, in a deterministic order (transmitters in txs order,
+// receivers in neighbour-list order).
+type Faults interface {
+	// TxUp reports whether node u is able to transmit this slot. Down
+	// transmitters are filtered out before collision resolution: a dead
+	// radio does not interfere.
+	TxUp(u int32) bool
+	// RxUp reports whether node v is able to receive this slot. A down
+	// receiver loses every packet aimed at it, collisions included.
+	RxUp(v int32) bool
+	// DropPacket reports whether the from→to packet, though decodable,
+	// is independently lost to the lossy link layer.
+	DropPacket(from, to int32) bool
 }
 
 // NewResolver builds a resolver for the model over dep. Carrier sensing
@@ -123,6 +146,38 @@ func (r *Resolver) ResolveSlot(txs []int32, deliver func(from, to int32)) {
 // heard (a carrier-sense kill with a single in-range transmitter
 // reports 1). CFM never collides.
 func (r *Resolver) ResolveSlotTraced(txs []int32, deliver func(from, to int32), collided func(to, heard int32)) {
+	r.resolve(txs, deliver, collided, nil, nil)
+}
+
+// ResolveSlotFaults is ResolveSlotTraced with a fault filter layered on
+// top of collision resolution. Down transmitters (TxUp false) are
+// removed before resolution and neither deliver nor interfere. For each
+// surviving (transmitter, receiver) pair: a down receiver loses the
+// packet to lost (fault outranks collision — a sleeping radio does not
+// observe the channel); a collided reception reports to collided as
+// usual; a reception that survives collision resolution is delivered
+// unless DropPacket loses it, in which case lost fires instead. lost
+// receives one call per lost (from, to) pair; a nil fault filter makes
+// this identical to ResolveSlotTraced.
+func (r *Resolver) ResolveSlotFaults(txs []int32, f Faults,
+	deliver func(from, to int32), collided func(to, heard int32), lost func(from, to int32)) {
+	if f != nil {
+		up := r.faultScratch[:0]
+		for _, s := range txs {
+			if f.TxUp(s) {
+				up = append(up, s)
+			}
+		}
+		r.faultScratch = up
+		txs = up
+	}
+	r.resolve(txs, deliver, collided, f, lost)
+}
+
+// resolve is the shared slot-resolution core behind the public entry
+// points. f and lost may be nil (fault-free resolution).
+func (r *Resolver) resolve(txs []int32, deliver func(from, to int32), collided func(to, heard int32),
+	f Faults, lost func(from, to int32)) {
 	if len(txs) == 0 {
 		return
 	}
@@ -133,9 +188,22 @@ func (r *Resolver) ResolveSlotTraced(txs []int32, deliver func(from, to int32), 
 	if r.model == CFM {
 		for _, s := range txs {
 			for _, v := range r.dep.Neighbors[s] {
-				if r.txStamp[v] != r.epoch {
-					deliver(s, v)
+				if r.txStamp[v] == r.epoch {
+					continue
 				}
+				if f != nil && !f.RxUp(v) {
+					if lost != nil {
+						lost(s, v)
+					}
+					continue
+				}
+				if f != nil && f.DropPacket(s, v) {
+					if lost != nil {
+						lost(s, v)
+					}
+					continue
+				}
+				deliver(s, v)
 			}
 		}
 		return
@@ -164,17 +232,29 @@ func (r *Resolver) ResolveSlotTraced(txs []int32, deliver func(from, to int32), 
 	}
 	// Pass 2: deliver where exactly one in-range transmitter was heard
 	// (and, under carrier sensing, no annulus interferer). Destroyed
-	// receptions are reported once per receiver when requested.
+	// receptions are reported once per receiver when requested; fault
+	// losses (down receiver, dropped packet) once per pair.
 	for _, s := range txs {
 		for _, v := range r.dep.Neighbors[s] {
 			if r.txStamp[v] == r.epoch {
 				continue // half-duplex: v is transmitting
 			}
+			if f != nil && !f.RxUp(v) {
+				if lost != nil {
+					lost(s, v)
+				}
+				continue
+			}
 			ok := r.count[v] == 1 && r.from[v] == s &&
 				(r.model != CAMCarrierSense || r.sense[v] == 0)
-			if ok {
+			switch {
+			case ok && f != nil && f.DropPacket(s, v):
+				if lost != nil {
+					lost(s, v)
+				}
+			case ok:
 				deliver(s, v)
-			} else if collided != nil && r.colStamp[v] != r.epoch {
+			case collided != nil && r.colStamp[v] != r.epoch:
 				r.colStamp[v] = r.epoch
 				collided(v, r.count[v])
 			}

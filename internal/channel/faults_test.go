@@ -1,0 +1,156 @@
+package channel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scriptFaults is a hand-scripted fault filter: fixed down sets plus a
+// per-pair drop table, with call counting for the one-draw-per-pair
+// contract.
+type scriptFaults struct {
+	txDown, rxDown map[int32]bool
+	drop           map[delivery]bool
+	dropCalls      []delivery
+}
+
+func (s *scriptFaults) TxUp(u int32) bool { return !s.txDown[u] }
+func (s *scriptFaults) RxUp(v int32) bool { return !s.rxDown[v] }
+func (s *scriptFaults) DropPacket(from, to int32) bool {
+	s.dropCalls = append(s.dropCalls, delivery{from, to})
+	return s.drop[delivery{from, to}]
+}
+
+func newScriptFaults() *scriptFaults {
+	return &scriptFaults{
+		txDown: map[int32]bool{},
+		rxDown: map[int32]bool{},
+		drop:   map[delivery]bool{},
+	}
+}
+
+type faultOutcome struct {
+	delivered []delivery
+	collided  map[int32]int32
+	lost      []delivery
+}
+
+func resolveFaults(r *Resolver, txs []int32, f Faults) faultOutcome {
+	out := faultOutcome{collided: map[int32]int32{}}
+	r.ResolveSlotFaults(txs,
+		f,
+		func(from, to int32) { out.delivered = append(out.delivered, delivery{from, to}) },
+		func(to, heard int32) { out.collided[to] = heard },
+		func(from, to int32) { out.lost = append(out.lost, delivery{from, to}) },
+	)
+	return out
+}
+
+// The tests run on the line 0-1-2 at spacing 0.8: 0~1 and 1~2 are in
+// range, 0 and 2 are not, so both endpoints transmitting collide at
+// the middle node under CAM.
+
+func TestFaultsDeadTransmitterDoesNotInterfere(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.8, 1.6}, false)
+	r, err := NewResolver(CAM, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both endpoints transmit: baseline is a collision at node 1.
+	base := resolveFaults(r, []int32{0, 2}, newScriptFaults())
+	if len(base.delivered) != 0 || base.collided[1] != 2 {
+		t.Fatalf("baseline should collide at node 1: %+v", base)
+	}
+	// Kill transmitter 2: its radio is silent, so 0→1 now decodes.
+	f := newScriptFaults()
+	f.txDown[2] = true
+	got := resolveFaults(r, []int32{0, 2}, f)
+	want := []delivery{{0, 1}}
+	if !reflect.DeepEqual(got.delivered, want) || len(got.collided) != 0 || len(got.lost) != 0 {
+		t.Fatalf("dead transmitter must not interfere: %+v", got)
+	}
+}
+
+func TestFaultsDownReceiverOutranksCollision(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.8, 1.6}, false)
+	r, err := NewResolver(CAM, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newScriptFaults()
+	f.rxDown[1] = true
+	got := resolveFaults(r, []int32{0, 2}, f)
+	// Node 1 is down: both packets aimed at it are lost to the fault,
+	// and no collision is reported — a sleeping radio does not observe
+	// the channel.
+	wantLost := []delivery{{0, 1}, {2, 1}}
+	if !reflect.DeepEqual(got.lost, wantLost) {
+		t.Fatalf("lost = %+v, want %+v", got.lost, wantLost)
+	}
+	if len(got.collided) != 0 || len(got.delivered) != 0 {
+		t.Fatalf("down receiver must suppress collision reports: %+v", got)
+	}
+	if len(f.dropCalls) != 0 {
+		t.Fatalf("DropPacket must not be consulted for down receivers: %v", f.dropCalls)
+	}
+}
+
+func TestFaultsDropPacketOnlyForDecodableReceptions(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.8, 1.6}, false)
+	r, err := NewResolver(CAM, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single transmitter at node 1 reaches both neighbours; drop the
+	// 1→0 packet only.
+	f := newScriptFaults()
+	f.drop[delivery{1, 0}] = true
+	got := resolveFaults(r, []int32{1}, f)
+	if want := []delivery{{1, 0}}; !reflect.DeepEqual(got.lost, want) {
+		t.Fatalf("lost = %+v, want %+v", got.lost, want)
+	}
+	if want := []delivery{{1, 2}}; !reflect.DeepEqual(got.delivered, want) {
+		t.Fatalf("delivered = %+v, want %+v", got.delivered, want)
+	}
+	// Exactly one draw per decodable reception, in deterministic order.
+	if want := []delivery{{1, 0}, {1, 2}}; !reflect.DeepEqual(f.dropCalls, want) {
+		t.Fatalf("dropCalls = %+v, want %+v", f.dropCalls, want)
+	}
+}
+
+func TestFaultsCFMPath(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.8, 1.6}, false)
+	r, err := NewResolver(CFM, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newScriptFaults()
+	f.rxDown[0] = true
+	f.drop[delivery{1, 2}] = true
+	got := resolveFaults(r, []int32{1}, f)
+	wantLost := []delivery{{1, 0}, {1, 2}}
+	if !reflect.DeepEqual(got.lost, wantLost) || len(got.delivered) != 0 {
+		t.Fatalf("CFM fault path: %+v, want lost %+v", got, wantLost)
+	}
+	// Only the up receiver's packet consulted the loss layer.
+	if want := []delivery{{1, 2}}; !reflect.DeepEqual(f.dropCalls, want) {
+		t.Fatalf("dropCalls = %+v, want %+v", f.dropCalls, want)
+	}
+}
+
+func TestFaultsNilFilterMatchesTraced(t *testing.T) {
+	d := lineDeployment(t, []float64{0, 0.8, 1.6}, false)
+	r, err := NewResolver(CAM, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced faultOutcome
+	traced.collided = map[int32]int32{}
+	r.ResolveSlotTraced([]int32{0, 2},
+		func(from, to int32) { traced.delivered = append(traced.delivered, delivery{from, to}) },
+		func(to, heard int32) { traced.collided[to] = heard })
+	got := resolveFaults(r, []int32{0, 2}, nil)
+	if !reflect.DeepEqual(got.delivered, traced.delivered) || !reflect.DeepEqual(got.collided, traced.collided) {
+		t.Fatalf("nil filter diverges: %+v vs %+v", got, traced)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -18,11 +21,17 @@ type Cache struct {
 	dir  string
 	salt string
 
-	mu     sync.Mutex
-	mem    map[string]any
-	hits   int
-	misses int
-	stores int
+	// Warnf, when non-nil, receives diagnostics about recoverable disk
+	// problems (corrupt entries treated as misses). Defaults to
+	// log.Printf; set to a no-op to silence.
+	Warnf func(format string, args ...any)
+
+	mu      sync.Mutex
+	mem     map[string]any
+	hits    int
+	misses  int
+	stores  int
+	corrupt int
 }
 
 // envelope is the on-disk cache entry format. The fingerprint is
@@ -86,20 +95,41 @@ func (c *Cache) Get(fingerprint string, decode func([]byte) (any, error)) (any, 
 func (c *Cache) diskGet(key, fingerprint string, decode func([]byte) (any, error)) (any, bool) {
 	raw, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		return nil, false // absent: a plain miss
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
+		c.discardCorrupt(key, fingerprint, fmt.Errorf("unmarshal: %w", err))
 		return nil, false
 	}
 	if env.Fingerprint != fingerprint || env.Salt != c.salt {
+		c.discardCorrupt(key, fingerprint, errors.New("fingerprint/salt mismatch"))
 		return nil, false
 	}
 	v, err := decode(env.Payload)
 	if err != nil {
+		c.discardCorrupt(key, fingerprint, fmt.Errorf("decode payload: %w", err))
 		return nil, false
 	}
 	return v, true
+}
+
+// discardCorrupt handles an unreadable disk entry: a truncated write
+// from a killed process, a stale format, or an address collision. The
+// entry is logged, counted, and removed so the job recomputes and the
+// fresh Put overwrites it — corruption degrades to a cache miss, never
+// to a failed job.
+func (c *Cache) discardCorrupt(key, fingerprint string, reason error) {
+	c.mu.Lock()
+	c.corrupt++
+	warnf := c.Warnf
+	c.mu.Unlock()
+	if warnf == nil {
+		warnf = log.Printf
+	}
+	warnf("engine: cache entry %s (fingerprint %q) is corrupt, treating as a miss: %v",
+		key, fingerprint, reason)
+	os.Remove(c.path(key))
 }
 
 // Put stores a result under a fingerprint. When encode is non-nil and
@@ -149,9 +179,12 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// CacheStats reports cache effectiveness counters.
+// CacheStats reports cache effectiveness counters. Corrupt counts disk
+// entries that could not be read back (torn writes, stale formats) and
+// were discarded as misses.
 type CacheStats struct {
 	Hits, Misses, Stores int
+	Corrupt              int
 }
 
 // Stats returns the cache's counters.
@@ -161,5 +194,5 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Stores: c.stores}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Stores: c.stores, Corrupt: c.corrupt}
 }

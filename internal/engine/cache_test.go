@@ -79,8 +79,13 @@ func TestCacheRejectsCorruptEntries(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := NewCache(dir, "salt").Get("fp", decode); ok {
+	fresh := NewCache(dir, "salt")
+	fresh.Warnf = func(string, ...any) {}
+	if _, ok := fresh.Get("fp", decode); ok {
 		t.Fatal("corrupt entry served")
+	}
+	if s := fresh.Stats(); s.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", s.Corrupt)
 	}
 }
 
@@ -99,7 +104,9 @@ func TestCacheEnvelopeFingerprintChecked(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := NewCache(dir, "salt").Get("fp", decode); ok {
+	fresh := NewCache(dir, "salt")
+	fresh.Warnf = func(string, ...any) {}
+	if _, ok := fresh.Get("fp", decode); ok {
 		t.Fatal("mismatched fingerprint served")
 	}
 }

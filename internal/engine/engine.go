@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -23,6 +24,9 @@ type Config struct {
 	// Backoff is the delay before the first retry, doubling per
 	// attempt. Defaults to 50ms when Retries > 0.
 	Backoff time.Duration
+	// MaxBackoff caps the doubled retry delay (before jitter), so a
+	// deep retry chain cannot sleep unboundedly. Defaults to 5s.
+	MaxBackoff time.Duration
 	// Cache, when non-nil, short-circuits jobs whose fingerprint has a
 	// stored result and stores fresh results after success.
 	Cache *Cache
@@ -113,6 +117,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
 	}
 	if cfg.Spans == nil {
 		cfg.Spans = &trace.SpanLog{}
@@ -232,7 +239,7 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 				fmt.Errorf("job %q exceeded its %v timeout: %w", name, e.cfg.Timeout, context.DeadlineExceeded))
 		}
 		began := time.Now()
-		v, err := job.Run(attemptCtx)
+		v, err := safeRun(attemptCtx, job)
 		cancelAttempt()
 		dur := time.Since(began)
 		res.Duration += dur
@@ -252,15 +259,45 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 		}
 		e.noteRetry()
 		e.emit(Event{Kind: EventRetry, Job: name, Worker: worker, Attempt: a, Err: err})
-		backoff := e.cfg.Backoff << (a - 1)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(e.retryBackoff(name, a)):
 		case <-ctx.Done():
 			res.Err = jobError(name, context.Cause(ctx))
 			return res
 		}
 	}
 	return res
+}
+
+// retryBackoff is the delay before the retry following failed attempt
+// a: exponential doubling capped at MaxBackoff, then jittered into
+// [d/2, d) so simultaneous transient failures across workers do not
+// retry in lockstep. The jitter derives from the job name and attempt
+// via DeriveSeed, keeping retry schedules reproducible without a
+// shared RNG.
+func (e *Engine) retryBackoff(name string, a int) time.Duration {
+	d := e.cfg.Backoff
+	for i := 1; i < a && d < e.cfg.MaxBackoff; i++ {
+		d <<= 1
+	}
+	if d > e.cfg.MaxBackoff {
+		d = e.cfg.MaxBackoff
+	}
+	frac := float64(DeriveSeed(int64(a), "retry-backoff", name)) / float64(uint64(1)<<63)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// safeRun executes one job attempt, converting a panic into an error
+// carrying the stack: a crashing job fails its own Result instead of
+// taking down the whole campaign. The panic error is not Transient, so
+// it is never retried.
+func safeRun(ctx context.Context, job Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return job.Run(ctx)
 }
 
 func codecOf(job Job) (func(any) ([]byte, error), func([]byte) (any, error)) {

@@ -165,6 +165,72 @@ func TestCampaignCacheReusesSurfaces(t *testing.T) {
 	}
 }
 
+// TestDegradationKillResumeByteIdentical is the crash-safety
+// acceptance property: a degradation study context-cancelled halfway
+// leaves its completed cells on disk; re-running with the same seed
+// and cache directory completes from those cached rows and renders
+// byte-identically to a never-interrupted run.
+func TestDegradationKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated study in -short mode")
+	}
+	pre := experiments.QuickSim()
+	pre.Runs = 3
+	crash := []float64{0, 0.3}
+	loss := []float64{0, 0.3}
+	render := func(eng *engine.Engine, ctx context.Context) (string, error) {
+		f, err := experiments.DegradationCtx(ctx, eng, pre, 20, crash, loss)
+		if err != nil {
+			return "", err
+		}
+		var b bytes.Buffer
+		if err := f.Render(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+
+	// Reference: an uninterrupted run with no disk cache at all.
+	want, err := render(engine.New(engine.Config{Workers: 1}), context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the study after its second completed cell. Put runs before
+	// the next job starts (workers=1), so both cells are on disk.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int
+	killed := engine.New(engine.Config{
+		Workers: 1,
+		Cache:   engine.NewCache(dir, experiments.CacheSalt),
+		OnEvent: func(ev engine.Event) {
+			if ev.Kind == engine.EventDone {
+				if done++; done == 2 {
+					cancel()
+				}
+			}
+		},
+	})
+	if _, err := render(killed, ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run: err = %v, want context.Canceled", err)
+	}
+
+	// Resume: fresh engine, same cache dir, background context.
+	resumed := engine.New(engine.Config{Workers: 1,
+		Cache: engine.NewCache(dir, experiments.CacheSalt)})
+	got, err := render(resumed, context.Background())
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if got != want {
+		t.Fatalf("resumed study differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if s := resumed.Stats(); s.CacheHits < 2 {
+		t.Fatalf("resume served %d cells from cache, want >= 2 (stats %+v)", s.CacheHits, s)
+	}
+}
+
 // TestDiskCacheSurvivesEngineRestart exercises the JSON disk layer end
 // to end: a fresh engine over the same cache directory must reuse the
 // stored surface rows (including NaN round-tripping) and reproduce the

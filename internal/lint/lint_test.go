@@ -78,6 +78,11 @@ func none(t *testing.T, a *Analyzer, name, rel string) {
 func TestSeedDerive(t *testing.T)       { one(t, SeedDerive, "seedderive", "internal/experiments") }
 func TestSeedDeriveEngine(t *testing.T) { none(t, SeedDerive, "seedderive_engine", "internal/engine") }
 
+// The faults package mints per-stream seeds with engine.DeriveSeed; the
+// analyzer recognises the idiom without suppressions or a package
+// exemption.
+func TestSeedDeriveFaults(t *testing.T) { none(t, SeedDerive, "seedderive_faults", "internal/faults") }
+
 func TestNoDeterm(t *testing.T)      { one(t, NoDeterm, "nodeterm", "internal/protocol") }
 func TestNoDetermTrace(t *testing.T) { none(t, NoDeterm, "nodeterm_trace", "internal/trace") }
 

@@ -12,10 +12,13 @@ import (
 // them with the splitmix64-based engine.DeriveSeed — then PR 2 found
 // the same pattern had survived in refinedcfm. Two rules:
 //
-//  1. Any rand.NewSource call outside internal/engine is reported. If
-//     its argument contains arithmetic it is a derivation bug to fix
-//     with engine.DeriveSeed; if it merely forwards a caller-provided
-//     root seed, suppress with a reason saying so.
+//  1. Any rand.NewSource call outside internal/engine is reported,
+//     unless its argument is a direct engine.DeriveSeed call — the
+//     blessed way to mint an independent stream seed (internal/faults
+//     seeds its crash/duty/loss streams exactly this way). If the
+//     argument contains arithmetic it is a derivation bug to fix with
+//     engine.DeriveSeed; if it merely forwards a caller-provided root
+//     seed, suppress with a reason saying so.
 //  2. Arithmetic (+ - * / % ^ etc.) on a seed-named operand (`seed`,
 //     `cfg.Seed`, `baseSeed`, ...) is reported wherever it occurs: the
 //     sum of two seeds is not an independent seed.
@@ -39,6 +42,9 @@ func runSeedDerive(p *Pass) {
 				if _, ok := p.IsPkgCall(n, "math/rand", "NewSource"); !ok {
 					return true
 				}
+				if len(n.Args) == 1 && derivedSeedArg(p, n.Args[0]) {
+					return true // stream seed minted by engine.DeriveSeed
+				}
 				if len(n.Args) == 1 && containsArith(n.Args[0]) {
 					flaggedArgs[n.Args[0]] = true
 					p.Reportf(n.Pos(), "seed derived by inline arithmetic collides across nearby parameters; derive it with engine.DeriveSeed(base, parts...)")
@@ -60,6 +66,24 @@ func runSeedDerive(p *Pass) {
 			return true
 		})
 	}
+}
+
+// derivedSeedArg reports whether e is a direct engine.DeriveSeed(...)
+// call: collision-resistant by construction, so a rand.NewSource
+// wrapped around it needs no suppression. The check keys off the
+// resolved import path, not the qualifier spelling, so renamed imports
+// neither defeat nor spoof it.
+func derivedSeedArg(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "DeriveSeed" {
+		return false
+	}
+	path := p.ImportedPkg(sel.X)
+	return path == "internal/engine" || strings.HasSuffix(path, "/internal/engine")
 }
 
 func arithOp(op token.Token) bool {

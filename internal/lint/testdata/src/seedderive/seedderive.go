@@ -6,6 +6,8 @@ import (
 	"math/rand"
 
 	mrand "math/rand"
+
+	"sensornet/internal/engine"
 )
 
 // Computed argument: the classic affine derivation bug.
@@ -50,4 +52,22 @@ func negatives(seeds int) int {
 		total += seeds - 1
 	}
 	return total
+}
+
+// The blessed idiom: a stream seed minted directly by
+// engine.DeriveSeed is collision-resistant by construction and needs
+// no suppression.
+func derivedStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(engine.DeriveSeed(seed, "stream")))
+}
+
+type fakeDeriver struct{}
+
+func (fakeDeriver) DeriveSeed(seed int64, parts ...string) int64 { return seed }
+
+// Spoofing the method name does not help: DeriveSeed must resolve to a
+// package import of internal/engine.
+func spoofed(seed int64) *rand.Rand {
+	var engine2 fakeDeriver
+	return rand.New(rand.NewSource(engine2.DeriveSeed(seed, "stream"))) // want: raw rand.NewSource
 }

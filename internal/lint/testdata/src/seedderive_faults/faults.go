@@ -1,0 +1,23 @@
+// Package seedderive_faults is lint testdata loaded under the rel path
+// internal/faults: it mirrors the real package's seed plumbing — one
+// independent stream per fault process, every stream seed minted by
+// engine.DeriveSeed — which must lint clean with no suppressions.
+package seedderive_faults
+
+import (
+	"math/rand"
+
+	"sensornet/internal/engine"
+)
+
+type plan struct {
+	crash, duty, loss *rand.Rand
+}
+
+func newPlan(seed int64) *plan {
+	return &plan{
+		crash: rand.New(rand.NewSource(engine.DeriveSeed(seed, "faults", "crash"))),
+		duty:  rand.New(rand.NewSource(engine.DeriveSeed(seed, "faults", "duty"))),
+		loss:  rand.New(rand.NewSource(engine.DeriveSeed(seed, "faults", "loss"))),
+	}
+}

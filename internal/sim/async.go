@@ -9,6 +9,7 @@ import (
 	"sensornet/internal/channel"
 	"sensornet/internal/deploy"
 	"sensornet/internal/desim"
+	"sensornet/internal/faults"
 	"sensornet/internal/metrics"
 	"sensornet/internal/protocol"
 	"sensornet/internal/trace"
@@ -24,13 +25,18 @@ var errSensingLists = errors.New("sim: carrier-sense model needs deploy.Config.W
 // succeeds iff no other audible transmission overlaps it (Assumption 6
 // verbatim, without the slot-alignment simplification the analysis
 // uses), with the optional carrier-sensing extension.
-func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error) {
+func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*Result, error) {
 	if cfg.Model == channel.CAMCarrierSense && dep.Sensing == nil {
 		return nil, errSensingLists
 	}
 	n := dep.N()
 	state := cfg.Protocol.NewState(n)
 	phaseLen := float64(cfg.S)
+	energyCost := channel.DefaultCosts(cfg.Model).Energy
+	// planPhase maps continuous time onto the fault plan's 1-based phase
+	// grid: the source's first transmission window is phase 1, matching
+	// the slot-aligned engine.
+	planPhase := func(t float64) int32 { return int32(t/phaseLen) + 1 }
 
 	offset := make([]float64, n)
 	for i := range offset {
@@ -58,6 +64,7 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 	reached := 1
 	broadcasts := 0
 	hasPacket[0] = true
+	var nDelivered, nLostColl, nLostFault int
 	var succSum float64
 	var succN int
 	var rxTimes []float64 // first-reception times, for the timeline
@@ -85,6 +92,17 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 		if transmitting[v] {
 			return false
 		}
+		if plan != nil {
+			// Fault filter after collision resolution: a down receiver
+			// loses the packet; a decodable packet can still be lost to
+			// the lossy link layer (one loss draw per such reception).
+			if !plan.Up(v, planPhase(endTime)) || plan.Drop() {
+				nLostFault++
+				record(trace.KindDrop, endTime, v, from)
+				return false
+			}
+		}
+		nDelivered++
 		d := dep.Pos[v].Dist(dep.Pos[from])
 		ctx := protocol.Ctx{Phase: int32(endTime / phaseLen), Degree: dep.Degree(int(v))}
 		record(trace.KindDeliver, endTime, v, from)
@@ -111,6 +129,9 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 		end := start + 1
 		transmitting[u] = true
 		broadcasts++
+		// The spend that crosses the energy cap still completes: the
+		// depletion only blocks later activity.
+		plan.Spend(u, energyCost)
 		txTimes = append(txTimes, start)
 		record(trace.KindTx, start, u, -1)
 		if cfg.Model == channel.CFM {
@@ -160,6 +181,7 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 							delivered++
 						}
 					} else {
+						nLostColl++
 						record(trace.KindCollision, end, v, -1)
 					}
 					corrupted[v] = false
@@ -189,6 +211,19 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 		}
 		slot := float64(rng.Intn(cfg.S))
 		at := start + slot
+		if plan != nil {
+			// A sleeping node defers to its next waking phase, keeping
+			// its slot offset; a node that dies first never transmits.
+			for !plan.Awake(u, planPhase(at)) {
+				at += phaseLen
+				if at >= horizon {
+					return
+				}
+			}
+			if !plan.Alive(u, planPhase(at)) {
+				return
+			}
+		}
 		if at >= horizon {
 			return
 		}
@@ -196,6 +231,11 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 		eng.At(at, desim.PriorityStart, func() {
 			pendingTx[u] = false
 			if cancelled[u] {
+				return
+			}
+			// Re-check at fire time: energy depletion may have struck
+			// between scheduling and transmission.
+			if plan != nil && !plan.Up(u, planPhase(eng.Now())) {
 				return
 			}
 			transmit(u)
@@ -207,11 +247,16 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, erro
 	eng.RunUntil(horizon)
 
 	res := &Result{
-		N:          n,
-		Reached:    reached,
-		Broadcasts: broadcasts,
-		Connected:  dep.ReachableFromSource(),
+		N:               n,
+		Reached:         reached,
+		Broadcasts:      broadcasts,
+		Connected:       dep.ReachableFromSource(),
+		Delivered:       nDelivered,
+		LostToCollision: nLostColl,
+		LostToFault:     nLostFault,
 	}
+	st := plan.Stats()
+	res.Crashed, res.Depleted = st.Crashed, st.Depleted
 	if succN > 0 {
 		res.SuccessRate = succSum / float64(succN)
 	}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"sensornet/internal/channel"
+	"sensornet/internal/faults"
+	"sensornet/internal/protocol"
+	"sensornet/internal/trace"
+)
+
+// faultCfg keeps the horizon short: crash phases are uniform over
+// MaxPhases, so a tight horizon makes them strike during the broadcast
+// instead of long after it settles.
+func faultCfg(fc faults.Config, seed int64) Config {
+	return Config{
+		P: 4, S: 3, Rho: 25,
+		Model:     channel.CAM,
+		Protocol:  protocol.Flooding{},
+		Seed:      seed,
+		MaxPhases: 10,
+		Faults:    &fc,
+	}
+}
+
+// TestFaultsDeterministicForSeed: with every fault process active, two
+// runs at the same seed are byte-identical (the %#v rendering compares
+// NaN ring arrivals too).
+func TestFaultsDeterministicForSeed(t *testing.T) {
+	fc := faults.Config{CrashRate: 0.2, LossRate: 0.15, DutyOn: 3, DutyOff: 1, EnergyCap: 2}
+	for _, async := range []bool{false, true} {
+		cfg := faultCfg(fc, 42)
+		cfg.Async = async
+		a := fmt.Sprintf("%#v", mustRun(t, cfg))
+		b := fmt.Sprintf("%#v", mustRun(t, cfg))
+		if a != b {
+			t.Errorf("async=%v: same seed diverged:\n%s\nvs\n%s", async, a, b)
+		}
+		cfg.Seed = 43
+		if c := fmt.Sprintf("%#v", mustRun(t, cfg)); c == a {
+			t.Errorf("async=%v: different seeds suspiciously identical", async)
+		}
+	}
+}
+
+// TestFaultsNilAndDisabledMatchBaseline: a nil Faults pointer and a
+// zero (disabled) Config both reproduce the fault-free run exactly.
+func TestFaultsNilAndDisabledMatchBaseline(t *testing.T) {
+	base := paperCfg(30, 1, 9)
+	want := fmt.Sprintf("%#v", mustRun(t, base))
+	disabled := base
+	disabled.Faults = &faults.Config{}
+	if got := fmt.Sprintf("%#v", mustRun(t, disabled)); got != want {
+		t.Error("disabled fault config changed the run")
+	}
+}
+
+func TestTotalLossNothingDelivered(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		cfg := faultCfg(faults.Config{LossRate: 1}, 5)
+		cfg.Async = async
+		res := mustRun(t, cfg)
+		if res.Reached != 1 || res.Delivered != 0 {
+			t.Errorf("async=%v: LossRate 1 should strand the packet at the source: %+v", async, res)
+		}
+		if res.LostToFault == 0 {
+			t.Errorf("async=%v: losses must be accounted as LostToFault", async)
+		}
+	}
+}
+
+func TestCrashReducesCoverage(t *testing.T) {
+	clean := mustRun(t, faultCfg(faults.Config{}, 11))
+	hurt := mustRun(t, faultCfg(faults.Config{CrashRate: 0.7}, 11))
+	if hurt.Crashed == 0 {
+		t.Fatal("CrashRate 0.7 realised no crashes")
+	}
+	if hurt.Reached >= clean.Reached {
+		t.Errorf("crashes should cost coverage: %d with faults vs %d clean",
+			hurt.Reached, clean.Reached)
+	}
+}
+
+// TestCrashCoverageMonotoneCFM: under CFM (no collisions, no loss),
+// the reached set can only shrink as the crash rate rises, because the
+// coupled crash draws nest the crashed sets at a fixed seed.
+func TestCrashCoverageMonotoneCFM(t *testing.T) {
+	prev := -1
+	for _, rate := range []float64{0.9, 0.6, 0.3, 0} {
+		cfg := faultCfg(faults.Config{CrashRate: rate}, 21)
+		cfg.Model = channel.CFM
+		res := mustRun(t, cfg)
+		if prev >= 0 && res.Reached < prev {
+			t.Fatalf("coverage fell from %d to %d when the crash rate dropped to %g",
+				prev, res.Reached, rate)
+		}
+		prev = res.Reached
+	}
+}
+
+func TestEnergyCapDepletesRelays(t *testing.T) {
+	// Every flooding relay transmits once at unit CAM energy; a tiny cap
+	// means each transmitter depletes right after its broadcast.
+	res := mustRun(t, faultCfg(faults.Config{EnergyCap: 0.5}, 13))
+	if res.Depleted == 0 {
+		t.Fatal("a sub-unit energy cap must deplete transmitters")
+	}
+	if res.Depleted >= res.Broadcasts {
+		t.Errorf("the source never depletes: Depleted %d vs Broadcasts %d",
+			res.Depleted, res.Broadcasts)
+	}
+}
+
+func TestDutyCycleStillSpreads(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		cfg := faultCfg(faults.Config{DutyOn: 1, DutyOff: 1}, 17)
+		cfg.Async = async
+		res := mustRun(t, cfg)
+		// Sleeping nodes defer rather than lose their broadcast, so the
+		// packet still spreads beyond the source's neighbourhood.
+		if res.Reached <= 1 || res.Broadcasts <= 1 {
+			t.Errorf("async=%v: duty-cycled broadcast stalled: %+v", async, res)
+		}
+	}
+}
+
+// TestFaultMetricsMatchTrace: the Result counters are the same
+// quantities the tracer observes, for both engines.
+func TestFaultMetricsMatchTrace(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		var tr trace.Collector
+		cfg := faultCfg(faults.Config{CrashRate: 0.3, LossRate: 0.2}, 23)
+		cfg.Async = async
+		cfg.Tracer = &tr
+		res := mustRun(t, cfg)
+		tot := tr.Totals()
+		if res.Delivered != tot.Deliveries {
+			t.Errorf("async=%v: Delivered %d vs traced %d", async, res.Delivered, tot.Deliveries)
+		}
+		if res.LostToFault != tot.Drops {
+			t.Errorf("async=%v: LostToFault %d vs traced %d", async, res.LostToFault, tot.Drops)
+		}
+		if res.LostToCollision != tot.Collisions {
+			t.Errorf("async=%v: LostToCollision %d vs traced %d", async, res.LostToCollision, tot.Collisions)
+		}
+		if res.LostToFault == 0 {
+			t.Errorf("async=%v: expected some fault losses at LossRate 0.2", async)
+		}
+	}
+}
+
+// TestFaultFreeCountersStillFilled: Delivered and LostToCollision are
+// populated with no fault plan too — they are general channel metrics.
+func TestFaultFreeCountersStillFilled(t *testing.T) {
+	res := mustRun(t, paperCfg(40, 1, 29))
+	if res.Delivered == 0 {
+		t.Error("fault-free run delivered nothing")
+	}
+	if res.LostToFault != 0 || res.Crashed != 0 || res.Depleted != 0 {
+		t.Errorf("fault counters must be zero without a plan: %+v", res)
+	}
+}
+
+func TestFaultsRejectInvalidConfig(t *testing.T) {
+	if _, err := Run(faultCfg(faults.Config{CrashRate: 2}, 1)); err == nil {
+		t.Fatal("invalid fault config must fail validation")
+	}
+}

@@ -21,6 +21,8 @@ import (
 
 	"sensornet/internal/channel"
 	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
+	"sensornet/internal/faults"
 	"sensornet/internal/metrics"
 	"sensornet/internal/protocol"
 	"sensornet/internal/trace"
@@ -49,6 +51,12 @@ type Config struct {
 	// Deployment, when non-nil, is used instead of sampling a fresh
 	// one (the deployment's own parameters then take precedence).
 	Deployment *deploy.Deployment
+	// Faults, when non-nil and enabled, layers a deterministic fault
+	// plan (crash-stop, duty cycling, energy depletion, link loss) on
+	// top of the communication model. The plan's streams derive from
+	// Seed via engine.DeriveSeed, so equal seeds yield byte-identical
+	// fault timelines.
+	Faults *faults.Config
 	// Tracer, when non-nil, receives every channel event (see the
 	// trace package). Tracing adds per-event overhead; leave nil in
 	// parameter sweeps.
@@ -81,6 +89,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxPhases < 0 {
 		return errors.New("sim: MaxPhases must be >= 0")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	return nil
 }
@@ -115,6 +128,20 @@ type Result struct {
 	// RingArrival[j-1] is the mean phase of first reception in ring j
 	// (NaN for unreached rings).
 	RingArrival []float64
+	// Delivered counts successful packet receptions (duplicates
+	// included); LostToCollision counts receptions destroyed by CAM
+	// collisions (one per receiver per slot, matching
+	// trace.KindCollision); LostToFault counts receptions lost to the
+	// fault plan instead — down receivers and per-packet link loss, one
+	// per (transmitter, receiver) pair.
+	Delivered       int
+	LostToCollision int
+	LostToFault     int
+	// Crashed counts the nodes the fault plan crash-stops within the
+	// horizon; Depleted counts nodes killed by energy-budget depletion
+	// during the run. Both are zero without a fault plan.
+	Crashed  int
+	Depleted int
 }
 
 // Run executes one simulation.
@@ -136,20 +163,41 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	if cfg.Async {
-		return runAsync(cfg, dep, rng)
+	var plan *faults.Plan
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		p, err := faults.New(*cfg.Faults, dep.N(), cfg.MaxPhases,
+			engine.DeriveSeed(cfg.Seed, "sim", "faults"))
+		if err != nil {
+			return nil, err
+		}
+		plan = p
 	}
-	return runSync(cfg, dep, rng)
+	if cfg.Async {
+		return runAsync(cfg, dep, rng, plan)
+	}
+	return runSync(cfg, dep, rng, plan)
 }
 
+// planSlotFaults adapts a fault plan to the channel's per-slot filter;
+// phase is the slot's enclosing time phase.
+type planSlotFaults struct {
+	plan  *faults.Plan
+	phase int32
+}
+
+func (f planSlotFaults) TxUp(u int32) bool              { return f.plan.Up(u, f.phase) }
+func (f planSlotFaults) RxUp(v int32) bool              { return f.plan.Up(v, f.phase) }
+func (f planSlotFaults) DropPacket(from, to int32) bool { return f.plan.Drop() }
+
 // runSync executes the slot-aligned engine.
-func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error) {
+func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*Result, error) {
 	resolver, err := channel.NewResolver(cfg.Model, dep)
 	if err != nil {
 		return nil, err
 	}
 	n := dep.N()
 	state := cfg.Protocol.NewState(n)
+	energyCost := channel.DefaultCosts(cfg.Model).Energy
 
 	const noTx = -1
 	txSlot := make([]int32, n) // slot of the pending transmission
@@ -195,19 +243,34 @@ func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error
 			bySlot[s] = bySlot[s][:0]
 		}
 		// Collect this phase's transmitters (cancellation may still
-		// strike before their slot).
+		// strike before their slot). Under a fault plan, a sleeping
+		// node's pending transmission defers to its next waking phase
+		// (same slot); a node that dies first loses it.
 		for i := 0; i < n; i++ {
-			if txSlot[i] != noTx && int(txPhase[i]) == phase {
-				bySlot[txSlot[i]] = append(bySlot[txSlot[i]], int32(i))
+			if txSlot[i] == noTx || int(txPhase[i]) > phase {
+				continue
 			}
+			if plan != nil {
+				up, ok := plan.NextUp(int32(i), int32(phase))
+				if !ok {
+					txSlot[i] = noTx
+					continue
+				}
+				if int(up) != phase {
+					txPhase[i] = up
+					continue
+				}
+			}
+			bySlot[txSlot[i]] = append(bySlot[txSlot[i]], int32(i))
 		}
 		phaseNew := 0
 		for s := 0; s < cfg.S; s++ {
 			// Drop transmissions cancelled by duplicates heard in
-			// earlier slots.
+			// earlier slots, and (under a fault plan) transmissions
+			// whose node died mid-phase of energy depletion.
 			txs := bySlot[s][:0]
 			for _, id := range bySlot[s] {
-				if !cancelled[id] {
+				if !cancelled[id] && plan.Up(id, int32(phase)) {
 					txs = append(txs, id)
 				}
 				txSlot[id] = noTx
@@ -234,13 +297,12 @@ func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error
 				to, from int32
 			}
 			var firstRx []rx
-			var collided func(to, heard int32)
-			if cfg.Tracer != nil {
-				collided = func(to, heard int32) {
-					record(trace.KindCollision, to, heard)
-				}
+			collided := func(to, heard int32) {
+				res.LostToCollision++
+				record(trace.KindCollision, to, heard)
 			}
-			resolver.ResolveSlotTraced(txs, func(from, to int32) {
+			deliver := func(from, to int32) {
+				res.Delivered++
 				deliveredBy[from]++
 				record(trace.KindDeliver, to, from)
 				if !hasPacket[to] {
@@ -256,7 +318,21 @@ func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error
 						record(trace.KindCancel, to, from)
 					}
 				}
-			}, collided)
+			}
+			if plan != nil {
+				fm := planSlotFaults{plan, int32(phase)}
+				resolver.ResolveSlotFaults(txs, fm, deliver, collided, func(from, to int32) {
+					res.LostToFault++
+					record(trace.KindDrop, to, from)
+				})
+				// Charge transmission energy after the slot resolves:
+				// the spend that crosses the cap still completes.
+				for _, id := range txs {
+					plan.Spend(id, energyCost)
+				}
+			} else {
+				resolver.ResolveSlotTraced(txs, deliver, collided)
+			}
 			// Every transmission contributes to the success rate, the
 			// zero-delivery ones included (Fig. 12's measured ratio).
 			for _, id := range txs {
@@ -297,6 +373,8 @@ func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand) (*Result, error
 	if succN > 0 {
 		res.SuccessRate = succSum / float64(succN)
 	}
+	st := plan.Stats()
+	res.Crashed, res.Depleted = st.Crashed, st.Depleted
 	fillRingStats(res, dep, firstPhase)
 	return res, nil
 }

@@ -1,6 +1,6 @@
 // Package trace records what happens on the channel during a
-// simulation run: transmissions, successful deliveries, and collision
-// losses. The collision profile is the mechanism behind every headline
+// simulation run: transmissions, successful deliveries, collision
+// losses, and fault losses (down receivers, lossy links). The collision profile is the mechanism behind every headline
 // result in the paper — reachability bells over p because the delivery
 // rate collapses once concurrent transmissions saturate the slots — and
 // this package makes that mechanism measurable instead of inferred.
@@ -26,6 +26,10 @@ const (
 	// KindCancel marks a suppressed pending rebroadcast (Node = the
 	// suppressed node, Other = the transmitter that caused it).
 	KindCancel
+	// KindDrop is a reception lost to the fault plan instead of a
+	// collision: a down receiver or an independently lost packet
+	// (Node = receiver, Other = transmitter).
+	KindDrop
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +45,8 @@ func (k Kind) String() string {
 		return "first-receive"
 	case KindCancel:
 		return "cancel"
+	case KindDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -68,6 +74,7 @@ type PhaseStats struct {
 	Collisions    int // destroyed reception opportunities
 	FirstReceives int
 	Cancels       int
+	Drops         int // receptions lost to faults (down receiver, link loss)
 }
 
 // Collector is a bounded in-memory Tracer that keeps per-phase
@@ -101,6 +108,8 @@ func (c *Collector) Record(e Event) {
 		ps.FirstReceives++
 	case KindCancel:
 		ps.Cancels++
+	case KindDrop:
+		ps.Drops++
 	}
 	if len(c.events) < c.Cap {
 		c.events = append(c.events, e)
@@ -127,6 +136,7 @@ func (c *Collector) Totals() PhaseStats {
 		t.Collisions += p.Collisions
 		t.FirstReceives += p.FirstReceives
 		t.Cancels += p.Cancels
+		t.Drops += p.Drops
 	}
 	return t
 }

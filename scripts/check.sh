@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # check.sh runs the full verification ladder. Tier 1 is the build/test
 # contract every PR must keep green; tier 2 adds vet, the race detector
-# (campaigns execute on the concurrent engine pool), and sensorlint,
-# the repo-specific static-analysis pass that enforces the determinism,
-# seed-derivation, and context invariants (see internal/lint).
+# (campaigns execute on the concurrent engine pool), shuffled test
+# ordering (catches inter-test state leaks in cached engines and fault
+# plans), and sensorlint, the repo-specific static-analysis pass that
+# enforces the determinism, seed-derivation, and context invariants
+# (see internal/lint).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,9 @@ go vet ./...
 
 echo "== tier 2: go test -race ./..."
 go test -race ./...
+
+echo "== tier 2: go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "== tier 2: go run ./cmd/sensorlint ./..."
 go run ./cmd/sensorlint ./...
