@@ -22,6 +22,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -48,8 +50,16 @@ func main() {
 		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
 		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
 		lossRates  = flag.String("loss-rates", "", "comma-separated link-loss rates for -figure degradation (default 0,0.1,0.3)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// stopProfiles flushes any requested pprof profiles; called on every
+	// exit path (os.Exit skips defers).
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	deg := degParams{rho: *degRho}
 	var err error
@@ -106,12 +116,55 @@ func main() {
 		}
 	}
 	if err != nil {
+		stopProfiles()
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted")
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+}
+
+// startProfiles starts the requested pprof captures and returns the
+// function that flushes them, safe to call more than once. Profiling is
+// entirely off when both paths are empty.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			}
+		}
 	}
 }
 

@@ -62,6 +62,13 @@ type Config struct {
 	// TrackSuccessRate additionally accumulates the broadcast success
 	// rate model used by Fig. 12.
 	TrackSuccessRate bool
+	// NaiveIntegrand evaluates the Eq. (4) integrand directly at every
+	// Simpson node of every phase instead of precomputing the
+	// phase-invariant geometry lattice once per Run. The two paths are
+	// bit-identical (the equality regression tests pin them together);
+	// the naive path exists as that reference and for profiling the
+	// table speedup.
+	NaiveIntegrand bool
 	// Profile, when non-nil, makes the field radially heterogeneous:
 	// ring populations are redistributed proportionally to
 	// Profile(r/fieldRadius) (matching deploy.Config.Profile), while
@@ -187,6 +194,16 @@ func Run(cfg Config) (*Result, error) {
 
 	var succWeighted, oppWeighted float64
 
+	// The phase-invariant geometry lattice (see tables.go), plus the
+	// per-phase scratch hoisted out of the loop so the recursion's
+	// steady state allocates nothing per phase beyond its result rows.
+	var tab *geomTable
+	if !cfg.NaiveIntegrand {
+		tab = newGeomTable(cfg, rp)
+	}
+	freshDensity := make([]float64, cfg.P+2)
+	newRecv := make([]float64, cfg.P+1)
+
 	for phase := 2; phase <= cfg.MaxPhases; phase++ {
 		// Broadcasters this phase: last phase's fresh receivers,
 		// thinned by p.
@@ -201,36 +218,45 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Density of fresh receivers per ring, for g(x) and h(x).
-		freshDensity := make([]float64, cfg.P+2)
+		for j := range freshDensity {
+			freshDensity[j] = 0
+		}
 		for j := 1; j <= cfg.P; j++ {
 			if ringArea[j] > 0 {
 				freshDensity[j] = lastNew[j] / ringArea[j]
 			}
 		}
 
-		newRecv := make([]float64, cfg.P+1)
+		for j := range newRecv {
+			newRecv[j] = 0
+		}
 		phaseNew := 0.0
 		for j := 1; j <= cfg.P; j++ {
 			remaining := ringNodes[j] - recv[j]
 			if remaining <= cfg.Epsilon {
 				continue
 			}
-			integrand := func(x float64) float64 {
-				radial := cfg.R*float64(j-1) + x
-				g := expectedFresh(rp, freshDensity, j, x)
-				var success float64
-				switch {
-				case cfg.CarrierSense:
-					h := expectedFreshAnnulus(rp, freshDensity, j, x)
-					success = buckets.MuCSReal(g*cfg.Prob, h*cfg.Prob, cfg.S, cfg.KMode)
-				case cfg.BinomialMix:
-					success = buckets.MuBinomial(int(math.Round(g)), cfg.Prob, cfg.S)
-				default:
-					success = buckets.MuReal(g*cfg.Prob, cfg.S, cfg.KMode)
+			var integral float64
+			if tab != nil {
+				integral = tab.phaseIntegral(&cfg, freshDensity, j)
+			} else {
+				integrand := func(x float64) float64 {
+					radial := cfg.R*float64(j-1) + x
+					g := expectedFresh(rp, freshDensity, j, x)
+					var success float64
+					switch {
+					case cfg.CarrierSense:
+						h := expectedFreshAnnulus(rp, freshDensity, j, x)
+						success = buckets.MuCSReal(g*cfg.Prob, h*cfg.Prob, cfg.S, cfg.KMode)
+					case cfg.BinomialMix:
+						success = buckets.MuBinomial(int(math.Round(g)), cfg.Prob, cfg.S)
+					default:
+						success = buckets.MuReal(g*cfg.Prob, cfg.S, cfg.KMode)
+					}
+					return radial * success
 				}
-				return radial * success
+				integral = simpson(integrand, 0, cfg.R, cfg.IntegrationPoints)
 			}
-			integral := simpson(integrand, 0, cfg.R, cfg.IntegrationPoints)
 			nji := 2 * math.Pi * (remaining / ringArea[j]) * integral
 			if nji < 0 {
 				nji = 0
@@ -243,7 +269,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		if cfg.TrackSuccessRate && cfg.Prob > 0 {
-			s, o := successRateContribution(cfg, rp, deltaRing, freshDensity)
+			var s, o float64
+			if tab != nil {
+				s, o = tab.successRate(&cfg, deltaRing, freshDensity)
+			} else {
+				s, o = successRateContribution(cfg, rp, deltaRing, freshDensity)
+			}
 			succWeighted += s
 			oppWeighted += o
 		}

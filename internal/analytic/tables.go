@@ -1,0 +1,185 @@
+package analytic
+
+import (
+	"math"
+
+	"sensornet/internal/buckets"
+	"sensornet/internal/geom"
+)
+
+// geomTable caches the phase-invariant geometry of one Run. The Eq. (4)
+// integrand evaluates rp.TransmissionAreas (and, under carrier sensing,
+// rp.CarrierSenseAreas) at every Simpson node of every ring in every
+// phase, yet those area splits depend only on (ring, node offset) — the
+// lens-intersection trigonometry is identical across phases. The table
+// evaluates the whole (ring j, Simpson node x_i) lattice once per Run;
+// each phase's integral then reduces to a dot product of the cached
+// area vectors with the fresh-receiver densities plus one μ evaluation
+// per node.
+//
+// Summation follows mathx.SimpsonN exactly — same nodes (x_0 = 0,
+// x_n = R exactly, interior x_i = i·h), same weight application order —
+// so the table-driven path is bit-identical to the naive integrand it
+// replaces (Config.NaiveIntegrand keeps the reference path; the
+// equality tests pin the two together).
+type geomTable struct {
+	n int     // Simpson subintervals (even, >= 2)
+	h float64 // node spacing R/n
+
+	// Per ring j (row j-1), per node i in 0..n:
+	radial [][]float64      // cfg.R·(j-1) + x_i, the integrand's radial factor
+	tx     [][][3]float64   // rp.TransmissionAreas(j, x_i)
+	cs     [][][5]float64   // rp.CarrierSenseAreas(j, x_i); nil unless carrier sensing
+}
+
+// simpsonIntervals mirrors mathx.SimpsonN's normalisation of the
+// subinterval count, so table nodes land exactly on the quadrature's.
+func simpsonIntervals(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	return n
+}
+
+// newGeomTable precomputes the geometry lattice for one configuration.
+func newGeomTable(cfg Config, rp geom.RingPartition) *geomTable {
+	n := simpsonIntervals(cfg.IntegrationPoints)
+	t := &geomTable{
+		n:      n,
+		h:      cfg.R / float64(n),
+		radial: make([][]float64, cfg.P),
+		tx:     make([][][3]float64, cfg.P),
+	}
+	if cfg.CarrierSense {
+		t.cs = make([][][5]float64, cfg.P)
+	}
+	for j := 1; j <= cfg.P; j++ {
+		radial := make([]float64, n+1)
+		tx := make([][3]float64, n+1)
+		var cs [][5]float64
+		if cfg.CarrierSense {
+			cs = make([][5]float64, n+1)
+		}
+		for i := 0; i <= n; i++ {
+			x := t.node(i, cfg.R)
+			radial[i] = cfg.R*float64(j-1) + x
+			tx[i] = rp.TransmissionAreas(j, x)
+			if cs != nil {
+				cs[i] = rp.CarrierSenseAreas(j, x)
+			}
+		}
+		t.radial[j-1] = radial
+		t.tx[j-1] = tx
+		if cs != nil {
+			t.cs[j-1] = cs
+		}
+	}
+	return t
+}
+
+// node returns Simpson node i exactly as SimpsonN visits it: the
+// endpoints are the exact interval bounds, interior nodes are a + i·h.
+func (t *geomTable) node(i int, r float64) float64 {
+	switch i {
+	case 0:
+		return 0
+	case t.n:
+		return r
+	default:
+		return float64(i) * t.h
+	}
+}
+
+// freshAt computes g(x_i) for a node in ring j: the dot product of the
+// cached transmission-area split with the fresh-receiver densities, in
+// the same accumulation order as expectedFresh.
+func (t *geomTable) freshAt(p int, fresh []float64, j, i int) float64 {
+	a := &t.tx[j-1][i]
+	g := 0.0
+	for d := 0; d < 3; d++ {
+		k := j - 1 + d
+		if k >= 1 && k <= p {
+			g += fresh[k] * a[d]
+		}
+	}
+	return g
+}
+
+// freshAnnulusAt computes h(x_i) from the cached carrier-sense annulus
+// split, mirroring expectedFreshAnnulus.
+func (t *geomTable) freshAnnulusAt(p int, fresh []float64, j, i int) float64 {
+	b := &t.cs[j-1][i]
+	h := 0.0
+	for d := 0; d < 5; d++ {
+		k := j - 2 + d
+		if k >= 1 && k <= p {
+			h += fresh[k] * b[d]
+		}
+	}
+	return h
+}
+
+// successAt evaluates the Eq. (4) success probability at lattice node
+// (j, i) for the current phase's fresh densities.
+func (t *geomTable) successAt(cfg *Config, fresh []float64, j, i int) float64 {
+	g := t.freshAt(cfg.P, fresh, j, i)
+	switch {
+	case cfg.CarrierSense:
+		h := t.freshAnnulusAt(cfg.P, fresh, j, i)
+		return buckets.MuCSReal(g*cfg.Prob, h*cfg.Prob, cfg.S, cfg.KMode)
+	case cfg.BinomialMix:
+		return buckets.MuBinomial(int(math.Round(g)), cfg.Prob, cfg.S)
+	default:
+		return buckets.MuReal(g*cfg.Prob, cfg.S, cfg.KMode)
+	}
+}
+
+// phaseIntegral evaluates ring j's Eq. (4) integral for one phase from
+// the cached lattice, with SimpsonN's exact accumulation order.
+func (t *geomTable) phaseIntegral(cfg *Config, fresh []float64, j int) float64 {
+	radial := t.radial[j-1]
+	sum := radial[0]*t.successAt(cfg, fresh, j, 0) +
+		radial[t.n]*t.successAt(cfg, fresh, j, t.n)
+	for i := 1; i < t.n; i++ {
+		v := radial[i] * t.successAt(cfg, fresh, j, i)
+		if i%2 == 1 {
+			sum += 4 * v
+		} else {
+			sum += 2 * v
+		}
+	}
+	return sum * t.h / 3
+}
+
+// successRate accumulates one phase of the Fig. 12 success-rate model
+// from the cached lattice: per ring, the singleton-slot and opportunity
+// integrals share the g(x_i) dot products. Each integral reproduces
+// successRateContribution's SimpsonN evaluation bit for bit.
+func (t *geomTable) successRate(cfg *Config, deltaRing, fresh []float64) (succ, opp float64) {
+	for j := 1; j <= cfg.P; j++ {
+		radial := t.radial[j-1]
+		kv := func(i int) float64 { return t.freshAt(cfg.P, fresh, j, i) * cfg.Prob }
+		k0, kn := kv(0), kv(t.n)
+		sumS := radial[0]*buckets.ExpectedSingletons(k0, cfg.S) +
+			radial[t.n]*buckets.ExpectedSingletons(kn, cfg.S)
+		sumO := radial[0]*k0 + radial[t.n]*kn
+		for i := 1; i < t.n; i++ {
+			k := kv(i)
+			vS := radial[i] * buckets.ExpectedSingletons(k, cfg.S)
+			vO := radial[i] * k
+			if i%2 == 1 {
+				sumS += 4 * vS
+				sumO += 4 * vO
+			} else {
+				sumS += 2 * vS
+				sumO += 2 * vO
+			}
+		}
+		succ += 2 * math.Pi * deltaRing[j] * (sumS * t.h / 3)
+		opp += 2 * math.Pi * deltaRing[j] * (sumO * t.h / 3)
+	}
+	return succ, opp
+}

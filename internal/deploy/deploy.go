@@ -182,6 +182,15 @@ func latticePositions(field, r float64) []geom.Point {
 // buildNeighbors fills the neighbour (and optionally sensing) lists with
 // a uniform grid of cell size 2R so that both ranges need only a 3×3
 // cell scan when sensing lists are requested, and of size R otherwise.
+//
+// All lists of one kind share a single flat backing array: the scan
+// appends every accepted candidate to the shared array (whose capacity
+// is pre-sized from the expected degree, so growth is rare) and per-node
+// sub-slices are carved afterwards. Growing each of the N lists by
+// repeated append dominated the simulator's whole allocation profile
+// (~97% of allocs at ρ=140); the flat layout reduces the build to a
+// handful of allocations and keeps each node's neighbours contiguous —
+// without a second distance pass.
 func (d *Deployment) buildNeighbors(withSensing bool) {
 	n := len(d.Pos)
 	d.Neighbors = make([][]int32, n)
@@ -198,6 +207,20 @@ func (d *Deployment) buildNeighbors(withSensing bool) {
 	idx := newGridIndex(d.Pos, reach)
 	r2 := d.R * d.R
 	s2 := 4 * d.R * d.R
+
+	// Expected totals: mean degree ≈ (n-1)·(R/field)², sensing annulus
+	// holds 3× the disk's area. 10% slack absorbs density fluctuations.
+	estDeg := float64(n-1) * r2 / (d.FieldRadius * d.FieldRadius)
+	est := int(1.1*float64(n)*estDeg) + 64
+
+	nbrCount := make([]int32, n)
+	nbrFlat := make([]int32, 0, est)
+	var senseCount []int32
+	var senseFlat []int32
+	if withSensing {
+		senseCount = make([]int32, n)
+		senseFlat = make([]int32, 0, 3*est)
+	}
 	for i := 0; i < n; i++ {
 		pi := d.Pos[i]
 		idx.visitCandidates(pi, func(j int32) {
@@ -207,11 +230,26 @@ func (d *Deployment) buildNeighbors(withSensing bool) {
 			dd := pi.Dist2(d.Pos[j])
 			switch {
 			case dd <= r2:
-				d.Neighbors[i] = append(d.Neighbors[i], j)
+				nbrFlat = append(nbrFlat, j)
+				nbrCount[i]++
 			case withSensing && dd <= s2:
-				d.Sensing[i] = append(d.Sensing[i], j)
+				senseFlat = append(senseFlat, j)
+				senseCount[i]++
 			}
 		})
+	}
+
+	for i, off := 0, 0; i < n; i++ {
+		end := off + int(nbrCount[i])
+		d.Neighbors[i] = nbrFlat[off:end:end]
+		off = end
+	}
+	if withSensing {
+		for i, off := 0, 0; i < n; i++ {
+			end := off + int(senseCount[i])
+			d.Sensing[i] = senseFlat[off:end:end]
+			off = end
+		}
 	}
 }
 

@@ -34,7 +34,20 @@ func newGridIndex(pos []geom.Point, cell float64) *gridIndex {
 	g.minX, g.minY = minX, minY
 	g.cols = int((maxX-minX)/cell) + 1
 	g.rows = int((maxY-minY)/cell) + 1
+	// Count-then-fill into one flat backing array: growing each bucket
+	// by append costs an allocation per growth step across thousands of
+	// cells, where the flat layout needs exactly three.
 	g.buckets = make([][]int32, g.cols*g.rows)
+	counts := make([]int32, len(g.buckets))
+	for _, p := range pos {
+		counts[g.cellOf(p)]++
+	}
+	flat := make([]int32, len(pos))
+	off := 0
+	for c := range g.buckets {
+		g.buckets[c] = flat[off : off : off+int(counts[c])]
+		off += int(counts[c])
+	}
 	for i, p := range pos {
 		c := g.cellOf(p)
 		g.buckets[c] = append(g.buckets[c], int32(i))

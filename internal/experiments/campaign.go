@@ -54,12 +54,12 @@ func (c Campaign) RunContext(ctx context.Context, w io.Writer) ([]*FigureResult,
 		eng = defaultEngine(c.Analytic)
 	}
 
-	// Batch 1: the metric surfaces behind Figs. 4-11, one job per
-	// (engine, density) row.
-	var jobs []engine.Job
-	for _, rho := range c.Analytic.Rhos {
-		jobs = append(jobs, analyticRowJob(c.Analytic, rho))
-	}
+	// Batch 1: the metric surfaces behind Figs. 4-11 — one job per
+	// (density, probability) point for the analytic engine, one per
+	// density row for the simulator (whose rows share per-replication
+	// deployments internally and are too coarse to split further
+	// without resampling them).
+	jobs := analyticPointJobs(c.Analytic)
 	nAnalytic := len(jobs)
 	if !c.SkipSim {
 		for _, rho := range c.Sim.Rhos {
@@ -70,7 +70,7 @@ func (c Campaign) RunContext(ctx context.Context, w io.Writer) ([]*FigureResult,
 	if err != nil {
 		return nil, err
 	}
-	surf, err := surfaceFromResults(c.Analytic, rows[:nAnalytic], false)
+	surf, err := analyticSurfaceFromPoints(c.Analytic, rows[:nAnalytic])
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,12 @@ import (
 // and into the engine.Cache address space: bump it whenever the
 // analytic model, the simulator, or the sweep semantics change, so
 // stale cache entries can never leak into a regenerated figure.
-const CacheSalt = "sensornet-exp-v1"
+//
+// v2: simulated sweeps share each replication's deployment across all
+// grid probabilities (common random numbers) instead of resampling it
+// per probability, and analytic surfaces shard per (density,
+// probability) point instead of per density row.
+const CacheSalt = "sensornet-exp-v2"
 
 // defaultEngine builds the engine used by the context-free entry
 // points, honouring the preset's worker bound.
@@ -24,13 +29,13 @@ func defaultEngine(pre Preset) *engine.Engine {
 	return engine.New(engine.Config{Workers: pre.Workers})
 }
 
-// analyticRowKey fingerprints one analytic surface row: every field of
-// the model config plus the probability grid and constraint levels.
-func analyticRowKey(cfg analytic.Config, grid []float64, c optimize.Constraints) string {
-	return engine.Fingerprint("analytic-row", CacheSalt,
+// analyticPointKey fingerprints one analytic surface point: every field
+// of the model config plus the probability and constraint levels.
+func analyticPointKey(cfg analytic.Config, p float64, c optimize.Constraints) string {
+	return engine.Fingerprint("analytic-point", CacheSalt,
 		cfg.P, cfg.S, cfg.Rho, cfg.R, cfg.KMode, cfg.BinomialMix,
 		cfg.CarrierSense, cfg.IntegrationPoints, cfg.MaxPhases,
-		grid, c.Latency, c.Reach, c.Budget)
+		p, c.Latency, c.Reach, c.Budget)
 }
 
 // simRowKey fingerprints one simulated surface row. The worker count is
@@ -126,22 +131,62 @@ func decodePoints(data []byte) (any, error) {
 	return pts, nil
 }
 
-// analyticRowJob builds the cached job computing one analytic surface
-// row (all grid probabilities at one density).
-func analyticRowJob(pre Preset, rho float64) engine.Job {
+// analyticPointJob builds the cached job computing one analytic surface
+// point (one grid probability at one density). Point-level sharding
+// keeps every worker of a wide pool busy even when the preset sweeps
+// few densities, and lets a warmed cache resume a partially computed
+// row. The job's value is a 1-element []optimize.Point so the row cache
+// codec is shared.
+func analyticPointJob(pre Preset, rho, p float64) engine.Job {
 	cfg := pre.AnalyticConfig(rho)
 	return engine.JobFunc{
-		JobName:  fmt.Sprintf("analytic-row(rho=%g)", rho),
-		Key:      analyticRowKey(cfg, pre.Grid, pre.Constraints),
+		JobName:  fmt.Sprintf("analytic-point(rho=%g,p=%g)", rho, p),
+		Key:      analyticPointKey(cfg, p, pre.Constraints),
 		EncodeFn: encodePoints,
 		DecodeFn: decodePoints,
 		Fn: func(ctx context.Context) (any, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return optimize.SweepAnalytic(cfg, pre.Grid, pre.Constraints)
+			return optimize.SweepAnalytic(cfg, []float64{p}, pre.Constraints)
 		},
 	}
+}
+
+// analyticPointJobs builds the full point-job batch of a preset's
+// analytic surface, row-major in (Rhos, Grid) order.
+func analyticPointJobs(pre Preset) []engine.Job {
+	jobs := make([]engine.Job, 0, len(pre.Rhos)*len(pre.Grid))
+	for _, rho := range pre.Rhos {
+		for _, p := range pre.Grid {
+			jobs = append(jobs, analyticPointJob(pre, rho, p))
+		}
+	}
+	return jobs
+}
+
+// analyticSurfaceFromPoints reassembles point-job results (row-major in
+// (Rhos, Grid) order, one 1-element []optimize.Point each) into a
+// Surface.
+func analyticSurfaceFromPoints(pre Preset, results []engine.Result) (*Surface, error) {
+	if len(results) != len(pre.Rhos)*len(pre.Grid) {
+		return nil, fmt.Errorf("experiments: %d point results for a %dx%d surface",
+			len(results), len(pre.Rhos), len(pre.Grid))
+	}
+	s := &Surface{Pre: pre}
+	for i := range pre.Rhos {
+		row := make([]optimize.Point, 0, len(pre.Grid))
+		for j := range pre.Grid {
+			pts, ok := results[i*len(pre.Grid)+j].Value.([]optimize.Point)
+			if !ok || len(pts) != 1 {
+				return nil, fmt.Errorf("experiments: job %q returned %T, want 1-point []optimize.Point",
+					results[i*len(pre.Grid)+j].Name, results[i*len(pre.Grid)+j].Value)
+			}
+			row = append(row, pts[0])
+		}
+		s.Points = append(s.Points, row)
+	}
+	return s, nil
 }
 
 // simRowJob builds the cached job computing one simulated surface row.

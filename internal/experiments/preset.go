@@ -120,18 +120,15 @@ func AnalyticSurface(pre Preset) (*Surface, error) {
 }
 
 // AnalyticSurfaceCtx sweeps the analytical model over the preset,
-// submitting one cached job per density to eng. Rows come back in Rhos
-// order regardless of the engine's worker count.
+// submitting one cached job per (density, probability) point to eng.
+// Points come back row-major in (Rhos, Grid) order regardless of the
+// engine's worker count.
 func AnalyticSurfaceCtx(ctx context.Context, eng *engine.Engine, pre Preset) (*Surface, error) {
-	jobs := make([]engine.Job, len(pre.Rhos))
-	for i, rho := range pre.Rhos {
-		jobs[i] = analyticRowJob(pre, rho)
-	}
-	results, err := eng.Run(ctx, jobs)
+	results, err := eng.Run(ctx, analyticPointJobs(pre))
 	if err != nil {
 		return nil, err
 	}
-	return surfaceFromResults(pre, results, false)
+	return analyticSurfaceFromPoints(pre, results)
 }
 
 // SimSurface sweeps the simulator over the preset on a default engine.

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"sensornet/internal/analytic"
+	"sensornet/internal/deploy"
 	"sensornet/internal/mathx"
 	"sensornet/internal/metrics"
 	"sensornet/internal/protocol"
@@ -90,6 +91,14 @@ func SweepAnalytic(base analytic.Config, grid []float64, c Constraints) ([]Point
 // `runs` random runs per point (metrics are averaged per-run, matching
 // the paper's 30-run averages; infeasible runs are skipped NaN-style).
 // base.Protocol is overridden with PB_CAM at each grid probability.
+//
+// Deployments are common random numbers across the grid: unless
+// base.Deployment pins one explicitly, the sweep samples each
+// replication's deployment once (sim.ReplicationDeployments) and reuses
+// it at every probability, so grid points differ only in protocol coin
+// flips — the variance-reduction pairing the optimizer's argmax wants —
+// and the sweep pays the neighbour-index build once per replication
+// instead of once per (replication, probability) pair.
 func SweepSim(base sim.Config, grid []float64, c Constraints, runs, workers int) ([]Point, error) {
 	return SweepSimCtx(context.Background(), base, grid, c, runs, workers)
 }
@@ -100,11 +109,25 @@ func SweepSimCtx(ctx context.Context, base sim.Config, grid []float64, c Constra
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("optimize: empty probability grid")
 	}
+	var deps []*deploy.Deployment
+	if base.Deployment == nil {
+		var err error
+		deps, err = sim.ReplicationDeployments(base, runs)
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := make([]Point, 0, len(grid))
 	for _, p := range grid {
 		cfg := base
 		cfg.Protocol = protocol.Probability{P: p}
-		agg, err := sim.RunManyCtx(ctx, cfg, runs, workers)
+		var agg *sim.Aggregate
+		var err error
+		if deps != nil {
+			agg, err = sim.RunManyDeploymentsCtx(ctx, cfg, deps, workers)
+		} else {
+			agg, err = sim.RunManyCtx(ctx, cfg, runs, workers)
+		}
 		if err != nil {
 			return nil, err
 		}

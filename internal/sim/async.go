@@ -67,8 +67,11 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 	var nDelivered, nLostColl, nLostFault int
 	var succSum float64
 	var succN int
-	var rxTimes []float64 // first-reception times, for the timeline
-	var txTimes []float64 // transmission start times
+	// Event-time logs for the timeline; sized for the common case where
+	// most nodes receive once and transmit at most once, so steady-state
+	// appends do not regrow.
+	rxTimes := make([]float64, 0, n) // first-reception times
+	txTimes := make([]float64, 0, n) // transmission start times
 
 	horizon := phaseLen * float64(cfg.MaxPhases)
 

@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
+	"sensornet/internal/channel"
+	"sensornet/internal/deploy"
+	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
 )
 
@@ -19,11 +23,22 @@ type Aggregate struct {
 }
 
 // RunMany executes `runs` independent simulations with seeds Seed,
-// Seed+1, ... and aggregates them. Runs execute in parallel, bounded by
-// `workers` (<= 0 means one worker per run, capped internally by the
-// scheduler).
+// Seed+1, ... and aggregates them. Runs execute in parallel on an
+// engine worker pool, bounded by `workers` (<= 0 means one worker per
+// CPU, the engine's default).
 func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
 	return RunManyCtx(context.Background(), cfg, runs, workers)
+}
+
+// replicationConfig returns the configuration of replication i.
+// Per-replication seeds Seed..Seed+runs-1 are RunMany's documented
+// public contract (the paper's 30-run averages), and the common-random-
+// numbers ladder the optimizer relies on.
+func replicationConfig(cfg Config, i int) Config {
+	c := cfg
+	//lint:ignore seedderive seeds Seed..Seed+runs-1 are RunMany's documented public contract (paper's 30-run averages)
+	c.Seed = cfg.Seed + int64(i)
+	return c
 }
 
 // RunManyCtx is RunMany with cooperative cancellation: replications not
@@ -31,42 +46,86 @@ func RunMany(cfg Config, runs, workers int) (*Aggregate, error) {
 // is returned (wrapped, so errors.Is(err, context.Canceled) holds).
 // Per-replication seeds (Seed+i) and the aggregation order are
 // index-derived, so the aggregate is identical for any worker count.
+//
+// The fan-out runs on an internal/engine pool, inheriting its panic
+// recovery (a panicking replication surfaces as an error instead of
+// crashing the process).
 func RunManyCtx(ctx context.Context, cfg Config, runs, workers int) (*Aggregate, error) {
+	return runManyCtx(ctx, cfg, runs, workers, nil)
+}
+
+// ReplicationDeployments samples the deployment each replication
+// i = 0..runs-1 would use, one per replication, without running
+// anything. The deployment of replication i derives from the
+// replication's own seed (Seed+i) through a dedicated stream, so it is
+// independent of the protocol draws and can be shared across
+// configurations that vary only protocol parameters: running
+// Run(replication i's config with Deployment = deps[i]) for two
+// probabilities compares them on identical fields — common random
+// numbers for the deployment component. SweepSim applies exactly this.
+func ReplicationDeployments(cfg Config, runs int) ([]*deploy.Deployment, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("sim: runs must be > 0, got %d", runs)
 	}
-	if workers <= 0 || workers > runs {
-		workers = runs
-	}
-	results := make([]*Result, runs)
-	errs := make([]error, runs)
-	sem := make(chan struct{}, workers)
-	done := make(chan int, runs)
-	for i := 0; i < runs; i++ {
-		//lint:ignore baregoroutine replication fan-out predates the engine pool: sem-bounded, ctx-checked, and aggregated in index order
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			c := cfg
-			//lint:ignore seedderive seeds Seed..Seed+runs-1 are RunMany's documented public contract (paper's 30-run averages)
-			c.Seed = cfg.Seed + int64(i)
-			results[i], errs[i] = Run(c)
-		}(i)
-	}
-	for i := 0; i < runs; i++ {
-		<-done
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sim: aborted after cancellation: %w", context.Cause(ctx))
-	}
-	for _, err := range errs {
+	out := make([]*deploy.Deployment, runs)
+	for i := range out {
+		seed := replicationConfig(cfg, i).Seed
+		rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, "sim", "deployment")))
+		d, err := deploy.Generate(deploy.Config{
+			P: cfg.P, R: cfg.R, Rho: cfg.Rho, N: cfg.N,
+			WithSensing: cfg.Model == channel.CAMCarrierSense,
+		}, rng)
 		if err != nil {
 			return nil, err
 		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// RunManyDeployments is RunMany with a pre-sampled deployment per
+// replication (deps[i] for replication i, which keeps seed Seed+i for
+// its protocol draws). The replication count is len(deps). Use
+// ReplicationDeployments to sample the slice once and share it across
+// several RunManyDeployments calls that vary protocol parameters.
+func RunManyDeployments(cfg Config, deps []*deploy.Deployment, workers int) (*Aggregate, error) {
+	return RunManyDeploymentsCtx(context.Background(), cfg, deps, workers)
+}
+
+// RunManyDeploymentsCtx is RunManyDeployments with cooperative
+// cancellation, under RunManyCtx's contract.
+func RunManyDeploymentsCtx(ctx context.Context, cfg Config, deps []*deploy.Deployment, workers int) (*Aggregate, error) {
+	return runManyCtx(ctx, cfg, len(deps), workers, deps)
+}
+
+func runManyCtx(ctx context.Context, cfg Config, runs, workers int, deps []*deploy.Deployment) (*Aggregate, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("sim: runs must be > 0, got %d", runs)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	eng := engine.New(engine.Config{Workers: workers})
+	idx := make([]int, runs)
+	for i := range idx {
+		idx[i] = i
+	}
+	results, err := engine.Map(ctx, eng, "sim-replication", idx,
+		func(ctx context.Context, i, _ int) (*Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c := replicationConfig(cfg, i)
+			if deps != nil {
+				c.Deployment = deps[i]
+			}
+			return Run(c)
+		})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: aborted after cancellation: %w", context.Cause(ctx))
+		}
+		return nil, err
 	}
 	agg := &Aggregate{Runs: results}
 	tls := make([]metrics.Timeline, runs)

@@ -178,204 +178,268 @@ func Run(cfg Config) (*Result, error) {
 	return runSync(cfg, dep, rng, plan)
 }
 
-// planSlotFaults adapts a fault plan to the channel's per-slot filter;
-// phase is the slot's enclosing time phase.
-type planSlotFaults struct {
-	plan  *faults.Plan
-	phase int32
+// noTx marks a node with no pending transmission.
+const noTx = -1
+
+// syncRun is the slot-aligned engine's per-run state. Everything the
+// slot loop touches — node state, per-slot scratch, and the delivery /
+// collision / fault-loss callbacks handed to the channel resolver —
+// lives on this struct and is allocated once per run, so the steady
+// state of the loop performs zero heap allocations per slot. The
+// callbacks are bound once in newSyncRun (a closure allocated per slot
+// escapes to the heap via the resolver call); phase and slot are fields
+// the loop updates so the bound callbacks always observe the current
+// slot.
+type syncRun struct {
+	cfg      *Config
+	dep      *deploy.Deployment
+	rng      *rand.Rand
+	plan     *faults.Plan
+	state    protocol.State
+	resolver *channel.Resolver
+	res      *Result
+
+	phase int32 // current time phase (trace records, fault filters)
+	slot  int32 // current slot within the phase
+
+	energyCost float64
+
+	txSlot      []int32 // slot of the pending transmission, noTx if none
+	txPhase     []int32
+	hasPacket   []bool
+	cancelled   []bool
+	firstPhase  []int32
+	deliveredBy []int32   // per-slot delivery counts, reset after use
+	bySlot      [][]int32 // transmitters per slot, reused across phases
+
+	// First receptions of the current slot, recorded flat (receiver,
+	// transmitter) and replayed after resolution; reused across slots.
+	firstTo   []int32
+	firstFrom []int32
+
+	pendingCount int
+	reached      int
+	broadcasts   int
+	succSum      float64
+	succN        int
+
+	deliverFn func(from, to int32)
+	collideFn func(to, heard int32)
+	dropFn    func(from, to int32)
 }
 
-func (f planSlotFaults) TxUp(u int32) bool              { return f.plan.Up(u, f.phase) }
-func (f planSlotFaults) RxUp(v int32) bool              { return f.plan.Up(v, f.phase) }
-func (f planSlotFaults) DropPacket(from, to int32) bool { return f.plan.Drop() }
-
-// runSync executes the slot-aligned engine.
-func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*Result, error) {
+// newSyncRun allocates the run state and binds the resolver callbacks.
+func newSyncRun(cfg *Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*syncRun, error) {
 	resolver, err := channel.NewResolver(cfg.Model, dep)
 	if err != nil {
 		return nil, err
 	}
 	n := dep.N()
-	state := cfg.Protocol.NewState(n)
-	energyCost := channel.DefaultCosts(cfg.Model).Energy
-
-	const noTx = -1
-	txSlot := make([]int32, n) // slot of the pending transmission
-	txPhase := make([]int32, n)
-	hasPacket := make([]bool, n)
-	cancelled := make([]bool, n)
-	for i := range txSlot {
-		txSlot[i] = noTx
+	r := &syncRun{
+		cfg: cfg, dep: dep, rng: rng, plan: plan,
+		state:       cfg.Protocol.NewState(n),
+		resolver:    resolver,
+		res:         &Result{N: n, Connected: dep.ReachableFromSource()},
+		energyCost:  channel.DefaultCosts(cfg.Model).Energy,
+		txSlot:      make([]int32, n),
+		txPhase:     make([]int32, n),
+		hasPacket:   make([]bool, n),
+		cancelled:   make([]bool, n),
+		firstPhase:  make([]int32, n),
+		deliveredBy: make([]int32, n),
+		bySlot:      make([][]int32, cfg.S),
 	}
-
-	firstPhase := make([]int32, n)
-	for i := range firstPhase {
-		firstPhase[i] = -1
+	r.res.Timeline.N = float64(n)
+	for i := range r.txSlot {
+		r.txSlot[i] = noTx
+		r.firstPhase[i] = -1
 	}
-	firstPhase[0] = 0
+	r.firstPhase[0] = 0
+	r.deliverFn = r.deliver
+	r.collideFn = r.collide
+	r.dropFn = r.drop
+	return r, nil
+}
 
-	res := &Result{N: n, Connected: dep.ReachableFromSource()}
-	tl := &res.Timeline
-	tl.N = float64(n)
-	sample := func(phase int, reached, broadcasts int) {
-		tl.Phases = append(tl.Phases, float64(phase))
-		tl.CumReach = append(tl.CumReach, float64(reached)/float64(n))
-		tl.CumBroadcasts = append(tl.CumBroadcasts, float64(broadcasts))
+// syncRun implements channel.Faults for its own fault plan, saving the
+// per-slot adapter value (an interface conversion heap-allocates).
+func (r *syncRun) TxUp(u int32) bool              { return r.plan.Up(u, r.phase) }
+func (r *syncRun) RxUp(v int32) bool              { return r.plan.Up(v, r.phase) }
+func (r *syncRun) DropPacket(from, to int32) bool { return r.plan.Drop() }
+
+func (r *syncRun) record(k trace.Kind, node, other int32) {
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Record(trace.Event{
+			Kind: k, Phase: r.phase, Slot: r.slot,
+			Node: node, Other: other,
+		})
 	}
+}
+
+func (r *syncRun) sample() {
+	tl := &r.res.Timeline
+	tl.Phases = append(tl.Phases, float64(r.phase))
+	tl.CumReach = append(tl.CumReach, float64(r.reached)/float64(r.res.N))
+	tl.CumBroadcasts = append(tl.CumBroadcasts, float64(r.broadcasts))
+}
+
+// deliver is the resolver's success callback.
+func (r *syncRun) deliver(from, to int32) {
+	r.res.Delivered++
+	r.deliveredBy[from]++
+	r.record(trace.KindDeliver, to, from)
+	if !r.hasPacket[to] {
+		r.firstTo = append(r.firstTo, to)
+		r.firstFrom = append(r.firstFrom, from)
+		r.hasPacket[to] = true
+		r.record(trace.KindFirstReceive, to, from)
+	} else if r.txSlot[to] != noTx && !r.cancelled[to] {
+		d := r.dep.Pos[to].Dist(r.dep.Pos[from])
+		ctx := protocol.Ctx{Phase: r.phase, Degree: r.dep.Degree(int(to))}
+		if !r.state.OnDuplicate(to, from, d, ctx) {
+			r.cancelled[to] = true
+			r.pendingCount--
+			r.record(trace.KindCancel, to, from)
+		}
+	}
+}
+
+// collide is the resolver's destroyed-reception callback.
+func (r *syncRun) collide(to, heard int32) {
+	r.res.LostToCollision++
+	r.record(trace.KindCollision, to, heard)
+}
+
+// drop is the resolver's fault-loss callback.
+func (r *syncRun) drop(from, to int32) {
+	r.res.LostToFault++
+	r.record(trace.KindDrop, to, from)
+}
+
+// runSync executes the slot-aligned engine.
+func runSync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*Result, error) {
+	r, err := newSyncRun(&cfg, dep, rng, plan)
+	if err != nil {
+		return nil, err
+	}
+	n := dep.N()
+	res := r.res
 
 	// Phase 0 anchor: only the source holds the packet.
-	hasPacket[0] = true
-	reached, broadcasts := 1, 0
-	sample(0, reached, broadcasts)
+	r.hasPacket[0] = true
+	r.reached = 1
+	r.sample()
 
 	// The source transmits in a random slot of phase 1.
-	txSlot[0] = int32(rng.Intn(cfg.S))
-	txPhase[0] = 1
-	pendingCount := 1
+	r.txSlot[0] = int32(rng.Intn(cfg.S))
+	r.txPhase[0] = 1
+	r.pendingCount = 1
 
-	var succSum float64
-	var succN int
-	deliveredBy := make([]int32, n) // per-slot scratch, reset after use
-	bySlot := make([][]int32, cfg.S)
-
-	for phase := 1; phase <= cfg.MaxPhases && pendingCount > 0; phase++ {
-		for s := range bySlot {
-			bySlot[s] = bySlot[s][:0]
+	for phase := 1; phase <= cfg.MaxPhases && r.pendingCount > 0; phase++ {
+		r.phase = int32(phase)
+		for s := range r.bySlot {
+			r.bySlot[s] = r.bySlot[s][:0]
 		}
 		// Collect this phase's transmitters (cancellation may still
 		// strike before their slot). Under a fault plan, a sleeping
 		// node's pending transmission defers to its next waking phase
 		// (same slot); a node that dies first loses it.
 		for i := 0; i < n; i++ {
-			if txSlot[i] == noTx || int(txPhase[i]) > phase {
+			if r.txSlot[i] == noTx || int(r.txPhase[i]) > phase {
 				continue
 			}
 			if plan != nil {
 				up, ok := plan.NextUp(int32(i), int32(phase))
 				if !ok {
-					txSlot[i] = noTx
+					r.txSlot[i] = noTx
 					continue
 				}
 				if int(up) != phase {
-					txPhase[i] = up
+					r.txPhase[i] = up
 					continue
 				}
 			}
-			bySlot[txSlot[i]] = append(bySlot[txSlot[i]], int32(i))
+			r.bySlot[r.txSlot[i]] = append(r.bySlot[r.txSlot[i]], int32(i))
 		}
 		phaseNew := 0
 		for s := 0; s < cfg.S; s++ {
+			r.slot = int32(s)
 			// Drop transmissions cancelled by duplicates heard in
 			// earlier slots, and (under a fault plan) transmissions
 			// whose node died mid-phase of energy depletion.
-			txs := bySlot[s][:0]
-			for _, id := range bySlot[s] {
-				if !cancelled[id] && plan.Up(id, int32(phase)) {
+			txs := r.bySlot[s][:0]
+			for _, id := range r.bySlot[s] {
+				if !r.cancelled[id] && plan.Up(id, r.phase) {
 					txs = append(txs, id)
 				}
-				txSlot[id] = noTx
+				r.txSlot[id] = noTx
 			}
 			if len(txs) == 0 {
 				continue
 			}
-			broadcasts += len(txs)
+			r.broadcasts += len(txs)
 
-			record := func(k trace.Kind, node, other int32) {
-				if cfg.Tracer != nil {
-					cfg.Tracer.Record(trace.Event{
-						Kind: k, Phase: int32(phase), Slot: int32(s),
-						Node: node, Other: other,
-					})
-				}
-			}
 			if cfg.Tracer != nil {
 				for _, id := range txs {
-					record(trace.KindTx, id, -1)
+					r.record(trace.KindTx, id, -1)
 				}
 			}
-			type rx struct {
-				to, from int32
-			}
-			var firstRx []rx
-			collided := func(to, heard int32) {
-				res.LostToCollision++
-				record(trace.KindCollision, to, heard)
-			}
-			deliver := func(from, to int32) {
-				res.Delivered++
-				deliveredBy[from]++
-				record(trace.KindDeliver, to, from)
-				if !hasPacket[to] {
-					firstRx = append(firstRx, rx{to, from})
-					hasPacket[to] = true
-					record(trace.KindFirstReceive, to, from)
-				} else if txSlot[to] != noTx && !cancelled[to] {
-					d := dep.Pos[to].Dist(dep.Pos[from])
-					ctx := protocol.Ctx{Phase: int32(phase), Degree: dep.Degree(int(to))}
-					if !state.OnDuplicate(to, from, d, ctx) {
-						cancelled[to] = true
-						pendingCount--
-						record(trace.KindCancel, to, from)
-					}
-				}
-			}
+			r.firstTo = r.firstTo[:0]
+			r.firstFrom = r.firstFrom[:0]
 			if plan != nil {
-				fm := planSlotFaults{plan, int32(phase)}
-				resolver.ResolveSlotFaults(txs, fm, deliver, collided, func(from, to int32) {
-					res.LostToFault++
-					record(trace.KindDrop, to, from)
-				})
+				r.resolver.ResolveSlotFaults(txs, r, r.deliverFn, r.collideFn, r.dropFn)
 				// Charge transmission energy after the slot resolves:
 				// the spend that crosses the cap still completes.
 				for _, id := range txs {
-					plan.Spend(id, energyCost)
+					plan.Spend(id, r.energyCost)
 				}
 			} else {
-				resolver.ResolveSlotTraced(txs, deliver, collided)
+				r.resolver.ResolveSlotTraced(txs, r.deliverFn, r.collideFn)
 			}
 			// Every transmission contributes to the success rate, the
 			// zero-delivery ones included (Fig. 12's measured ratio).
 			for _, id := range txs {
 				if deg := dep.Degree(int(id)); deg > 0 {
-					succSum += float64(deliveredBy[id]) / float64(deg)
+					r.succSum += float64(r.deliveredBy[id]) / float64(deg)
 				}
-				succN++
-				deliveredBy[id] = 0
+				r.succN++
+				r.deliveredBy[id] = 0
 			}
 
-			for _, r := range firstRx {
-				reached++
+			for i, to := range r.firstTo {
+				from := r.firstFrom[i]
+				r.reached++
 				phaseNew++
-				firstPhase[r.to] = int32(phase)
-				d := dep.Pos[r.to].Dist(dep.Pos[r.from])
-				ctx := protocol.Ctx{Phase: int32(phase), Degree: dep.Degree(int(r.to))}
-				if state.OnFirstReceive(r.to, r.from, d, ctx, rng) {
-					txSlot[r.to] = int32(rng.Intn(cfg.S))
-					txPhase[r.to] = int32(phase + 1)
-					pendingCount++
+				r.firstPhase[to] = r.phase
+				d := dep.Pos[to].Dist(dep.Pos[from])
+				ctx := protocol.Ctx{Phase: r.phase, Degree: dep.Degree(int(to))}
+				if r.state.OnFirstReceive(to, from, d, ctx, rng) {
+					r.txSlot[to] = int32(rng.Intn(cfg.S))
+					r.txPhase[to] = int32(phase + 1)
+					r.pendingCount++
 				}
 			}
 		}
 		// Pending transmissions for this phase have all fired or been
 		// dropped; recount what remains for the next phase.
-		pendingCount = 0
+		r.pendingCount = 0
 		for i := 0; i < n; i++ {
-			if txSlot[i] != noTx && !cancelled[i] {
-				pendingCount++
+			if r.txSlot[i] != noTx && !r.cancelled[i] {
+				r.pendingCount++
 			}
 		}
 		res.PhaseNew = append(res.PhaseNew, phaseNew)
-		sample(phase, reached, broadcasts)
+		r.sample()
 	}
 
-	res.Reached = reached
-	res.Broadcasts = broadcasts
-	if succN > 0 {
-		res.SuccessRate = succSum / float64(succN)
+	res.Reached = r.reached
+	res.Broadcasts = r.broadcasts
+	if r.succN > 0 {
+		res.SuccessRate = r.succSum / float64(r.succN)
 	}
 	st := plan.Stats()
 	res.Crashed, res.Depleted = st.Crashed, st.Depleted
-	fillRingStats(res, dep, firstPhase)
+	fillRingStats(res, dep, r.firstPhase)
 	return res, nil
 }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# bench.sh runs the repo's key benchmarks and writes the perf
+# trajectory snapshot BENCH_<n>.json (ns/op, B/op, allocs/op per
+# bench). The four benches cover the hot paths the snapshot tracks:
+# the slot-aligned simulator (SimulatorDenseFlooding), the analytic
+# surface behind Fig. 4 (Fig4Reachability), the simulated sweep behind
+# Fig. 8 (Fig8SimReachability), and the engine-scheduled campaign
+# (EngineCampaign).
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json defaults to BENCH.json in the repo root
+#   benchtime   defaults to 1x (raise, e.g. 5x, for steadier numbers)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+benchtime="${2:-1x}"
+
+pattern='BenchmarkSimulatorDenseFlooding$|BenchmarkFig4Reachability$|BenchmarkFig8SimReachability$|BenchmarkEngineCampaign/workers=1$'
+
+echo "== bench: $pattern (benchtime=$benchtime)" >&2
+go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem . |
+	tee /dev/stderr |
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		/^Benchmark/ && NF >= 7 {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			benches[++n] = sprintf(\
+				"    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+				name, $3, $5, $7)
+		}
+		END {
+			if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+			printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"'"$benchtime"'\",\n  \"benchmarks\": [\n", date
+			for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
+			printf "  ]\n}\n"
+		}
+	' > "$out"
+
+echo "wrote $out" >&2

@@ -25,4 +25,7 @@ go test -shuffle=on ./...
 echo "== tier 2: go run ./cmd/sensorlint ./..."
 go run ./cmd/sensorlint ./...
 
+echo "== tier 2: bench smoke (hot loop still runs under the bench harness)"
+go test -run=NONE -bench=SimulatorDenseFlooding -benchtime=1x .
+
 echo "all checks passed"
