@@ -11,6 +11,14 @@
 //	experiments -figure all -cache-dir .cache/experiments  # reuse results
 //	experiments -figure degradation -quick -deg-rho 40 \
 //	    -crash-rates 0,0.2,0.4 -loss-rates 0,0.3    # fault tolerance study
+//
+// Sharded sweeps split a figure's cacheable job set across processes
+// (or hosts sharing the cache directory) and merge from the cache:
+//
+//	experiments -figure fig8 -cache-dir D -shard 0/2   # process 1
+//	experiments -figure fig8 -cache-dir D -shard 1/2   # process 2
+//	experiments -figure fig8 -cache-dir D -merge 2     # assemble, never recompute
+//	experiments -cache-dir D -serve :8080              # tuning queries from cache
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -26,10 +35,12 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
 	"sensornet/internal/export"
+	"sensornet/internal/serve"
 )
 
 func main() {
@@ -46,6 +57,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-job timeout (0 = none)")
 		cacheDir = flag.String("cache-dir", "", "persist surface results here and reuse them across runs")
 		stats    = flag.Bool("stats", false, "print engine telemetry to stderr when done")
+
+		shard     = flag.String("shard", "", "compute only shard i of M (\"i/M\") of the figure's cacheable jobs into -cache-dir; no figure is rendered")
+		merge     = flag.Int("merge", 0, "assemble the figure strictly from -cache-dir, assuming this many shards; missing shards are reported, never recomputed")
+		serveAddr = flag.String("serve", "", "serve tuning queries from cached surfaces on this address (e.g. :8080); requires -cache-dir")
 
 		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
 		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
@@ -92,21 +107,47 @@ func main() {
 	}
 	ps.Async = *async
 
+	var spec engine.ShardSpec
+	if *shard != "" {
+		if spec, err = engine.ParseShardSpec(*shard); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -shard:", err)
+			os.Exit(2)
+		}
+	}
+	cacheOnly := *merge > 0 || *serveAddr != ""
+	if (*shard != "" || cacheOnly) && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-serve need -cache-dir (the shared result store)")
+		os.Exit(2)
+	}
+	if *shard != "" && cacheOnly {
+		fmt.Fprintln(os.Stderr, "experiments: -shard computes, -merge/-serve only read: pick one")
+		os.Exit(2)
+	}
+
 	var cache *engine.Cache
 	if *cacheDir != "" {
 		cache = engine.NewCache(*cacheDir, experiments.CacheSalt)
 	}
 	eng := engine.New(engine.Config{
-		Workers: *workers,
-		Timeout: *timeout,
-		Cache:   cache,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		Cache:     cache,
+		Shard:     spec,
+		CacheOnly: cacheOnly,
 	})
 
 	// Ctrl-C cancels outstanding jobs and exits cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	err = run(ctx, eng, *figure, pa, ps, deg, *skipSim, w, *csvDir)
+	switch {
+	case *serveAddr != "":
+		err = runServe(ctx, *serveAddr, eng, pa, ps)
+	case *shard != "":
+		err = runShard(ctx, eng, *figure, pa, ps, deg, *skipSim, w)
+	default:
+		err = run(ctx, eng, *figure, pa, ps, deg, *skipSim, w, *csvDir)
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, eng.Stats())
 		if cache != nil {
@@ -121,8 +162,86 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted")
 			os.Exit(130)
 		}
+		var missing *engine.MissingError
+		if errors.As(err, &missing) {
+			fmt.Fprintf(os.Stderr, "experiments: merge incomplete: %d job(s) not in the cache", len(missing.Jobs))
+			if *merge > 1 {
+				fmt.Fprintf(os.Stderr, "; run (or re-run) shard(s) %v of %d", missing.MissingShards(*merge), *merge)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+}
+
+// needAnalytic and needSim map figure names onto the surface their
+// rendering needs — also the cacheable job set -shard distributes.
+var (
+	needAnalytic = map[string]bool{"fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig12": true}
+	needSim = map[string]bool{"fig8": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12sim": true}
+)
+
+// shardJobs builds the cacheable job set behind the selected figure:
+// the unit of work -shard splits and -merge reassembles.
+func shardJobs(figure string, pa, ps experiments.Preset, deg degParams,
+	skipSim bool, workers int) ([]engine.Job, error) {
+	switch {
+	case figure == "all":
+		jobs := experiments.SurfaceJobs(pa, false, workers)
+		if !skipSim {
+			jobs = append(jobs, experiments.SurfaceJobs(ps, true, workers)...)
+		}
+		return jobs, nil
+	case needAnalytic[figure]:
+		return experiments.SurfaceJobs(pa, false, workers), nil
+	case needSim[figure]:
+		return experiments.SurfaceJobs(ps, true, workers), nil
+	case figure == "degradation":
+		return experiments.DegradationJobs(ps, deg.rho, deg.crash, deg.loss)
+	default:
+		return nil, fmt.Errorf("figure %q has no cacheable job set to shard", figure)
+	}
+}
+
+// runShard computes this process's shard of the figure's jobs into the
+// shared cache and reports what it did; rendering is the merge step's
+// business.
+func runShard(ctx context.Context, eng *engine.Engine, figure string,
+	pa, ps experiments.Preset, deg degParams, skipSim bool, w io.Writer) error {
+	jobs, err := shardJobs(figure, pa, ps, deg, skipSim, eng.Workers())
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.RunShard(ctx, eng, jobs)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, rep)
+	return err
+}
+
+// runServe blocks serving tuning queries until the context is
+// cancelled (Ctrl-C), then shuts the listener down gracefully.
+func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps experiments.Preset) error {
+	srv, err := serve.New(eng, pa, ps)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "experiments: serving tuning queries on %s\n", addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
 	}
 }
 
@@ -232,11 +351,6 @@ func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experime
 		}
 		return dumpCSV(csvDir, pa.Rhos, figs...)
 	}
-
-	needAnalytic := map[string]bool{"fig4": true, "fig5": true, "fig6": true,
-		"fig7": true, "fig12": true}
-	needSim := map[string]bool{"fig8": true, "fig9": true, "fig10": true,
-		"fig11": true, "fig12sim": true}
 
 	var f *experiments.FigureResult
 	var err error

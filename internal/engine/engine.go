@@ -30,6 +30,17 @@ type Config struct {
 	// Cache, when non-nil, short-circuits jobs whose fingerprint has a
 	// stored result and stores fresh results after success.
 	Cache *Cache
+	// Shard, when Sharded(), restricts execution to the jobs this
+	// process owns (assignment by fingerprint content hash, see
+	// ShardSpec): unowned cacheable jobs come back Skipped without
+	// executing. Uncacheable jobs are always owned.
+	Shard ShardSpec
+	// CacheOnly forbids computation of cacheable jobs: a cache miss
+	// yields a Missing result instead of executing, and Run returns a
+	// *MissingError aggregating every such job. The merge and serve
+	// paths use this to guarantee they never recompute shard work.
+	// Uncacheable jobs (empty fingerprint) still execute.
+	CacheOnly bool
 	// Spans receives one trace span per attempt and cache hit;
 	// defaults to a fresh log owned by the engine.
 	Spans *trace.SpanLog
@@ -93,6 +104,12 @@ type Result struct {
 	Duration time.Duration
 	// FromCache marks results satisfied without executing the job.
 	FromCache bool
+	// Skipped marks jobs owned by another shard (Config.Shard): not
+	// executed, Value nil.
+	Skipped bool
+	// Missing marks cacheable jobs a CacheOnly run could not satisfy:
+	// not executed, Value nil.
+	Missing bool
 }
 
 // Engine is a reusable concurrent job executor. It is safe for use
@@ -132,6 +149,13 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 
 // Cache returns the engine's cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cfg.Cache }
+
+// Shard returns the engine's shard assignment (zero when unsharded).
+func (e *Engine) Shard() ShardSpec { return e.cfg.Shard }
+
+// CacheOnly reports whether the engine refuses to compute cacheable
+// jobs.
+func (e *Engine) CacheOnly() bool { return e.cfg.CacheOnly }
 
 // Spans returns the engine's telemetry span log.
 func (e *Engine) Spans() *trace.SpanLog { return e.spans }
@@ -204,6 +228,18 @@ feed:
 	if err == nil && ctx.Err() != nil {
 		err = fmt.Errorf("engine: %w", context.Cause(ctx))
 	}
+	if err == nil && e.cfg.CacheOnly {
+		var missing []MissingJob
+		for i, r := range results {
+			if r.Missing {
+				missing = append(missing, MissingJob{
+					Name: r.Name, Fingerprint: jobs[i].Fingerprint()})
+			}
+		}
+		if len(missing) > 0 {
+			err = &MissingError{Jobs: missing}
+		}
+	}
 	return results, err
 }
 
@@ -213,6 +249,10 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 	name := job.Name()
 	res := Result{Name: name}
 	fp := job.Fingerprint()
+	if !e.cfg.Shard.Owns(fp) {
+		res.Skipped = true
+		return res
+	}
 	encode, decode := codecOf(job)
 	epoch := e.spans.Epoch()
 
@@ -222,6 +262,13 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 		e.spans.Record(trace.Span{Name: name, Worker: worker, Cached: true,
 			Start: time.Since(epoch)})
 		e.emit(Event{Kind: EventCacheHit, Job: name, Worker: worker})
+		return res
+	}
+	if e.cfg.CacheOnly && fp != "" {
+		// Not an error per job: the batch keeps draining so the merge
+		// step can report every missing shard at once, and Run
+		// aggregates the misses into one *MissingError.
+		res.Missing = true
 		return res
 	}
 

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec identifies one shard of a multi-process sweep: this
+// process computes only the jobs whose fingerprint hashes to Index out
+// of Total. The zero value (Total 0, like Total 1) is the unsharded
+// spec that owns every job.
+//
+// Assignment is by content hash of the job fingerprint — the same
+// string that addresses the result cache — so it is deterministic
+// across processes and hosts, independent of submission order, and
+// stable as long as the job's parameters (and CacheSalt) are stable.
+// Shards therefore partition any job set exactly: every job belongs to
+// one and only one shard.
+type ShardSpec struct {
+	// Index is this process's shard in [0, Total).
+	Index int
+	// Total is the number of shards; <= 1 means unsharded.
+	Total int
+}
+
+// ParseShardSpec parses the "i/M" form used by the -shard flag.
+func ParseShardSpec(s string) (ShardSpec, error) {
+	idx, total, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("engine: shard spec %q: want \"i/M\"", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
+	m, err2 := strconv.Atoi(strings.TrimSpace(total))
+	if err1 != nil || err2 != nil {
+		return ShardSpec{}, fmt.Errorf("engine: shard spec %q: want \"i/M\"", s)
+	}
+	spec := ShardSpec{Index: i, Total: m}
+	return spec, spec.Validate()
+}
+
+// Validate reports whether the spec is realisable.
+func (s ShardSpec) Validate() error {
+	if s.Total < 0 || s.Index < 0 {
+		return fmt.Errorf("engine: shard %d/%d: negative", s.Index, s.Total)
+	}
+	if s.Total > 0 && s.Index >= s.Total {
+		return fmt.Errorf("engine: shard index %d outside [0, %d)", s.Index, s.Total)
+	}
+	return nil
+}
+
+// Sharded reports whether the spec actually splits work.
+func (s ShardSpec) Sharded() bool { return s.Total > 1 }
+
+// String renders the spec in the "i/M" flag form.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Total) }
+
+// Owns reports whether this shard computes the job with the given
+// fingerprint. Unsharded specs own everything, as do uncacheable jobs
+// (empty fingerprint): a job that cannot publish its result through
+// the shared cache is useless to compute remotely, so every shard that
+// needs it computes it locally.
+func (s ShardSpec) Owns(fingerprint string) bool {
+	if !s.Sharded() || fingerprint == "" {
+		return true
+	}
+	return ShardOf(fingerprint, s.Total) == s.Index
+}
+
+// ShardOf maps a job fingerprint onto one of total shards by content
+// hash (first 8 bytes of sha256, big-endian, mod total). total <= 1
+// always maps to shard 0.
+func ShardOf(fingerprint string, total int) int {
+	if total <= 1 {
+		return 0
+	}
+	sum := sha256.Sum256([]byte(fingerprint))
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(total))
+}
+
+// MissingJob identifies one cacheable job a cache-only run could not
+// satisfy, together with the shard responsible for computing it.
+type MissingJob struct {
+	Name        string
+	Fingerprint string
+}
+
+// MissingError aggregates every cache miss of a cache-only Run. The
+// merge step reports it instead of recomputing: the listed jobs belong
+// to shards that have not (yet) published their results.
+type MissingError struct {
+	Jobs []MissingJob
+}
+
+// Error implements error.
+func (e *MissingError) Error() string {
+	return fmt.Sprintf("engine: cache-only run: %d job(s) not in cache", len(e.Jobs))
+}
+
+// MissingShards returns the sorted distinct shard indices (under a
+// total-shard split) responsible for the missing jobs.
+func (e *MissingError) MissingShards(total int) []int {
+	seen := make(map[int]bool)
+	for _, j := range e.Jobs {
+		seen[ShardOf(j.Fingerprint, total)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: the slice is tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	good := map[string]ShardSpec{
+		"0/1":   {0, 1},
+		"0/2":   {0, 2},
+		"1/2":   {1, 2},
+		"7/16":  {7, 16},
+		" 1/2 ": {1, 2}, // Cut splits on "/", fields are trimmed
+	}
+	for in, want := range good {
+		got, err := ParseShardSpec(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShardSpec(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "1", "2/2", "3/2", "-1/2", "1/-2", "a/b", "1/2/3"} {
+		if _, err := ParseShardSpec(in); err == nil {
+			t.Errorf("ParseShardSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestShardAssignmentPartitions: every fingerprint is owned by exactly
+// one of the M shards, assignment is deterministic, and ShardOf stays
+// within range.
+func TestShardAssignmentPartitions(t *testing.T) {
+	const total = 3
+	specs := make([]ShardSpec, total)
+	for i := range specs {
+		specs[i] = ShardSpec{Index: i, Total: total}
+	}
+	counts := make([]int, total)
+	for i := 0; i < 200; i++ {
+		fp := Fingerprint("shard-test", i, float64(i)*0.25)
+		s := ShardOf(fp, total)
+		if s != ShardOf(fp, total) {
+			t.Fatalf("ShardOf(%q) not deterministic", fp)
+		}
+		if s < 0 || s >= total {
+			t.Fatalf("ShardOf(%q, %d) = %d out of range", fp, total, s)
+		}
+		owners := 0
+		for _, spec := range specs {
+			if spec.Owns(fp) {
+				owners++
+				if spec.Index != s {
+					t.Fatalf("shard %v owns %q but ShardOf says %d", spec, fp, s)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("fingerprint %q owned by %d shards, want exactly 1", fp, owners)
+		}
+		counts[s]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d owns no fingerprints out of 200: degenerate assignment", i)
+		}
+	}
+}
+
+// TestUnshardedAndUncacheableAlwaysOwned: the zero spec owns everything
+// and every shard owns fingerprint-less jobs (they cannot publish
+// through the cache, so skipping them anywhere would lose them
+// everywhere).
+func TestUnshardedAndUncacheableAlwaysOwned(t *testing.T) {
+	if !(ShardSpec{}).Owns("anything") {
+		t.Error("zero ShardSpec must own every job")
+	}
+	for i := 0; i < 4; i++ {
+		if !(ShardSpec{Index: i, Total: 4}).Owns("") {
+			t.Errorf("shard %d/4 must own uncacheable (empty-fingerprint) jobs", i)
+		}
+	}
+}
+
+// countJob is a cacheable job that counts its executions.
+func countJob(name string, runs *atomic.Int64) Job {
+	return JobFunc{
+		JobName:  name,
+		Key:      Fingerprint("count-job", name),
+		EncodeFn: func(v any) ([]byte, error) { return json.Marshal(v) },
+		DecodeFn: func(b []byte) (any, error) {
+			var x float64
+			err := json.Unmarshal(b, &x)
+			return x, err
+		},
+		Fn: func(context.Context) (any, error) {
+			runs.Add(1)
+			return float64(len(name)), nil
+		},
+	}
+}
+
+// TestShardedEngineSkipsUnownedJobs: a sharded engine executes exactly
+// its own jobs; the rest come back Skipped without running, and
+// uncacheable jobs run on every shard.
+func TestShardedEngineSkipsUnownedJobs(t *testing.T) {
+	const total = 2
+	var jobs []Job
+	var runs atomic.Int64
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, countJob(fmt.Sprintf("job-%d", i), &runs))
+	}
+	var uncacheable atomic.Int64
+	jobs = append(jobs, JobFunc{JobName: "uncacheable",
+		Fn: func(context.Context) (any, error) { uncacheable.Add(1); return 1, nil }})
+
+	executed := 0
+	for idx := 0; idx < total; idx++ {
+		runs.Store(0)
+		eng := New(Config{Workers: 2, Shard: ShardSpec{Index: idx, Total: total}})
+		results, err := eng.Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Name == "uncacheable" {
+				if r.Skipped {
+					t.Fatalf("shard %d skipped the uncacheable job", idx)
+				}
+				continue
+			}
+			owns := eng.Shard().Owns(jobs[i].(JobFunc).Key)
+			if owns == r.Skipped {
+				t.Fatalf("shard %d: job %q owned=%v but Skipped=%v", idx, r.Name, owns, r.Skipped)
+			}
+			if r.Skipped && r.Value != nil {
+				t.Fatalf("skipped job %q carries a value", r.Name)
+			}
+		}
+		executed += int(runs.Load())
+	}
+	if executed != 10 {
+		t.Fatalf("shards executed %d cacheable jobs in total, want exactly 10 (a partition)", executed)
+	}
+	if n := uncacheable.Load(); n != total {
+		t.Fatalf("uncacheable job ran %d times, want once per shard (%d)", n, total)
+	}
+}
+
+// TestCacheOnlyReportsMissing: a cache-only engine never computes a
+// cacheable job — present entries come from the cache, absent ones
+// come back Missing, and Run aggregates them into one *MissingError
+// (draining the whole batch rather than failing fast, so the merge
+// step can report every missing shard at once). Uncacheable jobs still
+// execute.
+func TestCacheOnlyReportsMissing(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	warm := countJob("warm", &runs)
+	cold1 := countJob("cold-1", &runs)
+	cold2 := countJob("cold-2", &runs)
+
+	// Publish only "warm" into the shared cache.
+	pub := New(Config{Workers: 1, Cache: NewCache(dir, "shard-test-salt")})
+	if _, err := pub.Run(context.Background(), []Job{warm}); err != nil {
+		t.Fatal(err)
+	}
+
+	runs.Store(0)
+	var uncacheable atomic.Int64
+	eng := New(Config{Workers: 2, CacheOnly: true, Cache: NewCache(dir, "shard-test-salt")})
+	results, err := eng.Run(context.Background(), []Job{warm, cold1, cold2, JobFunc{
+		JobName: "uncacheable",
+		Fn:      func(context.Context) (any, error) { uncacheable.Add(1); return 1, nil },
+	}})
+
+	var missing *MissingError
+	if !errors.As(err, &missing) {
+		t.Fatalf("err = %v, want *MissingError", err)
+	}
+	if len(missing.Jobs) != 2 {
+		t.Fatalf("MissingError lists %d jobs, want 2 (the whole batch drains): %+v",
+			len(missing.Jobs), missing.Jobs)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("cache-only engine computed %d cacheable jobs, want 0", runs.Load())
+	}
+	if uncacheable.Load() != 1 {
+		t.Fatal("cache-only engine must still execute uncacheable jobs")
+	}
+	if !results[0].FromCache {
+		t.Error("warm job not served from cache")
+	}
+	if !results[1].Missing || !results[2].Missing {
+		t.Errorf("cold jobs not marked Missing: %+v, %+v", results[1], results[2])
+	}
+
+	// The missing jobs map back to the shards that must (re)run.
+	want := map[int]bool{}
+	for _, j := range missing.Jobs {
+		want[ShardOf(j.Fingerprint, 4)] = true
+	}
+	got := missing.MissingShards(4)
+	if len(got) != len(want) {
+		t.Fatalf("MissingShards(4) = %v, want the owners of %+v", got, missing.Jobs)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("MissingShards not sorted ascending: %v", got)
+		}
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("MissingShards(4) = %v includes shard %d which owns nothing missing", got, s)
+		}
+	}
+}

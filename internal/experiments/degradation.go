@@ -128,19 +128,27 @@ func Degradation(pre Preset, rho float64, crashRates, lossRates []float64) (*Fig
 	return DegradationCtx(context.Background(), defaultEngine(pre), pre, rho, crashRates, lossRates)
 }
 
-// DegradationCtx measures how flooding and the law-tuned PB_CAM degrade
-// as node crashes and link loss intrude on the paper's collision-only
-// failure model: coverage, latency-constrained reach, and settling time
-// over a (crash rate × loss rate) grid at one density, averaged over
-// the preset's replications with common random numbers. One cached
-// engine job per (scheme, crash, loss) cell, so a killed study resumes
-// from the cache. Crash phases are uniform over the horizon; when the
-// preset leaves MaxPhases unset the study caps it near the latency
-// budget so node death lands inside the broadcast window instead of
-// long after it settles.
-func DegradationCtx(ctx context.Context, eng *engine.Engine, pre Preset, rho float64,
-	crashRates, lossRates []float64) (*FigureResult, error) {
+// degScheme pairs a compared scheme's display name with its protocol.
+type degScheme struct {
+	name  string
+	proto protocol.Protocol
+}
 
+// degStudy is the normalised parameter set of one degradation study:
+// the effective preset (horizon capped near the latency budget), the
+// rate grids with defaults applied, the calibrated law, and the two
+// schemes compared. Extracting it keeps the sharded job builder
+// (DegradationJobs) and the figure assembly (DegradationCtx) agreed on
+// job identity, so a shard process and the merge process address the
+// same cache entries.
+type degStudy struct {
+	pre         Preset
+	crash, loss []float64
+	schemes     []degScheme
+	law         analytic.OptimalProbabilityLaw
+}
+
+func newDegStudy(pre Preset, rho float64, crashRates, lossRates []float64) (*degStudy, error) {
 	if pre.Runs < 1 {
 		return nil, fmt.Errorf("experiments: degradation needs Runs >= 1, got %d", pre.Runs)
 	}
@@ -161,23 +169,55 @@ func DegradationCtx(ctx context.Context, eng *engine.Engine, pre Preset, rho flo
 		return nil, err
 	}
 	p := law.P(rho)
-	schemes := []struct {
-		name  string
-		proto protocol.Protocol
-	}{
-		{"flooding", protocol.Flooding{}},
-		{fmt.Sprintf("PB(p=%.2f)", p), protocol.Probability{P: p}},
-	}
+	return &degStudy{
+		pre:   pre,
+		crash: crashRates,
+		loss:  lossRates,
+		schemes: []degScheme{
+			{"flooding", protocol.Flooding{}},
+			{fmt.Sprintf("PB(p=%.2f)", p), protocol.Probability{P: p}},
+		},
+		law: law,
+	}, nil
+}
 
+// jobs builds the study's cell-job batch, scheme-major in
+// (schemes, crash, loss) order.
+func (st *degStudy) jobs(rho float64) []engine.Job {
 	var jobs []engine.Job
-	for _, s := range schemes {
-		for _, crash := range crashRates {
-			for _, loss := range lossRates {
-				jobs = append(jobs, degCellJob(pre, rho, s.name, s.proto, crash, loss))
+	for _, s := range st.schemes {
+		for _, crash := range st.crash {
+			for _, loss := range st.loss {
+				jobs = append(jobs, degCellJob(st.pre, rho, s.name, s.proto, crash, loss))
 			}
 		}
 	}
-	results, err := eng.Run(ctx, jobs)
+	return jobs
+}
+
+// DegradationCtx measures how flooding and the law-tuned PB_CAM degrade
+// as node crashes and link loss intrude on the paper's collision-only
+// failure model: coverage, latency-constrained reach, and settling time
+// over a (crash rate × loss rate) grid at one density, averaged over
+// the preset's replications with common random numbers. One cached
+// engine job per (scheme, crash, loss) cell, so a killed study resumes
+// from the cache. Crash phases are uniform over the horizon; when the
+// preset leaves MaxPhases unset the study caps it near the latency
+// budget so node death lands inside the broadcast window instead of
+// long after it settles.
+func DegradationCtx(ctx context.Context, eng *engine.Engine, pre Preset, rho float64,
+	crashRates, lossRates []float64) (*FigureResult, error) {
+
+	if err := surfaceEngineOK(eng); err != nil {
+		return nil, err
+	}
+	st, err := newDegStudy(pre, rho, crashRates, lossRates)
+	if err != nil {
+		return nil, err
+	}
+	pre, crashRates, lossRates = st.pre, st.crash, st.loss
+	law, schemes := st.law, st.schemes
+	results, err := eng.Run(ctx, st.jobs(rho))
 	if err != nil {
 		return nil, err
 	}

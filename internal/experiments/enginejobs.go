@@ -21,7 +21,11 @@ import (
 // grid probabilities (common random numbers) instead of resampling it
 // per probability, and analytic surfaces shard per (density,
 // probability) point instead of per density row.
-const CacheSalt = "sensornet-exp-v2"
+//
+// v3: the async engine's phase-boundary conventions were unified
+// (boundary-valued receptions attribute to the phase they close, trace
+// slots are node-local), which changes async simulation outputs.
+const CacheSalt = "sensornet-exp-v3"
 
 // defaultEngine builds the engine used by the context-free entry
 // points, honouring the preset's worker bound.

@@ -124,7 +124,10 @@ func AnalyticSurface(pre Preset) (*Surface, error) {
 // Points come back row-major in (Rhos, Grid) order regardless of the
 // engine's worker count.
 func AnalyticSurfaceCtx(ctx context.Context, eng *engine.Engine, pre Preset) (*Surface, error) {
-	results, err := eng.Run(ctx, analyticPointJobs(pre))
+	if err := surfaceEngineOK(eng); err != nil {
+		return nil, err
+	}
+	results, err := eng.Run(ctx, SurfaceJobs(pre, false, eng.Workers()))
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +144,10 @@ func SimSurface(pre Preset) (*Surface, error) {
 // up to the engine's worker bound. For a fixed preset seed the surface
 // is identical for any worker count.
 func SimSurfaceCtx(ctx context.Context, eng *engine.Engine, pre Preset) (*Surface, error) {
-	jobs := make([]engine.Job, len(pre.Rhos))
-	for i, rho := range pre.Rhos {
-		jobs[i] = simRowJob(pre, rho, eng.Workers())
+	if err := surfaceEngineOK(eng); err != nil {
+		return nil, err
 	}
-	results, err := eng.Run(ctx, jobs)
+	results, err := eng.Run(ctx, SurfaceJobs(pre, true, eng.Workers()))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sensornet/internal/engine"
+)
+
+// errShardedSurface guards the surface-assembly entry points against
+// sharded engines: a shard owns only part of the job set, so assembling
+// a full surface from its results is impossible by construction.
+var errShardedSurface = errors.New(
+	"experiments: sharded engine computes jobs, it does not assemble surfaces: run SurfaceJobs/DegradationJobs through RunShard, then merge with an unsharded cache-only engine")
+
+// surfaceEngineOK rejects engines whose results cannot assemble into a
+// complete figure.
+func surfaceEngineOK(eng *engine.Engine) error {
+	if eng.Shard().Sharded() {
+		return errShardedSurface
+	}
+	return nil
+}
+
+// SurfaceJobs returns the cacheable job set behind a preset's surface —
+// the unit the shard layer distributes. The jobs (and their
+// fingerprints) are exactly those AnalyticSurfaceCtx/SimSurfaceCtx
+// submit, so shard processes and the merge process address the same
+// cache entries. workers bounds the replication parallelism inside each
+// simulated row; it never affects job identity.
+func SurfaceJobs(pre Preset, simulated bool, workers int) []engine.Job {
+	if !simulated {
+		return analyticPointJobs(pre)
+	}
+	jobs := make([]engine.Job, len(pre.Rhos))
+	for i, rho := range pre.Rhos {
+		jobs[i] = simRowJob(pre, rho, workers)
+	}
+	return jobs
+}
+
+// DegradationJobs returns the cacheable cell-job set of the
+// graceful-degradation study, normalised exactly as DegradationCtx
+// normalises it (default rate grids, capped horizon, calibrated PB
+// probability), so sharded cell computation and merged figure assembly
+// agree on job identity.
+func DegradationJobs(pre Preset, rho float64, crashRates, lossRates []float64) ([]engine.Job, error) {
+	st, err := newDegStudy(pre, rho, crashRates, lossRates)
+	if err != nil {
+		return nil, err
+	}
+	return st.jobs(rho), nil
+}
+
+// ShardReport summarises one shard process's pass over a job set.
+type ShardReport struct {
+	// Spec is the engine's shard assignment.
+	Spec engine.ShardSpec
+	// Jobs is the size of the full job set; Owned the subset assigned
+	// to this shard; Skipped the jobs left to other shards.
+	Jobs, Owned, Skipped int
+	// Computed counts owned jobs executed this pass; CacheHits the
+	// owned jobs already present in the shared cache (a resumed or
+	// re-run shard).
+	Computed, CacheHits int
+}
+
+// String renders the report as the one-line summary the -shard CLI
+// prints.
+func (r ShardReport) String() string {
+	return fmt.Sprintf("shard %s: %d/%d jobs owned (%d computed, %d cache hits, %d left to other shards)",
+		r.Spec, r.Owned, r.Jobs, r.Computed, r.CacheHits, r.Skipped)
+}
+
+// RunShard drains a job set through a shard-configured engine: owned
+// jobs compute (or cache-hit) into the shared cache, unowned jobs are
+// skipped. The report describes what happened; the error, if any, is
+// the engine's. Results are deliberately not assembled — the merge
+// step does that from the cache once every shard has run.
+func RunShard(ctx context.Context, eng *engine.Engine, jobs []engine.Job) (*ShardReport, error) {
+	results, err := eng.Run(ctx, jobs)
+	rep := &ShardReport{Spec: eng.Shard(), Jobs: len(jobs)}
+	for _, res := range results {
+		switch {
+		case res.Skipped:
+			rep.Skipped++
+		case res.FromCache:
+			rep.Owned++
+			rep.CacheHits++
+		case res.Err == nil && res.Attempts > 0:
+			rep.Owned++
+			rep.Computed++
+		}
+	}
+	return rep, err
+}

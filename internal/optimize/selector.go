@@ -1,0 +1,36 @@
+package optimize
+
+// Selector is a named optimisation objective over a swept probability
+// row: the registry entry behind the serving mode's metric= query
+// parameter.
+type Selector struct {
+	// Name addresses the selector ("reach", "latency", "energy",
+	// "budget").
+	Name string
+	// Description states the objective in the paper's terms.
+	Description string
+	// Pick locates the optimal grid point; false when no point is
+	// feasible under the constraints the surface was swept with.
+	Pick func([]Point) (Optimum, bool)
+}
+
+// Selectors lists the four paper metrics addressable by name, in the
+// figure order of §4.2.
+func Selectors() []Selector {
+	return []Selector{
+		{"reach", "maximise reachability within the latency budget (metric 1, Fig. 4/8)", MaxReachAtLatency},
+		{"latency", "minimise phases to the reachability target (metric 3, Fig. 5/9)", MinLatency},
+		{"energy", "minimise broadcasts to the reachability target (metric 4, Fig. 6/10)", MinBroadcasts},
+		{"budget", "maximise reachability within the broadcast budget (metric 5, Fig. 7/11)", MaxReachAtBudget},
+	}
+}
+
+// SelectorByName resolves a metric name against the registry.
+func SelectorByName(name string) (Selector, bool) {
+	for _, s := range Selectors() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Selector{}, false
+}

@@ -1,0 +1,298 @@
+// Package serve answers tuning queries — optimal (s, p) operating
+// points and surface slices — strictly from cached experiment
+// surfaces.
+//
+// The server wraps a cache-only engine (engine.Config.CacheOnly): a
+// query whose surface rows are in the content-addressed cache is
+// answered without recomputing anything, and a query whose rows are
+// missing fails with 503 and the list of unpublished jobs, never by
+// silently recomputing shard work in the serving process. Handlers run
+// on the request context, so a dropped client cancels the cache load.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"sensornet/internal/engine"
+	"sensornet/internal/experiments"
+	"sensornet/internal/optimize"
+)
+
+// Server is the HTTP query layer over cached surfaces.
+//
+// Endpoints:
+//
+//	GET /healthz                  liveness + cache configuration
+//	GET /api/cache                engine CacheStats counters
+//	GET /api/metrics              the optimisation metric registry
+//	GET /api/optimal?surface=analytic|sim&metric=<name>&rho=<density>
+//	GET /api/surface?surface=analytic|sim[&rho=<density>]
+type Server struct {
+	eng      *engine.Engine
+	analytic experiments.Preset
+	sim      experiments.Preset
+	mux      *http.ServeMux
+}
+
+// New builds a Server over eng, which must be cache-only — the
+// serving contract is "answers come from the cache, never from
+// recomputation" — and should carry the same cache (and presets) the
+// shard processes populated.
+func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) {
+	if !eng.CacheOnly() {
+		return nil, errors.New("serve: engine must be cache-only (engine.Config.CacheOnly)")
+	}
+	if eng.Shard().Sharded() {
+		return nil, errors.New("serve: engine must be unsharded: serving reads every shard's cached rows")
+	}
+	s := &Server{eng: eng, analytic: analytic, sim: sim, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/cache", s.handleCache)
+	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/optimal", s.handleOptimal)
+	s.mux.HandleFunc("GET /api/surface", s.handleSurface)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	// MissingJobs lists unpublished cache entries on a 503 (capped).
+	MissingJobs []string `json:"missingJobs,omitempty"`
+}
+
+// fail maps an error onto the API's status contract: a cache-only
+// MissingError is 503 Service Unavailable (the data may simply not be
+// published yet), everything else is the given fallback status.
+func fail(w http.ResponseWriter, err error, fallback int) {
+	var missing *engine.MissingError
+	if errors.As(err, &missing) {
+		body := errorBody{Error: missing.Error()}
+		const maxListed = 20
+		for i, j := range missing.Jobs {
+			if i == maxListed {
+				body.MissingJobs = append(body.MissingJobs, "...")
+				break
+			}
+			body.MissingJobs = append(body.MissingJobs, j.Name)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, fallback, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"cacheOnly": true,
+		"hasCache":  s.eng.Cache() != nil,
+	})
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	c := s.eng.Cache()
+	if c == nil {
+		fail(w, errors.New("serve: no cache configured"), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+type metricBody struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sels := optimize.Selectors()
+	out := make([]metricBody, len(sels))
+	for i, sel := range sels {
+		out[i] = metricBody{Name: sel.Name, Description: sel.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// preset resolves the surface= query parameter.
+func (s *Server) preset(r *http.Request) (experiments.Preset, bool, error) {
+	switch name := r.URL.Query().Get("surface"); name {
+	case "analytic":
+		return s.analytic, false, nil
+	case "sim":
+		return s.sim, true, nil
+	default:
+		return experiments.Preset{}, false, fmt.Errorf("serve: surface=%q: want analytic or sim", name)
+	}
+}
+
+// surface loads the requested surface entirely from the cache.
+func (s *Server) surface(r *http.Request) (*experiments.Surface, experiments.Preset, error) {
+	pre, simulated, err := s.preset(r)
+	if err != nil {
+		return nil, pre, err
+	}
+	var surf *experiments.Surface
+	if simulated {
+		surf, err = experiments.SimSurfaceCtx(r.Context(), s.eng, pre)
+	} else {
+		surf, err = experiments.AnalyticSurfaceCtx(r.Context(), s.eng, pre)
+	}
+	return surf, pre, err
+}
+
+// rowAt finds the surface row of the queried density. Densities are
+// preset grid values echoed back by clients, so matching is by small
+// absolute tolerance rather than float equality.
+func rowAt(pre experiments.Preset, surf *experiments.Surface, rho float64) ([]optimize.Point, bool) {
+	for i, r := range pre.Rhos {
+		if math.Abs(r-rho) < 1e-9 {
+			return surf.Points[i], true
+		}
+	}
+	return nil, false
+}
+
+func parseRho(r *http.Request) (float64, error) {
+	raw := r.URL.Query().Get("rho")
+	if raw == "" {
+		return 0, errors.New("serve: missing rho parameter")
+	}
+	rho, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: rho=%q: %v", raw, err)
+	}
+	return rho, nil
+}
+
+// optimalBody is the answer to a tuning query: the (s, p) operating
+// point optimising the metric at the density, and the achieved value.
+type optimalBody struct {
+	Surface string  `json:"surface"`
+	Metric  string  `json:"metric"`
+	Rho     float64 `json:"rho"`
+	S       int     `json:"s"`
+	P       float64 `json:"p"`
+	Value   float64 `json:"value"`
+}
+
+func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
+	sel, ok := optimize.SelectorByName(r.URL.Query().Get("metric"))
+	if !ok {
+		fail(w, fmt.Errorf("serve: unknown metric %q (see /api/metrics)", r.URL.Query().Get("metric")), http.StatusBadRequest)
+		return
+	}
+	rho, err := parseRho(r)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	surf, pre, err := s.surface(r)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	row, ok := rowAt(pre, surf, rho)
+	if !ok {
+		fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
+		return
+	}
+	opt, ok := sel.Pick(row)
+	if !ok {
+		fail(w, fmt.Errorf("serve: no feasible grid point for metric %q at rho=%g", sel.Name, rho), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, optimalBody{
+		Surface: r.URL.Query().Get("surface"),
+		Metric:  sel.Name,
+		Rho:     rho,
+		S:       pre.S,
+		P:       opt.P,
+		Value:   opt.Value,
+	})
+}
+
+// pointBody is the NaN-safe JSON shape of one surface point:
+// infeasible constrained metrics serialise as null.
+type pointBody struct {
+	P             float64  `json:"p"`
+	ReachAtL      *float64 `json:"reachAtL"`
+	Latency       *float64 `json:"latency"`
+	Broadcasts    *float64 `json:"broadcasts"`
+	ReachAtBudget *float64 `json:"reachAtBudget"`
+	SuccessRate   *float64 `json:"successRate"`
+	Final         *float64 `json:"final"`
+}
+
+func nullable(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func pointsBody(pts []optimize.Point) []pointBody {
+	out := make([]pointBody, len(pts))
+	for i, pt := range pts {
+		out[i] = pointBody{
+			P:             pt.P,
+			ReachAtL:      nullable(pt.ReachAtL),
+			Latency:       nullable(pt.Latency),
+			Broadcasts:    nullable(pt.Broadcasts),
+			ReachAtBudget: nullable(pt.ReachAtBudget),
+			SuccessRate:   nullable(pt.SuccessRate),
+			Final:         nullable(pt.Final),
+		}
+	}
+	return out
+}
+
+type surfaceBody struct {
+	Surface string        `json:"surface"`
+	S       int           `json:"s"`
+	Rhos    []float64     `json:"rhos"`
+	Rows    [][]pointBody `json:"rows"`
+}
+
+func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
+	surf, pre, err := s.surface(r)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	body := surfaceBody{Surface: r.URL.Query().Get("surface"), S: pre.S}
+	if raw := r.URL.Query().Get("rho"); raw != "" {
+		rho, err := parseRho(r)
+		if err != nil {
+			fail(w, err, http.StatusBadRequest)
+			return
+		}
+		row, ok := rowAt(pre, surf, rho)
+		if !ok {
+			fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
+			return
+		}
+		body.Rhos = []float64{rho}
+		body.Rows = [][]pointBody{pointsBody(row)}
+	} else {
+		body.Rhos = pre.Rhos
+		for _, row := range surf.Points {
+			body.Rows = append(body.Rows, pointsBody(row))
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -19,6 +19,63 @@ import (
 // without sensing neighbour lists.
 var errSensingLists = errors.New("sim: carrier-sense model needs deploy.Config.WithSensing")
 
+// Phase attribution convention.
+//
+// The async engine stamps every event with a 1-based phase index on the
+// global phase grid (time 0 opens phase 1, matching the slot-aligned
+// engine where the source transmits in phase 1). Transmissions are
+// unit-length intervals, so an event instant can land exactly on a
+// phase boundary, and the two interval endpoints resolve the tie in
+// opposite directions:
+//
+//   - an interval START (a transmission) belongs to the phase it opens:
+//     a start on the boundary is the first instant of the new phase;
+//   - an interval END (a reception, which happens when the carrying
+//     transmission completes) belongs to the phase it closes: the
+//     packet was in the air during the finishing phase, so an end on
+//     the boundary still counts into it.
+//
+// Every consumer — fault filtering, protocol contexts, first-reception
+// ring stats, trace events, PhaseNew buckets, and the cumulative
+// timeline — goes through txStartPhase/rxEndPhase, so a single event
+// can never be attributed to two different phases.
+
+// txStartPhase maps a transmission start instant onto the 1-based
+// global phase grid: floor(t/L) + 1, boundary instants open the next
+// phase.
+func txStartPhase(t, phaseLen float64) int32 { return int32(t/phaseLen) + 1 }
+
+// rxEndPhase maps a completion instant onto the 1-based global phase
+// grid: ceil(t/L), boundary instants close the finishing phase.
+func rxEndPhase(t, phaseLen float64) int32 { return int32(math.Ceil(t / phaseLen)) }
+
+// localSlot maps an event instant onto the slot grid of the node that
+// owns the event. Each node's phases start at its private offset, so
+// the global time modulo the phase length says nothing about which of
+// the node's S slots the event falls in. Interval starts take the slot
+// they open; interval ends (completion=true) take the slot they close,
+// with an exact slot boundary attributed to the just-finished slot
+// (wrapping to the last slot of the previous phase when the end sits on
+// the node's own phase boundary).
+func localSlot(t, offset, phaseLen float64, completion bool) int32 {
+	local := math.Mod(t-offset, phaseLen)
+	if local < 0 {
+		local += phaseLen
+	}
+	if completion {
+		s := int32(math.Ceil(local)) - 1
+		if s < 0 {
+			s += int32(phaseLen)
+		}
+		return s
+	}
+	s := int32(local)
+	if s >= int32(phaseLen) { // guard against float rounding at the modulus edge
+		s = 0
+	}
+	return s
+}
+
 // runAsync executes the asynchronous engine: every node's phase grid is
 // shifted by a private random offset, so transmissions are unit-length
 // intervals at arbitrary real times (measured in slots). A reception
@@ -26,6 +83,19 @@ var errSensingLists = errors.New("sim: carrier-sense model needs deploy.Config.W
 // verbatim, without the slot-alignment simplification the analysis
 // uses), with the optional carrier-sensing extension.
 func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*Result, error) {
+	phaseLen := float64(cfg.S)
+	offset := make([]float64, dep.N())
+	for i := range offset {
+		offset[i] = rng.Float64() * phaseLen
+	}
+	return runAsyncOffsets(cfg, dep, rng, plan, offset)
+}
+
+// runAsyncOffsets is runAsync with the per-node phase offsets supplied
+// by the caller: the test seam that pins phase-boundary behaviour with
+// exact (zero- or integer-valued) offsets, which random sampling can
+// never produce.
+func runAsyncOffsets(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan, offset []float64) (*Result, error) {
 	if cfg.Model == channel.CAMCarrierSense && dep.Sensing == nil {
 		return nil, errSensingLists
 	}
@@ -33,15 +103,6 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 	state := cfg.Protocol.NewState(n)
 	phaseLen := float64(cfg.S)
 	energyCost := channel.DefaultCosts(cfg.Model).Energy
-	// planPhase maps continuous time onto the fault plan's 1-based phase
-	// grid: the source's first transmission window is phase 1, matching
-	// the slot-aligned engine.
-	planPhase := func(t float64) int32 { return int32(t/phaseLen) + 1 }
-
-	offset := make([]float64, n)
-	for i := range offset {
-		offset[i] = rng.Float64() * phaseLen
-	}
 
 	var eng desim.Engine
 
@@ -75,12 +136,19 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 
 	horizon := phaseLen * float64(cfg.MaxPhases)
 
-	record := func(k trace.Kind, t float64, node, other int32) {
+	// record stamps trace events with the global phase under the shared
+	// attribution convention and the slot on the owning node's private
+	// grid (completion picks the end-instant rules for both).
+	record := func(k trace.Kind, t float64, node, other int32, completion bool) {
 		if cfg.Tracer != nil {
+			ph := txStartPhase(t, phaseLen)
+			if completion {
+				ph = rxEndPhase(t, phaseLen)
+			}
 			cfg.Tracer.Record(trace.Event{
 				Kind:  k,
-				Phase: int32(t / phaseLen),
-				Slot:  int32(t) % int32(cfg.S),
+				Phase: ph,
+				Slot:  localSlot(t, offset[node], phaseLen, completion),
 				Node:  node,
 				Other: other,
 			})
@@ -95,33 +163,37 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 		if transmitting[v] {
 			return false
 		}
+		// The reception happens the instant the carrying transmission
+		// completes, so every per-reception consumer below sees the same
+		// end-instant phase.
+		rxPhase := rxEndPhase(endTime, phaseLen)
 		if plan != nil {
 			// Fault filter after collision resolution: a down receiver
 			// loses the packet; a decodable packet can still be lost to
 			// the lossy link layer (one loss draw per such reception).
-			if !plan.Up(v, planPhase(endTime)) || plan.Drop() {
+			if !plan.Up(v, rxPhase) || plan.Drop() {
 				nLostFault++
-				record(trace.KindDrop, endTime, v, from)
+				record(trace.KindDrop, endTime, v, from, true)
 				return false
 			}
 		}
 		nDelivered++
 		d := dep.Pos[v].Dist(dep.Pos[from])
-		ctx := protocol.Ctx{Phase: int32(endTime / phaseLen), Degree: dep.Degree(int(v))}
-		record(trace.KindDeliver, endTime, v, from)
+		ctx := protocol.Ctx{Phase: rxPhase, Degree: dep.Degree(int(v))}
+		record(trace.KindDeliver, endTime, v, from, true)
 		if !hasPacket[v] {
 			hasPacket[v] = true
 			reached++
 			rxTimes = append(rxTimes, endTime)
-			firstPhase[v] = int32(math.Ceil(endTime / phaseLen))
-			record(trace.KindFirstReceive, endTime, v, from)
+			firstPhase[v] = rxPhase
+			record(trace.KindFirstReceive, endTime, v, from, true)
 			if state.OnFirstReceive(v, from, d, ctx, rng) {
 				scheduleTx(v, endTime)
 			}
 		} else if pendingTx[v] && !cancelled[v] {
 			if !state.OnDuplicate(v, from, d, ctx) {
 				cancelled[v] = true
-				record(trace.KindCancel, endTime, v, from)
+				record(trace.KindCancel, endTime, v, from, true)
 			}
 		}
 		return true
@@ -136,7 +208,7 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 		// depletion only blocks later activity.
 		plan.Spend(u, energyCost)
 		txTimes = append(txTimes, start)
-		record(trace.KindTx, start, u, -1)
+		record(trace.KindTx, start, u, -1, false)
 		if cfg.Model == channel.CFM {
 			// Collision-free: every neighbour decodes at transmission
 			// end, no corruption bookkeeping needed.
@@ -185,7 +257,7 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 						}
 					} else {
 						nLostColl++
-						record(trace.KindCollision, end, v, -1)
+						record(trace.KindCollision, end, v, -1, true)
 					}
 					corrupted[v] = false
 				}
@@ -217,13 +289,15 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 		if plan != nil {
 			// A sleeping node defers to its next waking phase, keeping
 			// its slot offset; a node that dies first never transmits.
-			for !plan.Awake(u, planPhase(at)) {
+			// Transmission starts are interval-start events, so they use
+			// the start-instant phase convention.
+			for !plan.Awake(u, txStartPhase(at, phaseLen)) {
 				at += phaseLen
 				if at >= horizon {
 					return
 				}
 			}
-			if !plan.Alive(u, planPhase(at)) {
+			if !plan.Alive(u, txStartPhase(at, phaseLen)) {
 				return
 			}
 		}
@@ -238,7 +312,7 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 			}
 			// Re-check at fire time: energy depletion may have struck
 			// between scheduling and transmission.
-			if plan != nil && !plan.Up(u, planPhase(eng.Now())) {
+			if plan != nil && !plan.Up(u, txStartPhase(eng.Now(), phaseLen)) {
 				return
 			}
 			transmit(u)
@@ -270,7 +344,16 @@ func runAsync(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.P
 }
 
 // buildTimeline converts event times (in slots) into the shared
-// phase-boundary timeline shape.
+// phase-boundary timeline shape. The cumulative counts follow the
+// engine's phase-attribution convention: the sample taken at boundary
+// ph covers every event attributed to phases 1..ph — receptions by
+// their end instant (end <= t) and transmissions by the instant they
+// COMPLETE (start+1 <= t). Counting transmissions by completion keeps a
+// broadcast in the same sample as the receptions it causes even when
+// the unit-length transmission spans a phase boundary, exactly as in
+// the slot-aligned engine's sample(), where a broadcast and its
+// receptions share the transmitter's slot. rxTimes and txTimes are
+// sorted in place.
 func buildTimeline(n int, phaseLen float64, rxTimes, txTimes []float64) (tl metrics.Timeline) {
 	sort.Float64s(rxTimes)
 	sort.Float64s(txTimes)
@@ -289,7 +372,7 @@ func buildTimeline(n int, phaseLen float64, rxTimes, txTimes []float64) (tl metr
 		for ri < len(rxTimes) && rxTimes[ri] <= t {
 			ri++
 		}
-		for ti < len(txTimes) && txTimes[ti] < t {
+		for ti < len(txTimes) && txTimes[ti]+1 <= t {
 			ti++
 		}
 		tl.Phases = append(tl.Phases, float64(ph))
@@ -299,21 +382,19 @@ func buildTimeline(n int, phaseLen float64, rxTimes, txTimes []float64) (tl metr
 	return tl
 }
 
+// bucketByPhase counts first receptions per phase. Buckets are sized
+// and indexed by the same end-instant convention (rxEndPhase), so a
+// reception completing exactly on a boundary bins into the phase it
+// closes and the bucket count equals the attribution phase of the
+// latest reception — no clamping, no phantom trailing bucket. rxTimes
+// must be sorted ascending (buildTimeline has already done so).
 func bucketByPhase(rxTimes []float64, phaseLen float64) []int {
 	if len(rxTimes) == 0 {
 		return nil
 	}
-	maxT := rxTimes[len(rxTimes)-1]
-	out := make([]int, int(math.Ceil(maxT/phaseLen))+1)
+	out := make([]int, rxEndPhase(rxTimes[len(rxTimes)-1], phaseLen))
 	for _, t := range rxTimes {
-		idx := int(math.Ceil(t/phaseLen)) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(out) {
-			idx = len(out) - 1
-		}
-		out[idx]++
+		out[rxEndPhase(t, phaseLen)-1]++
 	}
 	return out
 }

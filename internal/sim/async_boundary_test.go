@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sensornet/internal/deploy"
+	"sensornet/internal/faults"
+	"sensornet/internal/geom"
+	"sensornet/internal/trace"
+)
+
+// Phase-boundary regression tests for the async engine. Random offsets
+// almost never produce events exactly on phase boundaries, so these
+// tests drive runAsyncOffsets directly with hand-picked offsets (the
+// test seam) and hand-built line deployments, where boundary-valued
+// event times are constructed rather than hoped for.
+
+// lineDeployment places n nodes on a line with spacing 0.9 (source at
+// the origin), so node i neighbours exactly i-1 and i+1 and the hop
+// structure is fully known.
+func lineDeployment(n int) *deploy.Deployment {
+	d := &deploy.Deployment{R: 1, FieldRadius: float64(n)}
+	d.Pos = make([]geom.Point, n)
+	d.Neighbors = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		d.Pos[i] = geom.Point{X: 0.9 * float64(i)}
+		if i > 0 {
+			d.Neighbors[i] = append(d.Neighbors[i], int32(i-1))
+		}
+		if i < n-1 {
+			d.Neighbors[i] = append(d.Neighbors[i], int32(i+1))
+		}
+	}
+	return d
+}
+
+// TestAsyncBoundaryReceptionFaultPhase pins the unified phase mapping
+// at the fault filter: with zero offsets and S=1 the source transmits
+// over [0,1] and the reception completes at t=1.0, exactly on the
+// phase-1/phase-2 boundary. Under the engine's convention the
+// reception belongs to the phase it closes (phase 1), so a receiver
+// whose crash phase is 2 must still get the packet. The pre-fix code
+// filtered with floor(t/L)+1 = 2 while stamping firstPhase with
+// ceil(t/L) = 1 — the same event landed in two different phases and
+// the reception was lost.
+func TestAsyncBoundaryReceptionFaultPhase(t *testing.T) {
+	dep := lineDeployment(2)
+	const horizon = 4
+	var plan *faults.Plan
+	for seed := int64(0); seed < 10000; seed++ {
+		p, err := faults.New(faults.Config{CrashRate: 1}, 2, horizon, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.CrashPhase(1) == 2 {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed in range yields a node-1 crash at phase 2")
+	}
+
+	cfg := Config{S: 1, MaxPhases: horizon, Deployment: dep}
+	cfg.applyDefaults()
+	res, err := runAsyncOffsets(cfg, dep, rand.New(rand.NewSource(1)), plan, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostToFault != 0 {
+		t.Fatalf("boundary reception filtered by the NEXT phase's fault state: LostToFault = %d", res.LostToFault)
+	}
+	if res.Reached != 2 {
+		t.Fatalf("Reached = %d, want 2 (reception at t=1.0 completes within phase 1, before the crash at phase 2)", res.Reached)
+	}
+}
+
+// TestTimelineBoundarySpanningTransmission pins buildTimeline's
+// inclusive/exclusive boundary treatment. A transmission spanning a
+// phase boundary — possible only with async offsets, e.g. [2.5, 3.5]
+// with phaseLen 3 — completes in phase 2, together with any receptions
+// it causes; the sample at the end of phase 1 must not count it. The
+// pre-fix code counted transmissions by start time (tx < t), splitting
+// a broadcast from its own receptions across two samples, which the
+// slot-aligned engine's sample() can never do.
+func TestTimelineBoundarySpanningTransmission(t *testing.T) {
+	tl := buildTimeline(4, 3, []float64{3.5}, []float64{2.5})
+	if tl.CumBroadcasts[1] != 0 {
+		t.Fatalf("tx over [2.5, 3.5] counted at the phase-1 boundary: CumBroadcasts = %v", tl.CumBroadcasts)
+	}
+	if tl.CumBroadcasts[2] != 1 || tl.CumReach[2] != 0.5 {
+		t.Fatalf("tx and its reception must land together in the phase-2 sample: CumBroadcasts = %v, CumReach = %v",
+			tl.CumBroadcasts, tl.CumReach)
+	}
+
+	// A transmission ending exactly on a boundary closes the finishing
+	// phase, in the same sample as its boundary-valued reception.
+	tl = buildTimeline(4, 3, []float64{3.0}, []float64{2.0})
+	if tl.CumBroadcasts[1] != 1 || tl.CumReach[1] != 0.5 {
+		t.Fatalf("boundary-completing tx/rx must share the phase-1 sample: CumBroadcasts = %v, CumReach = %v",
+			tl.CumBroadcasts, tl.CumReach)
+	}
+}
+
+// TestBucketByPhaseBoundarySizing pins the bucket sizing to the same
+// ceil convention as the index computation. The pre-fix sizing
+// (ceil+1) always produced a phantom trailing zero bucket, and the
+// silent idx clamp it papered over could misbin receptions.
+func TestBucketByPhaseBoundarySizing(t *testing.T) {
+	got := bucketByPhase([]float64{1.0, 2.5, 3.0}, 3)
+	if want := []int{3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucketByPhase = %v, want %v (all three receptions complete within phase 1)", got, want)
+	}
+	got = bucketByPhase([]float64{2.0, 3.5}, 3)
+	if want := []int{1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucketByPhase = %v, want %v (boundary rx at 3.0 would close phase 1; 3.5 opens phase 2)", got, want)
+	}
+	if got := bucketByPhase(nil, 3); got != nil {
+		t.Fatalf("bucketByPhase(nil) = %v, want nil", got)
+	}
+}
+
+// TestAsyncTraceSlotUsesNodeOffset pins trace slot/phase labelling to
+// the transmitting node's own phase grid. A lone node with offset 1.0
+// and S=2 transmits at global time 1+s for its drawn slot s; the
+// pre-fix code labelled the event int32(t) % S = (1+s) % 2 = 1-s — the
+// wrong slot whenever the node's grid is shifted — and stamped the
+// 0-based global phase floor(t/L) instead of the engine's 1-based
+// start-instant phase.
+func TestAsyncTraceSlotUsesNodeOffset(t *testing.T) {
+	dep := lineDeployment(1)
+	var col trace.Collector
+	col.Cap = 8
+	cfg := Config{S: 2, MaxPhases: 4, Deployment: dep, Tracer: &col}
+	cfg.applyDefaults()
+
+	const seed = 7
+	// Mirror the engine's single slot draw: scheduleTx's rng.Intn(S) is
+	// the run's only rand consumption (one node, no receptions).
+	wantSlot := int32(rand.New(rand.NewSource(seed)).Intn(2))
+
+	if _, err := runAsyncOffsets(cfg, dep, rand.New(rand.NewSource(seed)), nil, []float64{1.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tx *trace.Event
+	for i, ev := range col.Events() {
+		if ev.Kind == trace.KindTx {
+			if tx != nil {
+				t.Fatal("more than one transmission traced")
+			}
+			tx = &col.Events()[i]
+		}
+	}
+	if tx == nil {
+		t.Fatal("no transmission traced")
+	}
+	if tx.Slot != wantSlot {
+		t.Fatalf("traced Slot = %d, want %d (slot on the node's own grid, offset 1.0)", tx.Slot, wantSlot)
+	}
+	txTime := 1.0 + float64(wantSlot)
+	if want := txStartPhase(txTime, 2); tx.Phase != want {
+		t.Fatalf("traced Phase = %d, want %d (1-based start-instant phase at t=%g)", tx.Phase, want, txTime)
+	}
+}
+
+// TestPhaseAttributionHelpers documents the convention the helpers
+// implement: mid-phase instants agree, boundary instants split — the
+// start opens the next phase, the end closes the finished one.
+func TestPhaseAttributionHelpers(t *testing.T) {
+	if got := txStartPhase(4.5, 3); got != 2 {
+		t.Errorf("txStartPhase(4.5, 3) = %d, want 2", got)
+	}
+	if got := rxEndPhase(4.5, 3); got != 2 {
+		t.Errorf("rxEndPhase(4.5, 3) = %d, want 2", got)
+	}
+	if got := txStartPhase(6, 3); got != 3 {
+		t.Errorf("txStartPhase(6, 3) = %d, want 3 (boundary start opens phase 3)", got)
+	}
+	if got := rxEndPhase(6, 3); got != 2 {
+		t.Errorf("rxEndPhase(6, 3) = %d, want 2 (boundary end closes phase 2)", got)
+	}
+}
+
+// TestLocalSlot exercises the node-local slot mapping: starts take the
+// slot they open, completions the slot they close, and times before
+// the node's first own phase wrap into the previous period.
+func TestLocalSlot(t *testing.T) {
+	cases := []struct {
+		t, offset, phaseLen float64
+		completion          bool
+		want                int32
+	}{
+		{3.0, 0, 3, false, 0},   // boundary start opens slot 0
+		{4.2, 1.2, 3, false, 0}, // exactly one period after the offset
+		{2.5, 0.5, 3, false, 2}, // mid-slot start in the node's slot 2
+		{3.0, 0, 3, true, 2},    // boundary completion closes the last slot
+		{1.5, 0.5, 3, true, 0},  // completion on an interior slot edge closes slot 0
+		{0.5, 2.5, 3, true, 0},  // before the node's first phase: wraps
+	}
+	for _, c := range cases {
+		if got := localSlot(c.t, c.offset, c.phaseLen, c.completion); got != c.want {
+			t.Errorf("localSlot(%g, %g, %g, %v) = %d, want %d",
+				c.t, c.offset, c.phaseLen, c.completion, got, c.want)
+		}
+	}
+}

@@ -28,4 +28,19 @@ go run ./cmd/sensorlint ./...
 echo "== tier 2: bench smoke (hot loop still runs under the bench harness)"
 go test -run=NONE -bench=SimulatorDenseFlooding -benchtime=1x .
 
+echo "== tier 2: two-process shard + merge smoke (fig4)"
+# Two concurrent shard processes populate one cache directory; the
+# merge assembles the figure strictly from the cache and must render
+# byte-identically to a direct single-process run.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/experiments" ./cmd/experiments
+"$tmp/experiments" -figure fig4 -quick -out "$tmp/direct.txt"
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -shard 0/2 &
+shard0=$!
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -shard 1/2
+wait "$shard0"
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -merge 2 -out "$tmp/merged.txt"
+cmp "$tmp/direct.txt" "$tmp/merged.txt"
+
 echo "all checks passed"
