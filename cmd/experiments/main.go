@@ -19,14 +19,25 @@
 //	experiments -figure fig8 -cache-dir D -shard 1/2   # process 2
 //	experiments -figure fig8 -cache-dir D -merge 2     # assemble, never recompute
 //	experiments -cache-dir D -serve :8080              # tuning queries from cache
+//
+// Distributed sweeps need no shared filesystem: a coordinator leases
+// jobs over HTTP, workers on any host execute them and post results
+// back, and the coordinator's cache directory ends up byte-identical
+// to a local run — a killed worker's leases fail over to the rest:
+//
+//	experiments -figure fig8 -cache-dir D -coordinator :9090   # lease server
+//	experiments -figure fig8 -worker http://host:9090          # per worker host
+//	experiments -figure fig8 -cache-dir D -merge 1             # assemble
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"sensornet/internal/dist"
 	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
 	"sensornet/internal/export"
@@ -60,7 +72,16 @@ func main() {
 
 		shard     = flag.String("shard", "", "compute only shard i of M (\"i/M\") of the figure's cacheable jobs into -cache-dir; no figure is rendered")
 		merge     = flag.Int("merge", 0, "assemble the figure strictly from -cache-dir, assuming this many shards; missing shards are reported, never recomputed")
+		jsonOut   = flag.Bool("json", false, "with -merge: print missing shards/jobs as JSON on stdout when the merge is incomplete")
 		serveAddr = flag.String("serve", "", "serve tuning queries from cached surfaces on this address (e.g. :8080); requires -cache-dir")
+
+		coordAddr = flag.String("coordinator", "", "serve the figure's job queue to remote workers on this address (e.g. :9090); results land in -cache-dir; exits when the campaign completes")
+		workerURL = flag.String("worker", "", "pull job leases from the coordinator at this URL and execute them locally; run with the same -figure/-quick flags as the coordinator")
+		workerID  = flag.String("worker-id", "", "worker identity reported to the coordinator (default host:pid)")
+		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease time-to-live; an un-heartbeated lease fails over after this long")
+		distShard = flag.Int("dist-shards", 2, "coordinator queue partitions (nominally the planned worker count)")
+		failAfter = flag.Int("worker-fail-after", 0, "fault injection: worker exits (code 7) holding a lease after completing this many jobs")
+		addrFile  = flag.String("dist-addr-file", "", "coordinator writes its actual listen address here once bound (for :0 listeners in scripts)")
 
 		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
 		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
@@ -115,12 +136,22 @@ func main() {
 		}
 	}
 	cacheOnly := *merge > 0 || *serveAddr != ""
-	if (*shard != "" || cacheOnly) && *cacheDir == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-serve need -cache-dir (the shared result store)")
+	if (*shard != "" || cacheOnly || *coordAddr != "") && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-serve/-coordinator need -cache-dir (the shared result store)")
 		os.Exit(2)
 	}
-	if *shard != "" && cacheOnly {
-		fmt.Fprintln(os.Stderr, "experiments: -shard computes, -merge/-serve only read: pick one")
+	modes := 0
+	for _, on := range []bool{*shard != "", *merge > 0, *serveAddr != "", *coordAddr != "", *workerURL != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-serve/-coordinator/-worker are exclusive: pick one")
+		os.Exit(2)
+	}
+	if *failAfter > 0 && *workerURL == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -worker-fail-after only applies to -worker")
 		os.Exit(2)
 	}
 
@@ -141,6 +172,16 @@ func main() {
 	defer stop()
 
 	switch {
+	case *coordAddr != "":
+		err = runCoordinator(ctx, *coordAddr, *addrFile, cache, distConfig{
+			figure: *figure, pa: pa, ps: ps, deg: deg, skipSim: *skipSim,
+			shards: *distShard, ttl: *leaseTTL, workers: eng.Workers(),
+		}, w)
+	case *workerURL != "":
+		err = runWorker(ctx, *workerURL, *workerID, eng, distConfig{
+			figure: *figure, pa: pa, ps: ps, deg: deg, skipSim: *skipSim,
+			failAfter: *failAfter,
+		}, w)
 	case *serveAddr != "":
 		err = runServe(ctx, *serveAddr, eng, pa, ps)
 	case *shard != "":
@@ -162,8 +203,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted")
 			os.Exit(130)
 		}
+		if errors.Is(err, dist.ErrFailInjected) {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(7)
+		}
 		var missing *engine.MissingError
 		if errors.As(err, &missing) {
+			if *jsonOut {
+				if jerr := printMissingJSON(os.Stdout, missing, *merge); jerr != nil {
+					fmt.Fprintln(os.Stderr, "experiments: -json:", jerr)
+				}
+			}
 			fmt.Fprintf(os.Stderr, "experiments: merge incomplete: %d job(s) not in the cache", len(missing.Jobs))
 			if *merge > 1 {
 				fmt.Fprintf(os.Stderr, "; run (or re-run) shard(s) %v of %d", missing.MissingShards(*merge), *merge)
@@ -176,35 +226,32 @@ func main() {
 	}
 }
 
-// needAnalytic and needSim map figure names onto the surface their
-// rendering needs — also the cacheable job set -shard distributes.
-var (
-	needAnalytic = map[string]bool{"fig4": true, "fig5": true, "fig6": true,
-		"fig7": true, "fig12": true}
-	needSim = map[string]bool{"fig8": true, "fig9": true, "fig10": true,
-		"fig11": true, "fig12sim": true}
-)
-
-// shardJobs builds the cacheable job set behind the selected figure:
-// the unit of work -shard splits and -merge reassembles.
-func shardJobs(figure string, pa, ps experiments.Preset, deg degParams,
-	skipSim bool, workers int) ([]engine.Job, error) {
-	switch {
-	case figure == "all":
-		jobs := experiments.SurfaceJobs(pa, false, workers)
-		if !skipSim {
-			jobs = append(jobs, experiments.SurfaceJobs(ps, true, workers)...)
-		}
-		return jobs, nil
-	case needAnalytic[figure]:
-		return experiments.SurfaceJobs(pa, false, workers), nil
-	case needSim[figure]:
-		return experiments.SurfaceJobs(ps, true, workers), nil
-	case figure == "degradation":
-		return experiments.DegradationJobs(ps, deg.rho, deg.crash, deg.loss)
-	default:
-		return nil, fmt.Errorf("figure %q has no cacheable job set to shard", figure)
+// printMissingJSON renders an incomplete merge machine-readably: the
+// shard indices still owed to the cache plus every missing job, so
+// scripts can re-dispatch exactly the remaining work.
+func printMissingJSON(w io.Writer, missing *engine.MissingError, total int) error {
+	if total < 1 {
+		total = 1
 	}
+	type jobJSON struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+		Shard       int    `json:"shard"`
+	}
+	out := struct {
+		Shards        int       `json:"shards"`
+		MissingShards []int     `json:"missingShards"`
+		Jobs          []jobJSON `json:"jobs"`
+	}{Shards: total, MissingShards: missing.MissingShards(total)}
+	for _, j := range missing.Jobs {
+		out.Jobs = append(out.Jobs, jobJSON{
+			Name: j.Name, Fingerprint: j.Fingerprint,
+			Shard: engine.ShardOf(j.Fingerprint, total),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runShard computes this process's shard of the figure's jobs into the
@@ -212,7 +259,7 @@ func shardJobs(figure string, pa, ps experiments.Preset, deg degParams,
 // business.
 func runShard(ctx context.Context, eng *engine.Engine, figure string,
 	pa, ps experiments.Preset, deg degParams, skipSim bool, w io.Writer) error {
-	jobs, err := shardJobs(figure, pa, ps, deg, skipSim, eng.Workers())
+	jobs, err := experiments.FigureJobs(figure, pa, ps, deg.rho, deg.crash, deg.loss, skipSim, eng.Workers())
 	if err != nil {
 		return err
 	}
@@ -224,6 +271,139 @@ func runShard(ctx context.Context, eng *engine.Engine, figure string,
 	return err
 }
 
+// distConfig carries the flags both distributed roles need to rebuild
+// the same job set: the figure, presets, and degradation knobs pin the
+// fingerprints, which are the protocol's only job identity.
+type distConfig struct {
+	figure    string
+	pa, ps    experiments.Preset
+	deg       degParams
+	skipSim   bool
+	shards    int
+	ttl       time.Duration
+	workers   int
+	failAfter int
+}
+
+func (d distConfig) jobs() ([]engine.Job, error) {
+	return experiments.FigureJobs(d.figure, d.pa, d.ps, d.deg.rho, d.deg.crash, d.deg.loss, d.skipSim, d.workers)
+}
+
+// runCoordinator serves the figure's job queue until every job is
+// terminal (or the context is cancelled), shutting the listener down
+// gracefully, then reports the final campaign stats. Jobs retired after
+// repeated worker failures make the run fail.
+func runCoordinator(ctx context.Context, addr, addrFile string, cache *engine.Cache,
+	cfg distConfig, w io.Writer) error {
+	jobs, err := cfg.jobs()
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(dist.Config{
+		Sink:     cache,
+		Shards:   cfg.shards,
+		LeaseTTL: cfg.ttl,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		},
+	}, jobs)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	hs := &http.Server{
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "experiments: coordinating %d job(s) on %s (%d shard queues, %s lease TTL)\n",
+		len(jobs), ln.Addr(), cfg.shards, cfg.ttl)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	case <-coord.Done():
+		// Give idle pollers a beat to collect their Done response before
+		// the listener refuses new connections.
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return context.Canceled
+	}
+
+	s := coord.Stats()
+	fmt.Fprintf(w, "coordinator: %d/%d jobs completed (%d cached at start), %d failed, %d steals, %d leases expired, %d workers\n",
+		s.Completed, s.Jobs, s.CachedAtStart, s.Failed, s.Steals, s.Expired, len(s.Workers))
+	if failed := coord.FailedJobs(); len(failed) > 0 {
+		names := make([]string, len(failed))
+		for i, j := range failed {
+			names[i] = j.Name
+		}
+		return fmt.Errorf("campaign incomplete: %d job(s) retired after repeated worker failures: %s",
+			len(failed), strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// runWorker executes leases from the coordinator until the campaign
+// completes. The -worker-fail-after fault surfaces as
+// dist.ErrFailInjected, which main maps to exit code 7.
+func runWorker(ctx context.Context, url, id string, eng *engine.Engine,
+	cfg distConfig, w io.Writer) error {
+	jobs, err := cfg.jobs()
+	if err != nil {
+		return err
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	worker, err := dist.NewWorker(dist.WorkerConfig{
+		ID:        id,
+		BaseURL:   url,
+		Engine:    eng,
+		Jobs:      jobs,
+		FailAfter: cfg.failAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := worker.Run(ctx)
+	if rep != nil {
+		fmt.Fprintln(w, rep)
+	}
+	return err
+}
+
 // runServe blocks serving tuning queries until the context is
 // cancelled (Ctrl-C), then shuts the listener down gracefully.
 func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps experiments.Preset) error {
@@ -231,7 +411,14 @@ func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps exper
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Addr: addr, Handler: srv}
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "experiments: serving tuning queries on %s\n", addr)
@@ -355,7 +542,7 @@ func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experime
 	var f *experiments.FigureResult
 	var err error
 	switch {
-	case needAnalytic[figure]:
+	case experiments.NeedsAnalyticSurface(figure):
 		var surf *experiments.Surface
 		surf, err = experiments.AnalyticSurfaceCtx(ctx, eng, pa)
 		if err != nil {
@@ -373,7 +560,7 @@ func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experime
 		case "fig12":
 			f, err = experiments.Fig12(surf)
 		}
-	case needSim[figure]:
+	case experiments.NeedsSimSurface(figure):
 		var surf *experiments.Surface
 		surf, err = experiments.SimSurfaceCtx(ctx, eng, ps)
 		if err != nil {

@@ -1,0 +1,533 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sensornet/internal/engine"
+	"sensornet/internal/trace"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Sink receives posted result payloads; jobs it already has results
+	// for are completed at construction time (a resumed campaign).
+	// Required. engine.Cache implements it.
+	Sink engine.ResultSink
+	// Shards is the number of queue partitions — nominally the planned
+	// worker count. Jobs are assigned by engine.ShardOf(fingerprint),
+	// the same content-hash split the coordinator-free -shard mode uses.
+	// <= 1 means one queue (stealing never triggers).
+	Shards int
+	// LeaseTTL bounds how long a lease lives without a heartbeat before
+	// its job fails over; defaults to 30s.
+	LeaseTTL time.Duration
+	// MaxJobFailures retires a job after this many worker-reported
+	// failures, so a poison job cannot wedge the campaign; defaults
+	// to 3.
+	MaxJobFailures int
+	// Now is the coordinator's clock; defaults to time.Now. Tests
+	// inject a fake to drive lease expiry deterministically.
+	Now func() time.Time
+	// Spans, when non-nil, receives one span per completed or failed
+	// lease (Name = job, Worker = shard, Duration = lease wall time),
+	// making lease churn observable through the same telemetry the
+	// engine uses.
+	Spans *trace.SpanLog
+	// Logf, when non-nil, receives protocol-level diagnostics (lease
+	// expiries, steals, ingest failures).
+	Logf func(format string, args ...any)
+}
+
+// jobState is one job's lifecycle position.
+type jobState uint8
+
+const (
+	statePending jobState = iota
+	stateLeased
+	stateDone
+	stateFailed
+)
+
+type distJob struct {
+	spec     JobSpec
+	shard    int
+	state    jobState
+	failures int
+	leaseID  string // active lease, when stateLeased
+}
+
+type leaseInfo struct {
+	id       string
+	fp       string
+	worker   string
+	deadline time.Time
+	started  time.Time
+	stolen   bool
+}
+
+type workerInfo struct {
+	id       string
+	shard    int
+	lastSeen time.Time
+	stats    WorkerStats
+}
+
+// Coordinator serves a lease-based job queue over HTTP. It is an
+// http.Handler; the caller owns the http.Server around it (timeouts,
+// graceful Shutdown). All state transitions happen under one mutex on
+// request paths — there are no background goroutines; lease expiry is
+// swept lazily at the top of every request.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	jobs      map[string]*distJob // by fingerprint
+	queues    [][]string          // pending fingerprints per shard
+	leases    map[string]*leaseInfo
+	workers   map[string]*workerInfo
+	order     []string // fingerprints in submission order, for reporting
+	nextShard int
+	leaseSeq  int
+
+	total, cached, completed, failed      int
+	steals, expired, requeued, duplicates int
+	ingestErrors                          int
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator over the campaign's cacheable
+// jobs. Jobs already present in the sink complete immediately (resume);
+// duplicate fingerprints collapse to one queue entry; a job with no
+// fingerprint is an error — a result that cannot be content-addressed
+// cannot travel the wire.
+func NewCoordinator(cfg Config, jobs []engine.Job) (*Coordinator, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("dist: coordinator needs a result sink (engine.Cache)")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxJobFailures <= 0 {
+		cfg.MaxJobFailures = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    map[string]*distJob{},
+		queues:  make([][]string, cfg.Shards),
+		leases:  map[string]*leaseInfo{},
+		workers: map[string]*workerInfo{},
+		done:    make(chan struct{}),
+	}
+	for _, j := range jobs {
+		fp := j.Fingerprint()
+		if fp == "" {
+			return nil, fmt.Errorf("dist: job %q has no fingerprint: uncacheable jobs cannot be distributed", j.Name())
+		}
+		if _, dup := c.jobs[fp]; dup {
+			continue
+		}
+		dj := &distJob{
+			spec:  JobSpec{Name: j.Name(), Fingerprint: fp},
+			shard: engine.ShardOf(fp, cfg.Shards),
+		}
+		c.jobs[fp] = dj
+		c.order = append(c.order, fp)
+		c.total++
+		if cfg.Sink.HasResult(fp) {
+			dj.state = stateDone
+			c.cached++
+			c.completed++
+		} else {
+			c.queues[dj.shard] = append(c.queues[dj.shard], fp)
+		}
+	}
+	if c.completed == c.total {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathLease, c.handleLease)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("POST "+PathResult, c.handleResult)
+	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	mux.HandleFunc("GET "+PathHealth, c.handleHealth)
+	c.mux = mux
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Done returns a channel closed once every job is terminal (completed
+// or retired failed). The cmd layer selects on it to shut the server
+// down when the campaign finishes.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Stats snapshots the coordinator's state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statsLocked()
+}
+
+func (c *Coordinator) statsLocked() Stats {
+	now := c.cfg.Now()
+	s := Stats{
+		Jobs: c.total, CachedAtStart: c.cached,
+		Completed: c.completed, Failed: c.failed,
+		Leased: len(c.leases),
+		Steals: c.steals, Expired: c.expired, Requeued: c.requeued,
+		Duplicates: c.duplicates, IngestErrors: c.ingestErrors,
+	}
+	for _, q := range c.queues {
+		s.Pending += len(q)
+	}
+	for _, w := range c.workers {
+		ws := w.stats
+		ws.LastSeenAgoMillis = now.Sub(w.lastSeen).Milliseconds()
+		s.Workers = append(s.Workers, ws)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+	return s
+}
+
+// FailedJobs lists the retired jobs, in submission order.
+func (c *Coordinator) FailedJobs() []JobSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []JobSpec
+	for _, fp := range c.order {
+		if j := c.jobs[fp]; j.state == stateFailed {
+			out = append(out, j.spec)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// sweepLocked re-enqueues every expired lease at the front of its
+// shard's queue, so failed-over work is picked up before fresh work.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired++
+		j := c.jobs[l.fp]
+		if j == nil || j.state != stateLeased {
+			continue
+		}
+		j.state = statePending
+		j.leaseID = ""
+		c.queues[j.shard] = append([]string{l.fp}, c.queues[j.shard]...)
+		c.logf("dist: lease %s (%s) on worker %s expired; job re-enqueued on shard %d",
+			id, j.spec.Name, l.worker, j.shard)
+	}
+}
+
+// touchWorkerLocked registers a worker on first contact (assigning it
+// the next shard queue round-robin) and refreshes its liveness.
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerInfo {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerInfo{id: id, shard: c.nextShard % c.cfg.Shards}
+		w.stats = WorkerStats{ID: id, Shard: w.shard}
+		c.nextShard++
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// popLocked takes the next leasable fingerprint for a worker on shard:
+// the front of its own queue, else the tail of the longest other queue
+// (a steal). Stale queue entries — jobs already terminal or re-leased —
+// are dropped lazily.
+func (c *Coordinator) popLocked(shard int) (fp string, stolen, ok bool) {
+	if fp, ok := c.popQueueLocked(shard, false); ok {
+		return fp, false, true
+	}
+	// Steal from the longest remaining queue's tail: the victim keeps
+	// draining its front, the thief eats the slack from the other end.
+	for {
+		victim, max := -1, 0
+		for i, q := range c.queues {
+			if i != shard && len(q) > max {
+				victim, max = i, len(q)
+			}
+		}
+		if victim < 0 {
+			return "", false, false
+		}
+		if fp, ok := c.popQueueLocked(victim, true); ok {
+			return fp, true, true
+		}
+	}
+}
+
+func (c *Coordinator) popQueueLocked(shard int, fromTail bool) (string, bool) {
+	q := c.queues[shard]
+	for len(q) > 0 {
+		var fp string
+		if fromTail {
+			fp, q = q[len(q)-1], q[:len(q)-1]
+		} else {
+			fp, q = q[0], q[1:]
+		}
+		if j := c.jobs[fp]; j != nil && j.state == statePending {
+			c.queues[shard] = q
+			return fp, true
+		}
+	}
+	c.queues[shard] = q
+	return "", false
+}
+
+func (c *Coordinator) checkDoneLocked() {
+	if c.completed+c.failed == c.total {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+}
+
+func (c *Coordinator) recordSpan(l *leaseInfo, name string, shard int, now time.Time, failed bool) {
+	if c.cfg.Spans == nil {
+		return
+	}
+	c.cfg.Spans.Record(trace.Span{
+		Name: name, Worker: shard, Attempt: 1,
+		Duration: now.Sub(l.started), Failed: failed,
+	})
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // status line already out
+}
+
+// decodeBody reads one JSON request body, bounded so a misbehaving
+// client cannot balloon coordinator memory.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	const maxBody = 64 << 20 // surface rows are small; 64 MiB is generous
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	data, err := io.ReadAll(body)
+	if err == nil {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "dist: lease request without a worker id"})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.sweepLocked(now)
+	wi := c.touchWorkerLocked(req.Worker, now)
+
+	resp := LeaseResponse{Shard: wi.shard}
+	if c.completed+c.failed == c.total {
+		resp.Done = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	fp, stolen, ok := c.popLocked(wi.shard)
+	if !ok {
+		// Everything outstanding is leased elsewhere; it may fail over,
+		// so the worker should poll rather than quit.
+		resp.RetryMillis = (c.cfg.LeaseTTL / 4).Milliseconds()
+		if resp.RetryMillis < 50 {
+			resp.RetryMillis = 50
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	j := c.jobs[fp]
+	c.leaseSeq++
+	l := &leaseInfo{
+		id:       fmt.Sprintf("lease-%d", c.leaseSeq),
+		fp:       fp,
+		worker:   req.Worker,
+		deadline: now.Add(c.cfg.LeaseTTL),
+		started:  now,
+		stolen:   stolen,
+	}
+	c.leases[l.id] = l
+	j.state = stateLeased
+	j.leaseID = l.id
+	wi.stats.Leased++
+	if stolen {
+		c.steals++
+		wi.stats.Stolen++
+		c.logf("dist: worker %s (shard %d) stole %s from shard %d's tail",
+			req.Worker, wi.shard, j.spec.Name, j.shard)
+	}
+	resp.Job = &j.spec
+	resp.LeaseID = l.id
+	resp.TTLMillis = c.cfg.LeaseTTL.Milliseconds()
+	resp.Stolen = stolen
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.sweepLocked(now)
+	if req.Worker != "" {
+		c.touchWorkerLocked(req.Worker, now)
+	}
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: false})
+		return
+	}
+	l.deadline = now.Add(c.cfg.LeaseTTL)
+	writeJSON(w, http.StatusOK, HeartbeatResponse{
+		Extended: true, TTLMillis: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.sweepLocked(now)
+	if req.Worker != "" {
+		c.touchWorkerLocked(req.Worker, now)
+	}
+	j, ok := c.jobs[req.Fingerprint]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ResultResponse{Accepted: false})
+		return
+	}
+	l := c.leases[req.LeaseID] // may be nil: expired leases still publish
+	releaseLease := func() {
+		if j.leaseID != "" {
+			delete(c.leases, j.leaseID)
+			j.leaseID = ""
+		}
+		if l != nil && l.fp == req.Fingerprint {
+			delete(c.leases, l.id)
+		}
+	}
+
+	if req.Error != "" {
+		if wi := c.workers[req.Worker]; wi != nil {
+			wi.stats.Failures++
+		}
+		if j.state == stateDone || j.state == stateFailed {
+			c.duplicates++
+			writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Duplicate: true})
+			return
+		}
+		if l != nil {
+			c.recordSpan(l, j.spec.Name, j.shard, now, true)
+		}
+		releaseLease()
+		j.failures++
+		if j.failures >= c.cfg.MaxJobFailures {
+			j.state = stateFailed
+			c.failed++
+			c.logf("dist: job %s retired after %d failures (last: %s)",
+				j.spec.Name, j.failures, req.Error)
+			c.checkDoneLocked()
+			writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Retired: true})
+			return
+		}
+		// Requeue at the tail: a failing job must not starve the healthy
+		// front of the queue.
+		j.state = statePending
+		c.queues[j.shard] = append(c.queues[j.shard], req.Fingerprint)
+		c.requeued++
+		c.logf("dist: job %s failed on worker %s (%s); re-enqueued (%d/%d failures)",
+			j.spec.Name, req.Worker, req.Error, j.failures, c.cfg.MaxJobFailures)
+		writeJSON(w, http.StatusOK, ResultResponse{Accepted: true})
+		return
+	}
+
+	if j.state == stateDone {
+		// A late post from an expired lease: content addressing makes it
+		// byte-identical to what we already stored, so absorb it.
+		c.duplicates++
+		releaseLease()
+		writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Duplicate: true})
+		return
+	}
+	if err := c.cfg.Sink.IngestResult(req.Fingerprint, req.Payload); err != nil {
+		c.ingestErrors++
+		c.logf("dist: ingesting result of %s from worker %s: %v", j.spec.Name, req.Worker, err)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if l != nil {
+		c.recordSpan(l, j.spec.Name, j.shard, now, false)
+	}
+	releaseLease()
+	if j.state == stateFailed {
+		// A success arriving after the job was retired un-retires it:
+		// the result is real and content-addressed, so keep it.
+		c.failed--
+	}
+	j.state = stateDone
+	c.completed++
+	if wi := c.workers[req.Worker]; wi != nil {
+		wi.stats.Completed++
+	}
+	c.checkDoneLocked()
+	writeJSON(w, http.StatusOK, ResultResponse{Accepted: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.sweepLocked(c.cfg.Now())
+	s := c.statsLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, s)
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": c.Stats().Jobs})
+}

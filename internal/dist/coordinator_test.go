@@ -1,0 +1,490 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sensornet/internal/engine"
+)
+
+// fakeSink is an in-memory engine.ResultSink.
+type fakeSink struct {
+	mu      sync.Mutex
+	results map[string][]byte
+	failFor map[string]bool // fingerprints whose ingest errors
+}
+
+func newFakeSink() *fakeSink {
+	return &fakeSink{results: map[string][]byte{}, failFor: map[string]bool{}}
+}
+
+func (s *fakeSink) HasResult(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.results[fp]
+	return ok
+}
+
+func (s *fakeSink) IngestResult(fp string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failFor[fp] {
+		return fmt.Errorf("sink: injected ingest failure for %s", fp)
+	}
+	s.results[fp] = append([]byte(nil), payload...)
+	return nil
+}
+
+// fakeClock drives Config.Now deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func jobsFor(fps ...string) []engine.Job {
+	var out []engine.Job
+	for _, fp := range fps {
+		out = append(out, engine.JobFunc{Key: fp})
+	}
+	return out
+}
+
+// fpsOnShard generates n distinct fingerprints that all hash to the
+// given shard under shards partitions, so queue placement in tests is
+// deterministic by construction rather than by luck.
+func fpsOnShard(t *testing.T, shard, shards, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; len(out) < n && i < 100000; i++ {
+		fp := fmt.Sprintf("job-%d", i)
+		if engine.ShardOf(fp, shards) == shard {
+			out = append(out, fp)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("could not find %d fingerprints on shard %d/%d", n, shard, shards)
+	}
+	return out
+}
+
+// call POSTs (or GETs, for status) one protocol message through the
+// coordinator's public handler and decodes the response.
+func call(t *testing.T, c *Coordinator, method, path string, req, resp any) int {
+	t.Helper()
+	var body bytes.Buffer
+	if req != nil {
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hr := httptest.NewRequest(method, path, &body)
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, hr)
+	if resp != nil && (rec.Code == http.StatusOK || rec.Code == http.StatusNotFound) {
+		if err := json.Unmarshal(rec.Body.Bytes(), resp); err != nil {
+			t.Fatalf("%s %s: bad response %q: %v", method, path, rec.Body.Bytes(), err)
+		}
+	}
+	return rec.Code
+}
+
+func lease(t *testing.T, c *Coordinator, worker string) LeaseResponse {
+	t.Helper()
+	var resp LeaseResponse
+	if code := call(t, c, http.MethodPost, PathLease, LeaseRequest{Worker: worker}, &resp); code != http.StatusOK {
+		t.Fatalf("lease: status %d", code)
+	}
+	return resp
+}
+
+func postResult(t *testing.T, c *Coordinator, req ResultRequest) (ResultResponse, int) {
+	t.Helper()
+	var resp ResultResponse
+	code := call(t, c, http.MethodPost, PathResult, req, &resp)
+	return resp, code
+}
+
+func isDone(c *Coordinator) bool {
+	select {
+	case <-c.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	sink := newFakeSink()
+	c, err := NewCoordinator(Config{Sink: sink, Shards: 1, LeaseTTL: 10 * time.Second, Now: clock.Now},
+		jobsFor("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := lease(t, c, "w1")
+	if l.Done || l.Job == nil || l.LeaseID == "" || l.TTLMillis != 10000 {
+		t.Fatalf("first lease = %+v", l)
+	}
+	first := l.Job.Fingerprint
+
+	resp, _ := postResult(t, c, ResultRequest{
+		Worker: "w1", LeaseID: l.LeaseID, Fingerprint: first, Payload: []byte(`1.5`)})
+	if !resp.Accepted || resp.Duplicate {
+		t.Fatalf("result ack = %+v", resp)
+	}
+	if !sink.HasResult(first) {
+		t.Fatal("sink missing the posted result")
+	}
+	if isDone(c) {
+		t.Fatal("done with one job outstanding")
+	}
+
+	l2 := lease(t, c, "w1")
+	if l2.Job == nil || l2.Job.Fingerprint == first {
+		t.Fatalf("second lease = %+v", l2)
+	}
+	postResult(t, c, ResultRequest{
+		Worker: "w1", LeaseID: l2.LeaseID, Fingerprint: l2.Job.Fingerprint, Payload: []byte(`2.5`)})
+	if !isDone(c) {
+		t.Fatal("not done after both results")
+	}
+	if l3 := lease(t, c, "w1"); !l3.Done {
+		t.Fatalf("lease after completion = %+v", l3)
+	}
+
+	s := c.Stats()
+	if s.Completed != 2 || s.Pending != 0 || s.Leased != 0 || s.Expired != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if len(s.Workers) != 1 || s.Workers[0].Completed != 2 || s.Workers[0].Leased != 2 {
+		t.Fatalf("worker stats = %+v", s.Workers)
+	}
+}
+
+// TestLeaseExpiryRequeues pins the failover path: a lease whose
+// deadline passes without a heartbeat re-enqueues its job at the front
+// of the queue, and another worker picks it up.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clock := newFakeClock()
+	c, err := NewCoordinator(Config{Sink: newFakeSink(), Shards: 1, LeaseTTL: time.Second, Now: clock.Now},
+		jobsFor("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := lease(t, c, "dying")
+	if l.Job == nil {
+		t.Fatalf("lease = %+v", l)
+	}
+
+	// Within the TTL the job stays leased: a second worker gets the
+	// *other* job, not this one.
+	clock.Advance(500 * time.Millisecond)
+	other := lease(t, c, "survivor")
+	if other.Job == nil || other.Job.Fingerprint == l.Job.Fingerprint {
+		t.Fatalf("second worker got %+v, want the other job", other)
+	}
+	postResult(t, c, ResultRequest{Worker: "survivor", LeaseID: other.LeaseID,
+		Fingerprint: other.Job.Fingerprint, Payload: []byte(`1`)})
+
+	// Past the deadline the dead worker's job fails over.
+	clock.Advance(2 * time.Second)
+	failover := lease(t, c, "survivor")
+	if failover.Job == nil || failover.Job.Fingerprint != l.Job.Fingerprint {
+		t.Fatalf("failover lease = %+v, want %s", failover, l.Job.Fingerprint)
+	}
+	if s := c.Stats(); s.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", s.Expired)
+	}
+
+	// The dead worker's late result is still absorbed (idempotent), then
+	// the survivor's own post counts as a duplicate.
+	late, _ := postResult(t, c, ResultRequest{Worker: "dying", LeaseID: l.LeaseID,
+		Fingerprint: l.Job.Fingerprint, Payload: []byte(`2`)})
+	if !late.Accepted || late.Duplicate {
+		t.Fatalf("late post = %+v", late)
+	}
+	dup, _ := postResult(t, c, ResultRequest{Worker: "survivor", LeaseID: failover.LeaseID,
+		Fingerprint: failover.Job.Fingerprint, Payload: []byte(`2`)})
+	if !dup.Accepted || !dup.Duplicate {
+		t.Fatalf("post after late completion = %+v", dup)
+	}
+	if !isDone(c) {
+		t.Fatal("campaign not done")
+	}
+}
+
+// TestHeartbeatExtendsLease: heartbeats hold a long-running lease past
+// its original deadline; without them it would have failed over.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clock := newFakeClock()
+	c, err := NewCoordinator(Config{Sink: newFakeSink(), Shards: 1, LeaseTTL: time.Second, Now: clock.Now},
+		jobsFor("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lease(t, c, "w1")
+
+	for i := 0; i < 5; i++ {
+		clock.Advance(700 * time.Millisecond) // past half, inside TTL
+		var hb HeartbeatResponse
+		call(t, c, http.MethodPost, PathHeartbeat,
+			HeartbeatRequest{Worker: "w1", LeaseID: l.LeaseID}, &hb)
+		if !hb.Extended {
+			t.Fatalf("beat %d not extended", i)
+		}
+	}
+	// 3.5s of wall time against a 1s TTL, still held: no expiry, and an
+	// idle second worker finds nothing leasable.
+	if s := c.Stats(); s.Expired != 0 || s.Leased != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if idle := lease(t, c, "w2"); idle.Job != nil || idle.Done || idle.RetryMillis <= 0 {
+		t.Fatalf("idle lease = %+v, want retry hint", idle)
+	}
+
+	// A heartbeat for an unknown (expired or bogus) lease says so.
+	var hb HeartbeatResponse
+	call(t, c, http.MethodPost, PathHeartbeat,
+		HeartbeatRequest{Worker: "w1", LeaseID: "lease-999"}, &hb)
+	if hb.Extended {
+		t.Fatal("unknown lease extended")
+	}
+}
+
+// TestWorkStealing pins the rebalancing path: a worker whose own queue
+// is empty serves from the tail of the longest other queue, flagged as
+// stolen on both the wire and the stats.
+func TestWorkStealing(t *testing.T) {
+	clock := newFakeClock()
+	fps := fpsOnShard(t, 0, 2, 3) // all jobs on shard 0
+	c, err := NewCoordinator(Config{Sink: newFakeSink(), Shards: 2, LeaseTTL: 10 * time.Second, Now: clock.Now},
+		jobsFor(fps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First contact assigns shards round-robin: w0 → shard 0, w1 → shard 1.
+	l0 := lease(t, c, "w0")
+	if l0.Shard != 0 || l0.Stolen || l0.Job == nil || l0.Job.Fingerprint != fps[0] {
+		t.Fatalf("w0 lease = %+v, want own-queue front %s", l0, fps[0])
+	}
+	// w1's own queue is empty: it steals the *tail* of shard 0's queue.
+	l1 := lease(t, c, "w1")
+	if l1.Shard != 1 || !l1.Stolen || l1.Job == nil || l1.Job.Fingerprint != fps[2] {
+		t.Fatalf("w1 lease = %+v, want stolen tail %s", l1, fps[2])
+	}
+
+	s := c.Stats()
+	if s.Steals != 1 {
+		t.Fatalf("Steals = %d, want 1", s.Steals)
+	}
+	var w1Stats WorkerStats
+	for _, ws := range s.Workers {
+		if ws.ID == "w1" {
+			w1Stats = ws
+		}
+	}
+	if w1Stats.Stolen != 1 || w1Stats.Leased != 1 {
+		t.Fatalf("w1 stats = %+v", w1Stats)
+	}
+
+	// The victim keeps draining its front, unaware of the theft.
+	l0b := lease(t, c, "w0")
+	if l0b.Stolen || l0b.Job == nil || l0b.Job.Fingerprint != fps[1] {
+		t.Fatalf("w0 second lease = %+v, want %s", l0b, fps[1])
+	}
+}
+
+// TestFailureRetirementAndRecovery: worker-reported failures requeue at
+// the tail up to the cap, then retire the job; a later success
+// un-retires it.
+func TestFailureRetirementAndRecovery(t *testing.T) {
+	clock := newFakeClock()
+	c, err := NewCoordinator(Config{
+		Sink: newFakeSink(), Shards: 1, LeaseTTL: 10 * time.Second,
+		MaxJobFailures: 2, Now: clock.Now,
+	}, jobsFor("poison", "healthy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := lease(t, c, "w1")
+	r1, _ := postResult(t, c, ResultRequest{Worker: "w1", LeaseID: l.LeaseID,
+		Fingerprint: l.Job.Fingerprint, Error: "boom"})
+	if !r1.Accepted || r1.Retired {
+		t.Fatalf("first failure = %+v", r1)
+	}
+	if s := c.Stats(); s.Requeued != 1 {
+		t.Fatalf("Requeued = %d", s.Requeued)
+	}
+
+	// The failed job went to the tail: the next lease is the healthy one.
+	l2 := lease(t, c, "w1")
+	if l2.Job.Fingerprint == l.Job.Fingerprint {
+		t.Fatal("failed job not requeued at tail")
+	}
+	postResult(t, c, ResultRequest{Worker: "w1", LeaseID: l2.LeaseID,
+		Fingerprint: l2.Job.Fingerprint, Payload: []byte(`1`)})
+
+	// Second failure hits the cap and retires the job.
+	l3 := lease(t, c, "w1")
+	r2, _ := postResult(t, c, ResultRequest{Worker: "w1", LeaseID: l3.LeaseID,
+		Fingerprint: l3.Job.Fingerprint, Error: "boom again"})
+	if !r2.Retired {
+		t.Fatalf("capped failure = %+v", r2)
+	}
+	if !isDone(c) {
+		t.Fatal("campaign with a retired job should be terminal")
+	}
+	failed := c.FailedJobs()
+	if len(failed) != 1 || failed[0].Fingerprint != l.Job.Fingerprint {
+		t.Fatalf("FailedJobs = %+v", failed)
+	}
+
+	// A straggler's success un-retires: the result is real.
+	rr, _ := postResult(t, c, ResultRequest{Worker: "w2",
+		Fingerprint: l.Job.Fingerprint, Payload: []byte(`2`)})
+	if !rr.Accepted {
+		t.Fatalf("late success = %+v", rr)
+	}
+	if got := c.FailedJobs(); len(got) != 0 {
+		t.Fatalf("FailedJobs after recovery = %+v", got)
+	}
+	if s := c.Stats(); s.Failed != 0 || s.Completed != 2 {
+		t.Fatalf("stats after recovery = %+v", s)
+	}
+}
+
+func TestCachedJobsCompleteAtConstruction(t *testing.T) {
+	sink := newFakeSink()
+	sink.results["a"] = []byte(`1`)
+	sink.results["b"] = []byte(`2`)
+	c, err := NewCoordinator(Config{Sink: sink}, jobsFor("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isDone(c) {
+		t.Fatal("fully cached campaign not done at construction")
+	}
+	s := c.Stats()
+	if s.CachedAtStart != 2 || s.Completed != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if l := lease(t, c, "w1"); !l.Done {
+		t.Fatalf("lease = %+v", l)
+	}
+}
+
+func TestResultValidation(t *testing.T) {
+	clock := newFakeClock()
+	sink := newFakeSink()
+	sink.failFor["bad-ingest"] = true
+	c, err := NewCoordinator(Config{Sink: sink, Now: clock.Now},
+		jobsFor("a", "bad-ingest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown fingerprint: 404, not accepted, campaign unaffected.
+	resp, code := postResult(t, c, ResultRequest{Worker: "w1", Fingerprint: "nope", Payload: []byte(`1`)})
+	if code != http.StatusNotFound || resp.Accepted {
+		t.Fatalf("unknown fp: code %d resp %+v", code, resp)
+	}
+
+	// Sink ingest failure surfaces as a 500 and the job stays pending
+	// (leaseable again) rather than silently completing.
+	var ingestLease LeaseResponse
+	for {
+		l := lease(t, c, "w1")
+		if l.Job == nil {
+			t.Fatal("ran out of jobs before finding bad-ingest")
+		}
+		if l.Job.Fingerprint == "bad-ingest" {
+			ingestLease = l
+			break
+		}
+		postResult(t, c, ResultRequest{Worker: "w1", LeaseID: l.LeaseID,
+			Fingerprint: l.Job.Fingerprint, Payload: []byte(`1`)})
+	}
+	var rr ResultResponse
+	code = call(t, c, http.MethodPost, PathResult, ResultRequest{Worker: "w1",
+		LeaseID: ingestLease.LeaseID, Fingerprint: "bad-ingest", Payload: []byte(`1`)}, &rr)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("ingest failure: code %d", code)
+	}
+	if s := c.Stats(); s.IngestErrors != 1 {
+		t.Fatalf("IngestErrors = %d", s.IngestErrors)
+	}
+	if isDone(c) {
+		t.Fatal("done despite failed ingest")
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{}, jobsFor("a")); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := NewCoordinator(Config{Sink: newFakeSink()},
+		[]engine.Job{engine.JobFunc{JobName: "anon"}}); err == nil {
+		t.Error("fingerprint-less job accepted")
+	}
+	// Duplicate fingerprints collapse to one queue entry.
+	c, err := NewCoordinator(Config{Sink: newFakeSink()}, jobsFor("a", "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Jobs != 2 {
+		t.Fatalf("Jobs = %d, want 2 after dedupe", s.Jobs)
+	}
+}
+
+func TestStatusAndHealthEndpoints(t *testing.T) {
+	clock := newFakeClock()
+	c, err := NewCoordinator(Config{Sink: newFakeSink(), Now: clock.Now}, jobsFor("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease(t, c, "w1")
+	clock.Advance(250 * time.Millisecond)
+
+	var s Stats
+	if code := call(t, c, http.MethodGet, PathStatus, nil, &s); code != http.StatusOK {
+		t.Fatalf("status: code %d", code)
+	}
+	if s.Jobs != 1 || s.Leased != 1 || s.Done() {
+		t.Fatalf("status = %+v", s)
+	}
+	if len(s.Workers) != 1 || s.Workers[0].LastSeenAgoMillis != 250 {
+		t.Fatalf("worker liveness = %+v", s.Workers)
+	}
+
+	var h map[string]any
+	if code := call(t, c, http.MethodGet, PathHealth, nil, &h); code != http.StatusOK {
+		t.Fatalf("health: code %d", code)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("health = %v", h)
+	}
+}

@@ -1,0 +1,166 @@
+// Package dist is the multi-host execution backend for experiment
+// campaigns: a stdlib net/http coordinator that serves a lease-based
+// job queue, and a worker loop that pulls leases, executes jobs on the
+// local engine, and posts results back.
+//
+// The wire identity of a job is its engine fingerprint — the same
+// content-derived string that addresses the result cache — so the
+// protocol needs no job registry, no serialised closures, and no
+// version handshake beyond the cache salt already baked into every
+// fingerprint. A worker is pointed at the same figure/preset flags as
+// the coordinator, rebuilds the identical job set locally, and the
+// fingerprint is all the coordinator ever has to send.
+//
+// Results travel as the raw JSON payload bytes the job's codec
+// produces — exactly the bytes engine.Cache.Put would store — and the
+// coordinator ingests them through engine.ResultSink, whose *Cache
+// implementation funnels into the same disk-envelope writer as local
+// stores. A campaign merged from remotely posted results is therefore
+// byte-identical to one computed in a single process; that property is
+// the package's acceptance test.
+//
+// Failover is lease-based: each lease carries a deadline, workers
+// heartbeat to extend it, and an expired lease re-enqueues its job at
+// the front of its shard queue, so a killed worker's work fails over
+// to the survivors automatically. Because results are content
+// addressed, a slow worker whose lease expired may still post its
+// result late — the coordinator accepts it idempotently (a duplicate
+// of a byte-identical payload is harmless), so no fencing is needed.
+//
+// Work is partitioned into shard queues by engine.ShardOf so each
+// worker drains an affine slice of the campaign, and an idle worker
+// steals from the tail of the longest remaining queue — measurably
+// rebalancing the uneven splits content hashing produces.
+package dist
+
+import "encoding/json"
+
+// Protocol endpoints served by the Coordinator.
+const (
+	// PathLease is POSTed by workers to obtain one leased job.
+	PathLease = "/api/lease"
+	// PathHeartbeat is POSTed by workers to extend a running lease.
+	PathHeartbeat = "/api/heartbeat"
+	// PathResult is POSTed by workers to publish a result (or report a
+	// job failure).
+	PathResult = "/api/result"
+	// PathStatus serves coordinator Stats as JSON.
+	PathStatus = "/api/status"
+	// PathHealth is the liveness endpoint.
+	PathHealth = "/healthz"
+)
+
+// JobSpec is a job's wire identity: its telemetry name plus the
+// content-addressed fingerprint that is both its queue key and its
+// cache address.
+type JobSpec struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// LeaseRequest asks the coordinator for one job lease.
+type LeaseRequest struct {
+	// Worker identifies the requesting worker; the coordinator assigns
+	// each new worker a shard queue on first contact.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse answers a lease request. Exactly one of three shapes
+// comes back: Done (campaign complete — stop), Job set (a lease), or
+// neither (nothing leasable right now — retry after RetryMillis; jobs
+// may reappear when an expired lease re-enqueues).
+type LeaseResponse struct {
+	Done        bool     `json:"done,omitempty"`
+	Job         *JobSpec `json:"job,omitempty"`
+	LeaseID     string   `json:"leaseId,omitempty"`
+	TTLMillis   int64    `json:"ttlMillis,omitempty"`
+	Shard       int      `json:"shard"`
+	Stolen      bool     `json:"stolen,omitempty"`
+	RetryMillis int64    `json:"retryMillis,omitempty"`
+}
+
+// HeartbeatRequest extends a lease's deadline.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"leaseId"`
+}
+
+// HeartbeatResponse reports whether the lease is still held. Extended
+// false means the lease expired and was re-enqueued (or its job
+// completed elsewhere); the worker may keep computing — a late result
+// is still accepted idempotently — but must not count on the lease.
+type HeartbeatResponse struct {
+	Extended  bool  `json:"extended"`
+	TTLMillis int64 `json:"ttlMillis,omitempty"`
+}
+
+// ResultRequest publishes the outcome of a leased job. On success,
+// Payload carries the job codec's JSON encoding of the result — the
+// exact bytes the coordinator's cache stores. On failure, Error carries
+// the worker-side error text and Payload is empty.
+type ResultRequest struct {
+	Worker      string          `json:"worker"`
+	LeaseID     string          `json:"leaseId,omitempty"`
+	Fingerprint string          `json:"fingerprint"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// ResultResponse acknowledges a posted result.
+type ResultResponse struct {
+	// Accepted reports the payload was ingested (or the failure
+	// recorded). False only for requests naming unknown fingerprints.
+	Accepted bool `json:"accepted"`
+	// Duplicate marks a result for a job that had already completed —
+	// harmless by content addressing, counted for observability.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Retired marks a failure report that exhausted the job's failure
+	// budget: the job will not be re-leased.
+	Retired bool `json:"retired,omitempty"`
+}
+
+// Stats snapshots the coordinator's queue, lease, and worker state for
+// the /api/status endpoint and end-of-campaign reporting.
+type Stats struct {
+	// Jobs is the campaign size; CachedAtStart the jobs already present
+	// in the sink when the coordinator was built (a resumed campaign).
+	Jobs          int `json:"jobs"`
+	CachedAtStart int `json:"cachedAtStart"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed"`
+	Pending       int `json:"pending"`
+	Leased        int `json:"leased"`
+	// Steals counts leases served from another shard's queue tail;
+	// Expired the leases whose deadline passed and whose jobs were
+	// re-enqueued; Requeued the failure-triggered re-enqueues;
+	// Duplicates the idempotently absorbed late results.
+	Steals       int `json:"steals"`
+	Expired      int `json:"expired"`
+	Requeued     int `json:"requeued"`
+	Duplicates   int `json:"duplicates"`
+	IngestErrors int `json:"ingestErrors"`
+	// Workers lists every worker that ever contacted the coordinator,
+	// sorted by ID.
+	Workers []WorkerStats `json:"workers"`
+}
+
+// WorkerStats is one worker's liveness and throughput as the
+// coordinator sees it.
+type WorkerStats struct {
+	ID    string `json:"id"`
+	Shard int    `json:"shard"`
+	// Leased counts leases granted; Stolen the subset served from other
+	// shards' queues; Completed the results accepted; Failures the
+	// failure reports.
+	Leased    int `json:"leased"`
+	Stolen    int `json:"stolen"`
+	Completed int `json:"completed"`
+	Failures  int `json:"failures"`
+	// LastSeenAgoMillis is the time since the worker's last request,
+	// at the instant the stats were snapshotted.
+	LastSeenAgoMillis int64 `json:"lastSeenAgoMillis"`
+}
+
+// Done reports whether every job reached a terminal state (completed
+// or retired failed).
+func (s Stats) Done() bool { return s.Completed+s.Failed == s.Jobs }

@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sensornet/internal/engine"
+)
+
+// ErrFailInjected is returned by Worker.Run when the FailAfter fault
+// hook fires: the worker exits while holding a lease, simulating a
+// crashed host so failover can be exercised deterministically (the
+// same philosophy as internal/faults, applied to the fleet itself).
+var ErrFailInjected = errors.New("dist: worker fail-after limit reached (injected fault); exiting with a lease held")
+
+// WorkerConfig parameterises a worker loop.
+type WorkerConfig struct {
+	// ID names this worker to the coordinator; required and expected to
+	// be unique per process (e.g. host+pid).
+	ID string
+	// BaseURL is the coordinator's root URL (e.g. http://host:8080).
+	BaseURL string
+	// Engine executes leased jobs, bringing the retry/backoff,
+	// per-attempt timeout, and panic-recovery discipline campaigns
+	// already rely on. Required. Its cache, if any, is worker-local.
+	Engine *engine.Engine
+	// Jobs is the campaign's full job set (the same FigureJobs the
+	// coordinator was built over); the worker indexes it by fingerprint
+	// and executes whichever jobs it is leased.
+	Jobs []engine.Job
+	// Client performs the HTTP requests; defaults to a client with a
+	// 30s request timeout.
+	Client *http.Client
+	// Poll is the idle wait between lease attempts when the coordinator
+	// has nothing leasable; the coordinator's RetryMillis hint, when
+	// present, takes precedence. Defaults to 250ms.
+	Poll time.Duration
+	// FailAfter, when > 0, injects a crash: after that many posted
+	// results the worker takes one more lease and exits with
+	// ErrFailInjected without executing it.
+	FailAfter int
+	// Logf, when non-nil, receives per-lease diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// WorkerReport summarises one worker's pass over a campaign.
+type WorkerReport struct {
+	// Leased counts leases obtained; Stolen the subset taken from other
+	// shards' queues; Completed the results posted; Failed the jobs
+	// whose execution or encoding failed (reported to the coordinator).
+	Leased, Stolen, Completed, Failed int
+	// Shard is the queue the coordinator assigned this worker.
+	Shard int
+}
+
+// String renders the report as the one-line summary the -worker CLI
+// prints.
+func (r WorkerReport) String() string {
+	return fmt.Sprintf("worker shard %d: %d leased (%d stolen), %d completed, %d failed",
+		r.Shard, r.Leased, r.Stolen, r.Completed, r.Failed)
+}
+
+// Worker pulls leases from a coordinator and executes them on the
+// local engine.
+type Worker struct {
+	cfg  WorkerConfig
+	jobs map[string]engine.Job
+	base string
+}
+
+// NewWorker validates the config and indexes the job set.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("dist: worker needs an ID")
+	}
+	if cfg.BaseURL == "" {
+		return nil, errors.New("dist: worker needs the coordinator URL")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("dist: worker needs an engine")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("dist: worker has an empty job set")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	w := &Worker{
+		cfg:  cfg,
+		jobs: make(map[string]engine.Job, len(cfg.Jobs)),
+		base: strings.TrimSuffix(cfg.BaseURL, "/"),
+	}
+	for _, j := range cfg.Jobs {
+		if fp := j.Fingerprint(); fp != "" {
+			w.jobs[fp] = j
+		}
+	}
+	return w, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// post sends one JSON request and decodes the JSON response, retrying
+// transient transport failures a few times so a briefly unreachable
+// coordinator does not kill the worker.
+func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s request: %w", path, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		}
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		res, err := w.cfg.Client.Do(hr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("dist: %s: coordinator said %s: %s", path, res.Status, strings.TrimSpace(string(data)))
+			if res.StatusCode >= 500 {
+				continue // coordinator-side trouble may clear
+			}
+			return lastErr
+		}
+		if resp == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, resp); err != nil {
+			return fmt.Errorf("dist: %s: bad response %q: %w", path, data, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("dist: %s: giving up after retries: %w", path, lastErr)
+}
+
+// Run pulls leases until the coordinator reports the campaign done (or
+// ctx is cancelled, or the FailAfter fault fires). The returned report
+// is valid even alongside a non-nil error.
+func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
+	rep := &WorkerReport{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, context.Cause(ctx)
+		}
+		var lease LeaseResponse
+		if err := w.post(ctx, PathLease, LeaseRequest{Worker: w.cfg.ID}, &lease); err != nil {
+			return rep, err
+		}
+		rep.Shard = lease.Shard
+		if lease.Done {
+			return rep, nil
+		}
+		if lease.Job == nil {
+			wait := w.cfg.Poll
+			if lease.RetryMillis > 0 {
+				wait = time.Duration(lease.RetryMillis) * time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return rep, context.Cause(ctx)
+			}
+			continue
+		}
+		rep.Leased++
+		if lease.Stolen {
+			rep.Stolen++
+		}
+		if w.cfg.FailAfter > 0 && rep.Completed >= w.cfg.FailAfter {
+			// Die holding the lease: the coordinator's expiry sweep must
+			// fail this job over to another worker.
+			return rep, ErrFailInjected
+		}
+		if err := w.runLease(ctx, lease, rep); err != nil {
+			return rep, err
+		}
+	}
+}
+
+// runLease executes one leased job and posts its outcome. Only
+// transport-level or cancellation errors propagate; job failures are
+// reported to the coordinator and the loop continues.
+func (w *Worker) runLease(ctx context.Context, lease LeaseResponse, rep *WorkerReport) error {
+	spec := *lease.Job
+	job, ok := w.jobs[spec.Fingerprint]
+	if !ok {
+		rep.Failed++
+		w.logf("dist: leased job %s is not in this worker's job set (figure/preset flags differ from the coordinator?)", spec.Name)
+		return w.post(ctx, PathResult, ResultRequest{
+			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
+			Error: "job not in worker job set (figure/preset mismatch)",
+		}, nil)
+	}
+
+	// Heartbeat while the job computes, at a third of the lease TTL so
+	// two beats can be lost before the lease fails over.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	//lint:ignore baregoroutine the heartbeat must tick while the leased job computes on the engine pool; it is bounded (one per lease), cancel-aware, and joined before the result is posted
+	go w.heartbeat(hbCtx, lease, interval, hbDone)
+	results, err := w.cfg.Engine.Run(ctx, []engine.Job{job})
+	stopHB()
+	<-hbDone
+
+	if err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		rep.Failed++
+		w.logf("dist: job %s failed: %v", spec.Name, err)
+		return w.post(ctx, PathResult, ResultRequest{
+			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
+			Error: err.Error(),
+		}, nil)
+	}
+	payload, err := engine.EncodeResult(job, results[0].Value)
+	if err != nil {
+		rep.Failed++
+		return w.post(ctx, PathResult, ResultRequest{
+			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
+			Error: err.Error(),
+		}, nil)
+	}
+	if err := w.post(ctx, PathResult, ResultRequest{
+		Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
+		Payload: payload,
+	}, nil); err != nil {
+		return err
+	}
+	rep.Completed++
+	w.logf("dist: job %s completed and posted (%d bytes)", spec.Name, len(payload))
+	return nil
+}
+
+// heartbeat extends the lease until ctx is cancelled (the job
+// finished) or the coordinator reports the lease lost, in which case
+// it stops beating — the job keeps computing and its late result is
+// still absorbed idempotently.
+func (w *Worker) heartbeat(ctx context.Context, lease LeaseResponse, interval time.Duration, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		var resp HeartbeatResponse
+		err := w.post(ctx, PathHeartbeat, HeartbeatRequest{
+			Worker: w.cfg.ID, LeaseID: lease.LeaseID}, &resp)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("dist: heartbeat for %s failed: %v", lease.Job.Name, err)
+			continue
+		}
+		if !resp.Extended {
+			w.logf("dist: lease %s lost (expired and failed over); finishing the job anyway", lease.LeaseID)
+			return
+		}
+	}
+}

@@ -28,6 +28,7 @@ type Cache struct {
 
 	mu      sync.Mutex
 	mem     map[string]any
+	raw     map[string][]byte // ingested payloads not yet decoded
 	hits    int
 	misses  int
 	stores  int
@@ -48,7 +49,8 @@ type envelope struct {
 // A non-empty dir enables the on-disk layer rooted there (created on
 // first store).
 func NewCache(dir, salt string) *Cache {
-	return &Cache{dir: dir, salt: salt, mem: make(map[string]any)}
+	return &Cache{dir: dir, salt: salt,
+		mem: make(map[string]any), raw: make(map[string][]byte)}
 }
 
 // key computes the content address of a fingerprint under the cache's
@@ -61,9 +63,10 @@ func (c *Cache) key(fingerprint string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Get looks a fingerprint up, first in memory, then (when decode is
-// non-nil and a directory is configured) on disk. Disk hits are
-// promoted into the memory layer.
+// Get looks a fingerprint up, first in memory (decoded values, then
+// raw ingested payloads), then (when decode is non-nil and a directory
+// is configured) on disk. Raw and disk hits are promoted into the
+// decoded memory layer.
 func (c *Cache) Get(fingerprint string, decode func([]byte) (any, error)) (any, bool) {
 	if c == nil || fingerprint == "" {
 		return nil, false
@@ -75,7 +78,25 @@ func (c *Cache) Get(fingerprint string, decode func([]byte) (any, error)) (any, 
 		c.mu.Unlock()
 		return v, true
 	}
+	payload, hasRaw := c.raw[k]
 	c.mu.Unlock()
+
+	if hasRaw && decode != nil {
+		if v, err := decode(payload); err == nil {
+			c.mu.Lock()
+			c.mem[k] = v
+			delete(c.raw, k)
+			c.hits++
+			c.mu.Unlock()
+			return v, true
+		}
+		// An undecodable ingested payload degrades to a miss, exactly
+		// like a corrupt disk entry.
+		c.mu.Lock()
+		c.corrupt++
+		delete(c.raw, k)
+		c.mu.Unlock()
+	}
 
 	if c.dir != "" && decode != nil {
 		if v, ok := c.diskGet(k, fingerprint, decode); ok {
@@ -90,6 +111,20 @@ func (c *Cache) Get(fingerprint string, decode func([]byte) (any, error)) (any, 
 	c.misses++
 	c.mu.Unlock()
 	return nil, false
+}
+
+// readEnvelope reads and parses the disk entry at key, without
+// validating it against any particular fingerprint.
+func (c *Cache) readEnvelope(key string) (envelope, bool) {
+	var env envelope
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return env, false
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return env, false
+	}
+	return env, true
 }
 
 func (c *Cache) diskGet(key, fingerprint string, decode func([]byte) (any, error)) (any, bool) {
@@ -152,27 +187,40 @@ func (c *Cache) Put(fingerprint string, v any, encode func(any) ([]byte, error))
 	if err != nil || !json.Valid(payload) {
 		return
 	}
+	_ = c.storeDisk(k, fingerprint, payload) // disk failures degrade to memory-only caching
+}
+
+// storeDisk writes one envelope to disk. It is the single disk-write
+// path — Put and IngestResult both funnel through it, which is what
+// makes remotely posted results byte-identical to locally computed
+// ones.
+func (c *Cache) storeDisk(key, fingerprint string, payload []byte) error {
 	raw, err := json.Marshal(envelope{Fingerprint: fingerprint, Salt: c.salt, Payload: payload})
 	if err != nil {
-		return
+		return err
 	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return
+		return err
 	}
 	// Write-rename so concurrent readers never observe a torn entry.
 	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
 	if err != nil {
-		return
+		return err
 	}
 	_, werr := tmp.Write(raw)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
-	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
 }
 
 func (c *Cache) path(key string) string {

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// corruptEntry plants an unreadable disk entry for fp in c's directory,
+// bypassing the write path (as a torn write from a killed process
+// would).
+func corruptEntry(t *testing.T, c *Cache, fp string) {
+	t.Helper()
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(c.key(fp)), []byte(`{"fingerprint":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptHealConcurrentReaders exercises the self-healing path
+// under reader concurrency: many goroutines Get a corrupt entry at
+// once. Every reader must observe a plain miss (never a wrong value,
+// never a panic), the entry must be discarded, and a subsequent Put
+// must heal it for all readers. Run under -race this also pins the
+// heal path's locking.
+func TestCorruptHealConcurrentReaders(t *testing.T) {
+	encode, decode := testCodec()
+	const fp = "corrupt-concurrent"
+	c := NewCache(t.TempDir(), "s")
+	c.Warnf = func(string, ...any) {} // expected corruption noise
+	corruptEntry(t, c, fp)
+
+	const readers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, ok := c.Get(fp, decode); ok {
+				t.Errorf("Get on a corrupt entry returned %v", v)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Stats().Corrupt; got < 1 {
+		t.Fatalf("Corrupt = %d, want >= 1 discard", got)
+	}
+	if _, err := os.Stat(c.path(c.key(fp))); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not removed: %v", err)
+	}
+
+	// Heal: a recompute's Put rewrites the entry; every reader (and a
+	// fresh cache over the same dir) now sees the healed value.
+	c.Put(fp, 9.75, encode)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, ok := c.Get(fp, decode); !ok || v.(float64) != 9.75 {
+				t.Errorf("healed Get = %v, %v", v, ok)
+			}
+		}()
+	}
+	wg.Wait()
+	fresh := NewCache(c.dir, "s")
+	if v, ok := fresh.Get(fp, decode); !ok || v.(float64) != 9.75 {
+		t.Fatalf("healed entry not durable: %v, %v", v, ok)
+	}
+}
+
+// TestCorruptHealRaceWithRewrite interleaves the heal (discard +
+// recompute-Put) with concurrent readers of the same key: readers must
+// only ever observe a miss or the healed value. This is the
+// heal-rewrite vs second-reader race the single-reader tests of the
+// fault-tolerance PR left uncovered.
+func TestCorruptHealRaceWithRewrite(t *testing.T) {
+	encode, decode := testCodec()
+	const fp = "heal-rewrite-race"
+	c := NewCache(t.TempDir(), "s")
+	c.Warnf = func(string, ...any) {}
+
+	for round := 0; round < 20; round++ {
+		corruptEntry(t, c, fp)
+		// Memory layers would mask the disk path after the first heal:
+		// clear them so every round exercises diskGet.
+		c.mu.Lock()
+		c.mem = map[string]any{}
+		c.raw = map[string][]byte{}
+		c.mu.Unlock()
+
+		var wg sync.WaitGroup
+		// One goroutine plays the recomputing worker: it reads (triggering
+		// the discard) then rewrites, exactly as the engine does on a
+		// corrupt-entry miss.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := c.Get(fp, decode); !ok {
+				c.Put(fp, 1.5, encode)
+			}
+		}()
+		// The rest are concurrent readers racing the heal.
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if v, ok := c.Get(fp, decode); ok && v.(float64) != 1.5 {
+					t.Errorf("reader observed a wrong value %v during heal", v)
+				}
+			}()
+		}
+		wg.Wait()
+
+		// After the dust settles the entry is healed and readable.
+		if v, ok := c.Get(fp, decode); !ok || v.(float64) != 1.5 {
+			t.Fatalf("round %d: post-heal Get = %v, %v", round, v, ok)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensornet/internal/engine"
+)
+
+// needAnalytic and needSim map figure names onto the surface their
+// rendering needs — also the cacheable job set the shard and
+// distributed backends split.
+var (
+	needAnalytic = map[string]bool{"fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig12": true}
+	needSim = map[string]bool{"fig8": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12sim": true}
+)
+
+// NeedsAnalyticSurface reports whether rendering the figure consumes
+// the analytic (ρ, p) surface.
+func NeedsAnalyticSurface(figure string) bool { return needAnalytic[figure] }
+
+// NeedsSimSurface reports whether rendering the figure consumes the
+// simulated surface.
+func NeedsSimSurface(figure string) bool { return needSim[figure] }
+
+// FigureJobs builds the cacheable job set behind the selected figure —
+// the unit of work the -shard split, the -merge assembly, and the
+// coordinator/worker backend all agree on. Both sides of a distributed
+// run must call it with the same figure and presets, because the job
+// fingerprints are the protocol's only job identity. workers bounds
+// replication parallelism inside simulated rows; it never affects job
+// identity.
+func FigureJobs(figure string, pa, ps Preset, degRho float64,
+	crashRates, lossRates []float64, skipSim bool, workers int) ([]engine.Job, error) {
+	switch {
+	case figure == "all":
+		jobs := SurfaceJobs(pa, false, workers)
+		if !skipSim {
+			jobs = append(jobs, SurfaceJobs(ps, true, workers)...)
+		}
+		return jobs, nil
+	case needAnalytic[figure]:
+		return SurfaceJobs(pa, false, workers), nil
+	case needSim[figure]:
+		return SurfaceJobs(ps, true, workers), nil
+	case figure == "degradation":
+		return DegradationJobs(ps, degRho, crashRates, lossRates)
+	default:
+		return nil, fmt.Errorf("figure %q has no cacheable job set to distribute", figure)
+	}
+}

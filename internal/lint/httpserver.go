@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HTTPServer enforces the repo's listener hygiene on every net/http
+// server we start (the tuning-query server in serve mode, the dist
+// coordinator): no bare http.ListenAndServe — it offers neither
+// timeouts nor a handle to stop — and every http.Server literal must
+// bound header reads (ReadTimeout or ReadHeaderTimeout) and belong to
+// a package that wires graceful Shutdown. Without timeouts one stalled
+// client pins a connection forever; without Shutdown a SIGINT tears
+// down mid-request work the lease protocol then has to repair.
+var HTTPServer = &Analyzer{
+	Name: "httpserver",
+	Doc:  "net/http servers must set read timeouts and wire graceful Shutdown",
+	Run:  runHTTPServer,
+}
+
+func runHTTPServer(p *Pass) {
+	var serverLits []*ast.CompositeLit
+	hasShutdown := false
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn, ok := p.IsPkgCall(n, "net/http", "ListenAndServe", "ListenAndServeTLS"); ok {
+					p.Reportf(n.Pos(), "http.%s starts a server with no timeouts and no way to stop it: build an http.Server with ReadHeaderTimeout and call its Shutdown on cancellation", fn)
+				}
+				// Any method call named Shutdown counts as the package
+				// wiring graceful teardown; the check is syntactic because
+				// stdlib types are stubbed in this loader.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Shutdown" {
+					hasShutdown = true
+				}
+			case *ast.CompositeLit:
+				if sel, ok := n.Type.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Server" && p.ImportedPkg(sel.X) == "net/http" {
+					serverLits = append(serverLits, n)
+				}
+			}
+			return true
+		})
+	}
+	for _, lit := range serverLits {
+		if !hasTimeoutField(lit) {
+			p.Reportf(lit.Pos(), "http.Server without ReadTimeout or ReadHeaderTimeout: one stalled client holds its connection forever")
+		}
+		if !hasShutdown {
+			p.Reportf(lit.Pos(), "package builds an http.Server but never calls Shutdown: wire graceful teardown so cancellation drains in-flight requests")
+		}
+	}
+}
+
+// hasTimeoutField reports whether the http.Server literal sets a
+// read-side timeout.
+func hasTimeoutField(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok &&
+			(id.Name == "ReadTimeout" || id.Name == "ReadHeaderTimeout") {
+			return true
+		}
+	}
+	return false
+}

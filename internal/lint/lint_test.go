@@ -105,6 +105,11 @@ func TestBareGoroutineEngine(t *testing.T) {
 }
 func TestBareGoroutineCmd(t *testing.T) { none(t, BareGoroutine, "baregoroutine_cmd", "cmd/tool") }
 
+// httpserver applies everywhere — the real servers live in cmd, so the
+// binary package gets no exemption.
+func TestHTTPServer(t *testing.T)   { one(t, HTTPServer, "httpserver", "cmd/experiments") }
+func TestHTTPServerOK(t *testing.T) { none(t, HTTPServer, "httpserver_ok", "cmd/experiments") }
+
 // TestSuppressDirectives runs the full check set with unused-directive
 // reporting on, exercising both directive placements, the malformed
 // forms, and staleness.

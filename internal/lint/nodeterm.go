@@ -7,12 +7,16 @@ import (
 
 // nodetermAllowed lists the library packages that are allowed to touch
 // wall-clock time and process environment: the engine owns retry
-// backoff and job timing, and trace timestamps its spans. Everything
-// else in internal/* must stay a pure function of its inputs, or the
-// replay guarantee (same seed, same bytes, any worker count) dies.
+// backoff and job timing, trace timestamps its spans, and dist owns
+// lease deadlines and worker liveness. Everything else in internal/*
+// must stay a pure function of its inputs, or the replay guarantee
+// (same seed, same bytes, any worker count) dies. Determinism of
+// results is unaffected by dist's clocks: job outputs are content
+// addressed, so scheduling timing cannot change the bytes.
 var nodetermAllowed = map[string]bool{
 	"internal/engine": true,
 	"internal/trace":  true,
+	"internal/dist":   true,
 }
 
 // globalRandFns are the math/rand top-level functions that draw from

@@ -9,7 +9,7 @@ import (
 // "ignore" pseudo-check (problems with suppression directives
 // themselves) is implicit and always on.
 func Analyzers() []*Analyzer {
-	all := []*Analyzer{BareGoroutine, CtxBg, FloatEq, NoDeterm, SeedDerive}
+	all := []*Analyzer{BareGoroutine, CtxBg, FloatEq, HTTPServer, NoDeterm, SeedDerive}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }

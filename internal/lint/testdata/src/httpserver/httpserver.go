@@ -1,0 +1,24 @@
+// Package httpserver exercises the httpserver analyzer: bare
+// ListenAndServe helpers, a timeout-less http.Server literal, and a
+// package that never wires Shutdown.
+package httpserver
+
+import (
+	"net/http"
+)
+
+func startBare() error {
+	return http.ListenAndServe(":8080", nil) // want: no timeouts, no stop handle
+}
+
+func startBareTLS() error {
+	return http.ListenAndServeTLS(":8443", "cert.pem", "key.pem", nil) // want: same, TLS variant
+}
+
+func startNoTimeouts(h http.Handler) error {
+	srv := &http.Server{ // want: no read timeout, and the package never calls Shutdown
+		Addr:    ":9090",
+		Handler: h,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,29 @@
+// Package httpserverok is the clean counterpart for the httpserver
+// analyzer: the server bounds header reads and the package drains
+// gracefully via Shutdown on cancellation.
+package httpserverok
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func serve(ctx context.Context, addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

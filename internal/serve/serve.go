@@ -37,6 +37,10 @@ type Server struct {
 	analytic experiments.Preset
 	sim      experiments.Preset
 	mux      *http.ServeMux
+	// analyticDigest/simDigest are the content-addressed identities of
+	// the two surfaces (hashed job fingerprints), precomputed once and
+	// mixed into every ETag (see etag.go).
+	analyticDigest, simDigest string
 }
 
 // New builds a Server over eng, which must be cache-only — the
@@ -50,7 +54,11 @@ func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) 
 	if eng.Shard().Sharded() {
 		return nil, errors.New("serve: engine must be unsharded: serving reads every shard's cached rows")
 	}
-	s := &Server{eng: eng, analytic: analytic, sim: sim, mux: http.NewServeMux()}
+	s := &Server{
+		eng: eng, analytic: analytic, sim: sim, mux: http.NewServeMux(),
+		analyticDigest: surfaceDigest(analytic, false),
+		simDigest:      surfaceDigest(sim, true),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/cache", s.handleCache)
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
@@ -140,31 +148,32 @@ func (s *Server) preset(r *http.Request) (experiments.Preset, bool, error) {
 	}
 }
 
-// surface loads the requested surface entirely from the cache.
-func (s *Server) surface(r *http.Request) (*experiments.Surface, experiments.Preset, error) {
-	pre, simulated, err := s.preset(r)
-	if err != nil {
-		return nil, pre, err
-	}
-	var surf *experiments.Surface
+// digest returns the precomputed content identity of a surface.
+func (s *Server) digest(simulated bool) string {
 	if simulated {
-		surf, err = experiments.SimSurfaceCtx(r.Context(), s.eng, pre)
-	} else {
-		surf, err = experiments.AnalyticSurfaceCtx(r.Context(), s.eng, pre)
+		return s.simDigest
 	}
-	return surf, pre, err
+	return s.analyticDigest
 }
 
-// rowAt finds the surface row of the queried density. Densities are
+// loadSurface loads a surface entirely from the cache.
+func (s *Server) loadSurface(r *http.Request, pre experiments.Preset, simulated bool) (*experiments.Surface, error) {
+	if simulated {
+		return experiments.SimSurfaceCtx(r.Context(), s.eng, pre)
+	}
+	return experiments.AnalyticSurfaceCtx(r.Context(), s.eng, pre)
+}
+
+// rhoIndex finds the row index of the queried density. Densities are
 // preset grid values echoed back by clients, so matching is by small
 // absolute tolerance rather than float equality.
-func rowAt(pre experiments.Preset, surf *experiments.Surface, rho float64) ([]optimize.Point, bool) {
+func rhoIndex(pre experiments.Preset, rho float64) (int, bool) {
 	for i, r := range pre.Rhos {
 		if math.Abs(r-rho) < 1e-9 {
-			return surf.Points[i], true
+			return i, true
 		}
 	}
-	return nil, false
+	return 0, false
 }
 
 func parseRho(r *http.Request) (float64, error) {
@@ -201,21 +210,34 @@ func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	surf, pre, err := s.surface(r)
+	pre, simulated, err := s.preset(r)
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	row, ok := rowAt(pre, surf, rho)
+	idx, ok := rhoIndex(pre, rho)
 	if !ok {
 		fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
 		return
 	}
-	opt, ok := sel.Pick(row)
+	// The answer is a pure function of the surface digest, the metric,
+	// and the density — so a validator match proves the client already
+	// has it, before a single cache read.
+	etag := etagOf("optimal", s.digest(simulated), sel.Name, rhoKey(rho))
+	if notModified(w, r, etag) {
+		return
+	}
+	surf, err := s.loadSurface(r, pre, simulated)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	opt, ok := sel.Pick(surf.Points[idx])
 	if !ok {
 		fail(w, fmt.Errorf("serve: no feasible grid point for metric %q at rho=%g", sel.Name, rho), http.StatusNotFound)
 		return
 	}
+	w.Header().Set("ETag", etag)
 	writeJSON(w, http.StatusOK, optimalBody{
 		Surface: r.URL.Query().Get("surface"),
 		Metric:  sel.Name,
@@ -269,30 +291,48 @@ type surfaceBody struct {
 }
 
 func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
-	surf, pre, err := s.surface(r)
+	pre, simulated, err := s.preset(r)
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	body := surfaceBody{Surface: r.URL.Query().Get("surface"), S: pre.S}
+	rowIdx, hasRho := -1, false
 	if raw := r.URL.Query().Get("rho"); raw != "" {
 		rho, err := parseRho(r)
 		if err != nil {
 			fail(w, err, http.StatusBadRequest)
 			return
 		}
-		row, ok := rowAt(pre, surf, rho)
+		idx, ok := rhoIndex(pre, rho)
 		if !ok {
 			fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
 			return
 		}
-		body.Rhos = []float64{rho}
-		body.Rows = [][]pointBody{pointsBody(row)}
+		rowIdx, hasRho = idx, true
+	}
+	rhoPart := "all"
+	if hasRho {
+		rhoPart = rhoKey(pre.Rhos[rowIdx])
+	}
+	etag := etagOf("surface", s.digest(simulated), rhoPart)
+	if notModified(w, r, etag) {
+		return
+	}
+	surf, err := s.loadSurface(r, pre, simulated)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	body := surfaceBody{Surface: r.URL.Query().Get("surface"), S: pre.S}
+	if hasRho {
+		body.Rhos = []float64{pre.Rhos[rowIdx]}
+		body.Rows = [][]pointBody{pointsBody(surf.Points[rowIdx])}
 	} else {
 		body.Rhos = pre.Rhos
 		for _, row := range surf.Points {
 			body.Rows = append(body.Rows, pointsBody(row))
 		}
 	}
+	w.Header().Set("ETag", etag)
 	writeJSON(w, http.StatusOK, body)
 }

@@ -43,4 +43,42 @@ wait "$shard0"
 "$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -merge 2 -out "$tmp/merged.txt"
 cmp "$tmp/direct.txt" "$tmp/merged.txt"
 
+echo "== tier 2: merge -json missing-shard smoke"
+# An empty cache must fail the merge with exit 3 and emit the missing
+# shard set machine-readably on stdout.
+set +e
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/empty" -merge 2 -json \
+    >"$tmp/missing.json" 2>/dev/null
+json_rc=$?
+set -e
+[ "$json_rc" -eq 3 ] || { echo "merge -json on empty cache exited $json_rc, want 3" >&2; exit 1; }
+grep -q '"missingShards"' "$tmp/missing.json"
+grep -q '"fingerprint"' "$tmp/missing.json"
+
+echo "== tier 2: coordinator + 2-worker distributed smoke (fig4, one worker dies mid-run)"
+# A coordinator leases the fig4 job set to two workers. One worker is
+# fault-injected (-worker-fail-after) to exit while holding a lease;
+# the lease expires, fails over to the survivor, and the merged figure
+# must still be byte-identical to the direct single-process run.
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/dcache" \
+    -coordinator 127.0.0.1:0 -dist-shards 2 -lease-ttl 2s \
+    -dist-addr-file "$tmp/addr" &
+coord=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "coordinator never published its address" >&2; exit 1; }
+    sleep 0.1
+done
+url="http://$(cat "$tmp/addr")"
+set +e
+"$tmp/experiments" -figure fig4 -quick -worker "$url" -worker-id w-dying -worker-fail-after 1
+dying_rc=$?
+set -e
+[ "$dying_rc" -eq 7 ] || { echo "fault-injected worker exited $dying_rc, want 7" >&2; exit 1; }
+"$tmp/experiments" -figure fig4 -quick -worker "$url" -worker-id w-survivor
+wait "$coord"
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/dcache" -merge 2 -out "$tmp/dist.txt"
+cmp "$tmp/direct.txt" "$tmp/dist.txt"
+
 echo "all checks passed"
