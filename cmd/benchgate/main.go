@@ -1,0 +1,57 @@
+// Benchgate is the perf regression gate: it compares a fresh bench
+// snapshot (scripts/bench.sh output) against a committed baseline
+// BENCH_<n>.json and fails if any tracked benchmark disappeared or any
+// metric regressed past its tolerance ratio. scripts/check.sh runs it
+// against the latest committed snapshot:
+//
+//	go run ./cmd/benchgate -baseline BENCH_7.json -current /tmp/bench.json
+//
+// Tolerances default to internal/bench.DefaultTolerance (allocs/op
+// tight, bytes/op moderate, ns/op loose — smoke runs use -benchtime=1x
+// where timing is mostly warmup noise) and can be overridden per
+// metric for ad-hoc comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sensornet/internal/bench"
+)
+
+func main() {
+	tol := bench.DefaultTolerance
+	baseline := flag.String("baseline", "", "committed BENCH_<n>.json snapshot to gate against")
+	current := flag.String("current", "", "fresh snapshot from scripts/bench.sh")
+	flag.Float64Var(&tol.Ns, "ns", tol.Ns, "max allowed ns/op ratio vs baseline")
+	flag.Float64Var(&tol.Bytes, "bytes", tol.Bytes, "max allowed B/op ratio vs baseline")
+	flag.Float64Var(&tol.Allocs, "allocs", tol.Allocs, "max allowed allocs/op ratio vs baseline")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH_n.json -current fresh.json [-ns r] [-bytes r] [-allocs r]")
+		os.Exit(2)
+	}
+
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := bench.Load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	violations := bench.Compare(base, cur, tol)
+	if len(violations) == 0 {
+		fmt.Printf("benchgate: %d benchmark(s) within tolerance of %s\n", len(base.Benchmarks), *baseline)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchgate: %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s\n", len(violations), *baseline)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Package bench loads and compares the BENCH_<n>.json perf-trajectory
+// snapshots written by scripts/bench.sh, backing the bench regression
+// gate in scripts/check.sh (cmd/benchgate). The gate compares a fresh
+// smoke run against the latest committed snapshot: every benchmark in
+// the baseline must still exist, and no metric may exceed its
+// tolerance ratio.
+//
+// Tolerances are deliberately asymmetric across metrics. allocs/op is
+// nearly deterministic, so it gets the tightest ratio — an allocation
+// regression in a hot loop is exactly the class of drift the gate
+// exists to catch. bytes/op wobbles with map growth and pooling, so
+// it gets some slack. ns/op at -benchtime=1x is dominated by warmup
+// noise on a shared machine, so it only catches order-of-magnitude
+// blowups; the committed snapshots (run at 5x) are the place to read
+// real timing trends.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmark's measurement in a snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the parsed form of one BENCH_<n>.json file.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Load reads and parses a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: %s holds no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// Tolerance holds the per-metric regression ratios: current may be at
+// most base*ratio before the gate fails.
+type Tolerance struct {
+	Ns     float64
+	Bytes  float64
+	Allocs float64
+}
+
+// DefaultTolerance is the check.sh gate configuration; see the package
+// comment for why the three ratios differ.
+var DefaultTolerance = Tolerance{Ns: 4.0, Bytes: 1.6, Allocs: 1.35}
+
+// Violation is one metric of one benchmark exceeding its tolerance,
+// or a baseline benchmark missing from the current run.
+type Violation struct {
+	Bench   string
+	Metric  string // "ns/op", "B/op", "allocs/op", or "missing"
+	Base    float64
+	Current float64
+	Limit   float64 // tolerance ratio applied (0 for "missing")
+}
+
+func (v Violation) String() string {
+	if v.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but missing from the current run", v.Bench)
+	}
+	return fmt.Sprintf("%s: %s regressed %.0f -> %.0f (%.2fx, limit %.2fx)",
+		v.Bench, v.Metric, v.Base, v.Current, v.Current/v.Base, v.Limit)
+}
+
+// Compare gates current against baseline. Benchmarks only in current
+// are ignored (new coverage is welcome); benchmarks only in baseline
+// are violations (losing coverage silently would hollow out the gate).
+// A zero baseline metric is skipped — there is no ratio to take, and
+// the snapshots' hot loops all allocate and take time anyway.
+func Compare(baseline, current *Snapshot, tol Tolerance) []Violation {
+	cur := map[string]Result{}
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+	var out []Violation
+	base := append([]Result(nil), baseline.Benchmarks...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	for _, b := range base {
+		c, ok := cur[b.Name]
+		if !ok {
+			out = append(out, Violation{Bench: b.Name, Metric: "missing"})
+			continue
+		}
+		check := func(metric string, baseV, curV, limit float64) {
+			if baseV > 0 && curV > baseV*limit {
+				out = append(out, Violation{
+					Bench: b.Name, Metric: metric,
+					Base: baseV, Current: curV, Limit: limit,
+				})
+			}
+		}
+		check("ns/op", b.NsPerOp, c.NsPerOp, tol.Ns)
+		check("B/op", b.BytesPerOp, c.BytesPerOp, tol.Bytes)
+		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, tol.Allocs)
+	}
+	return out
+}

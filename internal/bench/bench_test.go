@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) *Snapshot {
+	return &Snapshot{Date: "2026-08-07T00:00:00Z", Benchtime: "1x", Benchmarks: results}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := snap(
+		Result{Name: "A", NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 10},
+		Result{Name: "B", NsPerOp: 2000, BytesPerOp: 800, AllocsPerOp: 20},
+	)
+	cur := snap(
+		Result{Name: "A", NsPerOp: 3900, BytesPerOp: 790, AllocsPerOp: 13},
+		Result{Name: "B", NsPerOp: 1500, BytesPerOp: 800, AllocsPerOp: 20},
+		Result{Name: "New", NsPerOp: 9e9, BytesPerOp: 9e9, AllocsPerOp: 9e9},
+	)
+	if v := Compare(base, cur, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", v)
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	base := snap(Result{Name: "A", NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 100})
+	cur := snap(Result{Name: "A", NsPerOp: 5000, BytesPerOp: 801, AllocsPerOp: 136})
+	v := Compare(base, cur, DefaultTolerance)
+	if len(v) != 3 {
+		t.Fatalf("want all three metrics flagged, got %v", v)
+	}
+	for i, metric := range []string{"ns/op", "B/op", "allocs/op"} {
+		if v[i].Metric != metric {
+			t.Fatalf("violation %d is %q, want %q", i, v[i].Metric, metric)
+		}
+		if !strings.Contains(v[i].String(), metric) {
+			t.Fatalf("violation string %q does not name its metric", v[i].String())
+		}
+	}
+}
+
+func TestCompareMissingBench(t *testing.T) {
+	base := snap(
+		Result{Name: "A", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
+		Result{Name: "Gone", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
+	)
+	cur := snap(Result{Name: "A", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1})
+	v := Compare(base, cur, DefaultTolerance)
+	if len(v) != 1 || v[0].Metric != "missing" || v[0].Bench != "Gone" {
+		t.Fatalf("want one missing-bench violation for Gone, got %v", v)
+	}
+}
+
+func TestCompareZeroBaselineSkipped(t *testing.T) {
+	base := snap(Result{Name: "A", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0})
+	cur := snap(Result{Name: "A", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 7})
+	if v := Compare(base, cur, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("zero-baseline metrics must be skipped, got %v", v)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	content := `{
+  "date": "2026-08-07T00:00:00Z",
+  "benchtime": "1x",
+  "benchmarks": [
+    {"name": "SimulatorDenseFlooding", "ns_per_op": 18040588, "bytes_per_op": 2581744, "allocs_per_op": 118}
+  ]
+}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].Name != "SimulatorDenseFlooding" ||
+		s.Benchmarks[0].AllocsPerOp != 118 {
+		t.Fatalf("round-trip mangled the snapshot: %+v", s)
+	}
+}
+
+func TestLoadRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("an empty snapshot must not load: the gate would silently pass")
+	}
+}

@@ -326,7 +326,8 @@ func (c *Coordinator) recordSpan(l *leaseInfo, name string, shard int, now time.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v) // status line already out
+	//lint:ignore errdrop the status line is already out, so nothing useful can be done with an Encode failure; the client sees a truncated body and retries
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // decodeBody reads one JSON request body, bounded so a misbehaving
@@ -345,6 +346,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// Handlers compute their response entirely under the lock and write it
+// only after release (the lockheld check enforces this): an Encode to a
+// stalled worker must not hold up every other lease, heartbeat, and
+// result behind one slow reader.
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if !decodeBody(w, r, &req) {
@@ -354,6 +360,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "dist: lease request without a worker id"})
 		return
 	}
+	writeJSON(w, http.StatusOK, c.lease(req))
+}
+
+// lease grants (or defers) one lease under the coordinator lock.
+func (c *Coordinator) lease(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
@@ -363,8 +374,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	resp := LeaseResponse{Shard: wi.shard}
 	if c.completed+c.failed == c.total {
 		resp.Done = true
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp
 	}
 	fp, stolen, ok := c.popLocked(wi.shard)
 	if !ok {
@@ -374,8 +384,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if resp.RetryMillis < 50 {
 			resp.RetryMillis = 50
 		}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp
 	}
 	j := c.jobs[fp]
 	c.leaseSeq++
@@ -401,7 +410,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	resp.LeaseID = l.id
 	resp.TTLMillis = c.cfg.LeaseTTL.Milliseconds()
 	resp.Stolen = stolen
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -409,6 +418,11 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	writeJSON(w, http.StatusOK, c.heartbeat(req))
+}
+
+// heartbeat extends one lease under the coordinator lock.
+func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
@@ -418,12 +432,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	l, ok := c.leases[req.LeaseID]
 	if !ok {
-		writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: false})
-		return
+		return HeartbeatResponse{Extended: false}
 	}
 	l.deadline = now.Add(c.cfg.LeaseTTL)
-	writeJSON(w, http.StatusOK, HeartbeatResponse{
-		Extended: true, TTLMillis: c.cfg.LeaseTTL.Milliseconds()})
+	return HeartbeatResponse{Extended: true, TTLMillis: c.cfg.LeaseTTL.Milliseconds()}
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -431,6 +443,17 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	status, body := c.result(req)
+	writeJSON(w, status, body)
+}
+
+// result ingests one posted shard result under the coordinator lock,
+// returning the HTTP status and response body for the handler to write
+// after release. The IngestResult call stays inside the critical
+// section deliberately: it is a local content-addressed cache write,
+// and admitting a result must be atomic with the job-state transition
+// or a concurrent duplicate post could double-count completion.
+func (c *Coordinator) result(req ResultRequest) (int, any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
@@ -440,8 +463,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	j, ok := c.jobs[req.Fingerprint]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ResultResponse{Accepted: false})
-		return
+		return http.StatusNotFound, ResultResponse{Accepted: false}
 	}
 	l := c.leases[req.LeaseID] // may be nil: expired leases still publish
 	releaseLease := func() {
@@ -460,8 +482,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		if j.state == stateDone || j.state == stateFailed {
 			c.duplicates++
-			writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Duplicate: true})
-			return
+			return http.StatusOK, ResultResponse{Accepted: true, Duplicate: true}
 		}
 		if l != nil {
 			c.recordSpan(l, j.spec.Name, j.shard, now, true)
@@ -474,8 +495,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			c.logf("dist: job %s retired after %d failures (last: %s)",
 				j.spec.Name, j.failures, req.Error)
 			c.checkDoneLocked()
-			writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Retired: true})
-			return
+			return http.StatusOK, ResultResponse{Accepted: true, Retired: true}
 		}
 		// Requeue at the tail: a failing job must not starve the healthy
 		// front of the queue.
@@ -484,8 +504,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		c.requeued++
 		c.logf("dist: job %s failed on worker %s (%s); re-enqueued (%d/%d failures)",
 			j.spec.Name, req.Worker, req.Error, j.failures, c.cfg.MaxJobFailures)
-		writeJSON(w, http.StatusOK, ResultResponse{Accepted: true})
-		return
+		return http.StatusOK, ResultResponse{Accepted: true}
 	}
 
 	if j.state == stateDone {
@@ -493,14 +512,12 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// byte-identical to what we already stored, so absorb it.
 		c.duplicates++
 		releaseLease()
-		writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Duplicate: true})
-		return
+		return http.StatusOK, ResultResponse{Accepted: true, Duplicate: true}
 	}
 	if err := c.cfg.Sink.IngestResult(req.Fingerprint, req.Payload); err != nil {
 		c.ingestErrors++
 		c.logf("dist: ingesting result of %s from worker %s: %v", j.spec.Name, req.Worker, err)
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
+		return http.StatusInternalServerError, map[string]string{"error": err.Error()}
 	}
 	if l != nil {
 		c.recordSpan(l, j.spec.Name, j.shard, now, false)
@@ -517,7 +534,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		wi.stats.Completed++
 	}
 	c.checkDoneLocked()
-	writeJSON(w, http.StatusOK, ResultResponse{Accepted: true})
+	return http.StatusOK, ResultResponse{Accepted: true}
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {

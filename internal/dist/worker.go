@@ -123,10 +123,16 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 		return fmt.Errorf("dist: encoding %s request: %w", path, err)
 	}
 	var lastErr error
+	backoff := time.NewTimer(0)
+	if !backoff.Stop() {
+		<-backoff.C
+	}
+	defer backoff.Stop()
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
+			backoff.Reset(time.Duration(attempt) * 200 * time.Millisecond)
 			select {
-			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			case <-backoff.C:
 			case <-ctx.Done():
 				return context.Cause(ctx)
 			}
@@ -170,6 +176,11 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 // is valid even alongside a non-nil error.
 func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 	rep := &WorkerReport{}
+	poll := time.NewTimer(0)
+	if !poll.Stop() {
+		<-poll.C
+	}
+	defer poll.Stop()
 	for {
 		if err := ctx.Err(); err != nil {
 			return rep, context.Cause(ctx)
@@ -187,9 +198,11 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 			if lease.RetryMillis > 0 {
 				wait = time.Duration(lease.RetryMillis) * time.Millisecond
 			}
+			poll.Reset(wait)
 			select {
-			case <-time.After(wait):
+			case <-poll.C:
 			case <-ctx.Done():
+				poll.Stop()
 				return rep, context.Cause(ctx)
 			}
 			continue

@@ -187,7 +187,8 @@ func (c *Cache) Put(fingerprint string, v any, encode func(any) ([]byte, error))
 	if err != nil || !json.Valid(payload) {
 		return
 	}
-	_ = c.storeDisk(k, fingerprint, payload) // disk failures degrade to memory-only caching
+	//lint:ignore errdrop disk failures deliberately degrade to memory-only caching; the result is already in mem and the job must not fail over a full disk
+	_ = c.storeDisk(k, fingerprint, payload)
 }
 
 // storeDisk writes one envelope to disk. It is the single disk-write

@@ -273,6 +273,14 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 	}
 
 	attempts := 1 + e.cfg.Retries
+	// One reusable backoff timer for the whole attempt ladder: time.After
+	// in the retry loop would allocate a timer per attempt that lingers
+	// until it fires even after the retry proceeds.
+	backoff := time.NewTimer(time.Hour)
+	if !backoff.Stop() {
+		<-backoff.C
+	}
+	defer backoff.Stop()
 	for a := 1; a <= attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			res.Err = jobError(name, context.Cause(ctx))
@@ -306,8 +314,9 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 		}
 		e.noteRetry()
 		e.emit(Event{Kind: EventRetry, Job: name, Worker: worker, Attempt: a, Err: err})
+		backoff.Reset(e.retryBackoff(name, a))
 		select {
-		case <-time.After(e.retryBackoff(name, a)):
+		case <-backoff.C:
 		case <-ctx.Done():
 			res.Err = jobError(name, context.Cause(ctx))
 			return res

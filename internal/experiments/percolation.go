@@ -33,7 +33,6 @@ func Percolation(p int, grid []float64, runs int, seed int64) (*FigureResult, er
 	t.Header = []string{"p", "final reach"}
 
 	dep, err := deploy.Generate(deploy.Config{P: p, Grid: true},
-		//lint:ignore seedderive the caller-provided root seed seeds the single shared grid deployment
 		rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err

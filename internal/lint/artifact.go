@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// ArtifactSchema identifies the findings-artifact format. The version
+// bumps only on breaking changes; fields are otherwise only ever added
+// (consumers must ignore unknown keys). The plain -json output stays a
+// bare findings array and is versioned implicitly by the Finding
+// fields, which never change meaning.
+const ArtifactSchema = "sensorlint.findings/2"
+
+// Artifact is the versioned machine-readable record of one sensorlint
+// run, written by -artifact and archived by scripts/check.sh next to
+// the bench output. Findings are post-fix but pre-baseline: the
+// artifact records what the tree actually contains, while Baselined
+// says how many of those the ratchet absorbed.
+type Artifact struct {
+	Schema string `json:"schema"`
+	Checks []struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	} `json:"checks"`
+	Packages  int       `json:"packages"`
+	Findings  []Finding `json:"findings"`
+	Baselined int       `json:"baselined"`
+	Fixed     int       `json:"fixed"`
+}
+
+// WriteArtifact writes the artifact JSON to path.
+func WriteArtifact(path string, analyzers []*Analyzer, packages int, findings []Finding, baselined, fixed int) error {
+	a := Artifact{
+		Schema:    ArtifactSchema,
+		Packages:  packages,
+		Findings:  findings,
+		Baselined: baselined,
+		Fixed:     fixed,
+	}
+	if a.Findings == nil {
+		a.Findings = []Finding{}
+	}
+	for _, an := range analyzers {
+		a.Checks = append(a.Checks, struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}{an.Name, an.Doc})
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

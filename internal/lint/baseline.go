@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline support: -baseline file ratcheting. A baseline freezes the
+// findings present when the ratchet was adopted; Lint runs then report
+// only findings NOT in the baseline, so legacy debt is tolerated while
+// new code must come up clean. Entries match on (file, check, message)
+// as a multiset — line numbers are deliberately excluded so unrelated
+// edits that shift a legacy finding up or down the file do not break
+// the ratchet. Removing the last finding of a kind leaves its baseline
+// entry stale; -write-baseline rewrites the file to the current (ideally
+// smaller) set, and an empty or missing baseline means everything is
+// reported — the state this repository maintains on main
+// (TestDriverRepoIsClean asserts it).
+
+// baselineKey is the ratchet identity of one finding.
+type baselineKey struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so `-baseline sensorlint.baseline` can be in
+// the standing invocation before any debt exists.
+func LoadBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[baselineKey]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineKey
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	out := map[baselineKey]int{}
+	for _, e := range entries {
+		out[e]++
+	}
+	return out, nil
+}
+
+// FilterBaseline removes findings frozen in the baseline (multiset
+// semantics: a baseline entry absorbs at most one finding each) and
+// reports how many were absorbed.
+func FilterBaseline(findings []Finding, baseline map[baselineKey]int) (fresh []Finding, absorbed int) {
+	remaining := make(map[baselineKey]int, len(baseline))
+	for k, n := range baseline {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := baselineKey{File: f.File, Check: f.Check, Message: f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, absorbed
+}
+
+// WriteBaseline freezes the given findings as the new baseline. An
+// empty set writes an empty array — an explicit record that the tree
+// is clean — keeping the file diffable as debt is paid down.
+func WriteBaseline(path string, findings []Finding) error {
+	entries := make([]baselineKey, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, baselineKey{File: f.File, Check: f.Check, Message: f.Message})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

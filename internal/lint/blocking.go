@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// computeBlocking classifies every module function that may block:
+// directly (a channel operation, a select without default, time.Sleep,
+// an outbound network call, or a write to an http.ResponseWriter — a
+// network write once headers flush), or transitively by calling a
+// blocking module function. Code spawned with `go` does not block the
+// spawner, so GoStmt subtrees are excluded both from the base facts and
+// from propagation. The returned reason is one level deep — enough for
+// a diagnostic a reader can act on without chasing the whole chain.
+func computeBlocking(g *callGraph) map[*funcNode]string {
+	out := map[*funcNode]string{}
+	for _, fn := range g.funcs {
+		if r := baseBlocking(fn); r != "" {
+			out[fn] = r
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for callee, r := range out {
+			for _, cs := range g.in[callee] {
+				if cs.caller == nil || out[cs.caller] != "" || cs.inGo {
+					continue
+				}
+				out[cs.caller] = "calls " + callee.decl.Name.Name + ", which " + shortReason(r)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// shortReason trims a propagated reason to its base fact so chained
+// diagnostics stay one level deep ("calls writeJSON, which writes the
+// HTTP response" rather than a growing "calls X, which calls Y, which
+// ...").
+func shortReason(r string) string {
+	for i := 0; i+7 <= len(r); i++ {
+		if r[i:i+7] == "which " {
+			return r[i+7:]
+		}
+	}
+	return r
+}
+
+// baseBlocking reports why fn blocks directly, or "".
+func baseBlocking(fn *funcNode) string {
+	if fn.decl.Body == nil {
+		return ""
+	}
+	rw := respWriterParams(fn)
+	reason := ""
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // spawning is not blocking
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reason = "receives from a channel"
+			}
+		case *ast.RangeStmt:
+			// `range ch` blocks; without full type info treat a range
+			// over a bare identifier of channel type as unknown — the
+			// common loops here range over slices/maps, so stay silent.
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				reason = "blocks in select"
+			}
+		case *ast.CallExpr:
+			reason = blockingCall(fn, n, rw)
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// blockingCall reports why one call expression blocks, or "".
+func blockingCall(fn *funcNode, call *ast.CallExpr, rw map[*ast.Ident]bool) string {
+	if _, ok := fn.pkg.isPkgCall(call, "time", "Sleep"); ok {
+		return "calls time.Sleep"
+	}
+	if name, ok := fn.pkg.isPkgCall(call, "net/http", "Get", "Post", "PostForm", "Head"); ok {
+		return "performs network I/O (http." + name + ")"
+	}
+	if name, ok := fn.pkg.isPkgCall(call, "net", "Dial", "DialTimeout", "Listen"); ok {
+		return "performs network I/O (net." + name + ")"
+	}
+	if len(rw) > 0 && mentionsRespWriter(fn, call, rw) {
+		return "writes the HTTP response"
+	}
+	return ""
+}
+
+// respWriterParams collects the declared parameters of fn whose type is
+// spelled http.ResponseWriter (resolved by import path, so a renamed
+// import still counts). The loader stubs net/http, so this is a purely
+// syntactic judgment — which is exactly as much as the handlers need.
+// The map keys are the declaring idents; matching goes through Defs/
+// Uses objects.
+func respWriterParams(fn *funcNode) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	if fn.decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.decl.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ResponseWriter" {
+			continue
+		}
+		if fn.pkg.importedPkg(sel.X) != "net/http" {
+			continue
+		}
+		for _, name := range field.Names {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// mentionsRespWriter reports whether any part of call (receiver or
+// arguments) references one of fn's ResponseWriter parameters. Any
+// such call is assumed to write the response: in this codebase nothing
+// takes a ResponseWriter without eventually writing to it.
+func mentionsRespWriter(fn *funcNode, call *ast.CallExpr, rw map[*ast.Ident]bool) bool {
+	objs := map[interface{ Pos() token.Pos }]bool{}
+	for id := range rw {
+		if obj := fn.pkg.Info.Defs[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := fn.pkg.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CachePut guards the PR 5/6 byte-identity contract for the result
+// cache: internal/engine owns the on-disk layout (content fingerprints
+// written by Cache.Put via storeDisk), so every other layer must route
+// result ingestion through Cache.Put or ResultSink.IngestResult. A raw
+// file write aimed at a cache directory from outside the engine would
+// produce entries without fingerprints, which the byte-identity
+// verifier then reads as corruption.
+//
+// Detection is lexical by necessity (the loader stubs the os package):
+// a call to an os file-writing function — os.WriteFile, os.Create,
+// os.OpenFile, os.Rename, os.MkdirAll — whose path argument mentions a
+// cache-named identifier or field (cacheDir, c.cacheDir, CachePath,
+// ...) outside internal/engine is reported.
+var CachePut = &Analyzer{
+	Name: "cacheput",
+	Doc:  "raw file write into the cache directory outside internal/engine; use Cache.Put / IngestResult",
+	Run:  runCachePut,
+}
+
+func runCachePut(p *Pass) {
+	if p.Rel() == "internal/engine" {
+		return // the engine is the one owner of the cache layout
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := p.IsPkgCall(call, "os",
+				"WriteFile", "Create", "OpenFile", "Rename", "MkdirAll")
+			if !ok {
+				return true
+			}
+			// Any argument mentioning a cache path counts: for Rename
+			// the write target is the second argument, not the first.
+			for _, arg := range call.Args {
+				if mentionsCache(arg) {
+					p.Reportf(call.Pos(), "os.%s into the cache directory bypasses Cache.Put fingerprinting; route result ingestion through engine Cache.Put / IngestResult", name)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mentionsCache reports whether the path expression references a
+// cache-named identifier or field.
+func mentionsCache(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		default:
+			return true
+		}
+		if strings.Contains(strings.ToLower(name), "cache") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

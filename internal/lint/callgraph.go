@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// callGraph is the module-local call graph: one node per function or
+// method declaration in the loaded packages, with the call sites that
+// could be resolved statically. Resolution is by type object identity,
+// which works across packages because module-internal imports are
+// loaded from source (the same *types.Func a callee's Defs records is
+// the one a caller's Uses records). Calls through interfaces resolve
+// to the interface's method object — never to a concrete declaration —
+// so they simply do not appear as edges; analyses that need a complete
+// call-site set must check provable() first.
+type callGraph struct {
+	funcs map[types.Object]*funcNode
+	decls map[*ast.FuncDecl]*funcNode
+	// in lists the known call sites targeting each node.
+	in map[*funcNode][]callSite
+	// ifaceMethods is the set of method names declared by any interface
+	// type in the module. A method sharing a name with one may be
+	// invoked through that interface, making its visible call-site set
+	// incomplete.
+	ifaceMethods map[string]bool
+}
+
+// funcNode is one declared function or method.
+type funcNode struct {
+	obj  types.Object // the *types.Func behind the declaration
+	decl *ast.FuncDecl
+	pkg  *Package
+	// escapes records that the function's name was used as a value
+	// (assigned, passed, returned) somewhere in the module: it may be
+	// called through that value with arguments the graph cannot see.
+	escapes bool
+
+	flow *localFlow // lazily built local-variable flow, see seedtaint.go
+}
+
+// callSite is one resolved call of callee. caller is nil for calls in
+// package-level initializer expressions. inGo marks a call lexically
+// inside a `go` statement: it runs on another goroutine and therefore
+// does not block the caller.
+type callSite struct {
+	call   *ast.CallExpr
+	caller *funcNode
+	pkg    *Package
+	callee *funcNode
+	inGo   bool
+}
+
+// buildCallGraph constructs the graph over the loaded packages.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		funcs:        map[types.Object]*funcNode{},
+		decls:        map[*ast.FuncDecl]*funcNode{},
+		in:           map[*funcNode][]callSite{},
+		ifaceMethods: map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[fn.Name]
+				if obj == nil {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fn, pkg: pkg}
+				g.funcs[obj] = n
+				g.decls[fn] = n
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if it, ok := n.(*ast.InterfaceType); ok {
+					for _, m := range it.Methods.List {
+						for _, name := range m.Names {
+							g.ifaceMethods[name.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// Idents in callee position are calls; any other use of a
+			// declared function's name makes it escape.
+			called := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id := calleeIdent(call.Fun); id != nil {
+						called[id] = true
+					}
+				}
+				return true
+			})
+			for _, d := range f.Decls {
+				var caller *funcNode
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					caller = g.decls[fd]
+				}
+				var goRanges [][2]token.Pos
+				ast.Inspect(d, func(n ast.Node) bool {
+					if gs, ok := n.(*ast.GoStmt); ok {
+						goRanges = append(goRanges, [2]token.Pos{gs.Pos(), gs.End()})
+					}
+					return true
+				})
+				inGo := func(pos token.Pos) bool {
+					for _, r := range goRanges {
+						if pos >= r[0] && pos < r[1] {
+							return true
+						}
+					}
+					return false
+				}
+				ast.Inspect(d, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						id := calleeIdent(n.Fun)
+						if id == nil {
+							return true
+						}
+						callee := g.funcs[pkg.Info.Uses[id]]
+						if callee == nil {
+							return true
+						}
+						g.in[callee] = append(g.in[callee],
+							callSite{call: n, caller: caller, pkg: pkg, callee: callee, inGo: inGo(n.Pos())})
+					case *ast.Ident:
+						if called[n] {
+							return true
+						}
+						if fn := g.funcs[pkg.Info.Uses[n]]; fn != nil {
+							fn.escapes = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// calleeIdent unwraps a call's Fun expression to the identifier that
+// names the callee: plain calls, method/package-qualified calls, and
+// explicitly instantiated generics.
+func calleeIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.ParenExpr:
+		return calleeIdent(e.X)
+	case *ast.IndexExpr:
+		return calleeIdent(e.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(e.X)
+	}
+	return nil
+}
+
+// provable reports whether fn's visible call sites are its complete
+// call-site set (excluding test files, which are outside the lint
+// contract by design). That requires the module to be the only
+// possible caller — the function lives under internal/ or in a main
+// package, or is unexported — and the function to be called only by
+// name: no escapes, no interface dispatch, and a body to analyze.
+func (g *callGraph) provable(fn *funcNode) bool {
+	if fn.escapes || fn.decl.Body == nil {
+		return false
+	}
+	if fn.decl.Recv != nil && g.ifaceMethods[fn.decl.Name.Name] {
+		return false // may be dispatched through an interface
+	}
+	if !fn.decl.Name.IsExported() {
+		return true
+	}
+	if fn.pkg.Rel == "internal" || inDirPrefix(fn.pkg.Rel, "internal") {
+		return true
+	}
+	return fn.pkg.Types != nil && fn.pkg.Types.Name() == "main"
+}
+
+func inDirPrefix(rel, dir string) bool {
+	return rel == dir || len(rel) > len(dir) && rel[:len(dir)] == dir && rel[len(dir)] == '/'
+}
+
+// paramObjs returns the declared parameter objects of fn, flattened in
+// order (the receiver is not included).
+func paramObjs(fn *funcNode) []types.Object {
+	var out []types.Object
+	if fn.decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.decl.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, fn.pkg.Info.Defs[name])
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter: nothing can flow through it
+		}
+	}
+	return out
+}
+
+// variadic reports whether fn's last parameter is variadic.
+func variadic(fn *funcNode) bool {
+	params := fn.decl.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	_, ok := params.List[len(params.List)-1].Type.(*ast.Ellipsis)
+	return ok
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"regexp"
 	"strings"
 )
 
@@ -16,6 +17,9 @@ type directive struct {
 	// malformed carries a parse problem ("" when well-formed); the
 	// runner reports it under the "ignore" pseudo-check.
 	malformed string
+	// fix, when non-nil, mechanically repairs the malformed directive
+	// (currently: prefix normalization for near-miss spellings).
+	fix *Fix
 }
 
 // ignoreCheck is the pseudo-check name used for problems with the
@@ -25,6 +29,12 @@ type directive struct {
 const ignoreCheck = "ignore"
 
 const directivePrefix = "//lint:ignore"
+
+// nearMissPrefix matches misspellings of the directive prefix —
+// "// lint:ignore", "//lint: ignore", "//Lint:Ignore" — which Go
+// treats as ordinary comments, so the suppression silently does
+// nothing. They are reported as malformed, with a normalization fix.
+var nearMissPrefix = regexp.MustCompile(`(?i)^//\s*lint\s*:\s*ignore\b`)
 
 // parseDirectives extracts every //lint:ignore directive from the
 // package's sources. known maps valid check names (nil disables the
@@ -37,6 +47,22 @@ func parseDirectives(pkg *Package, known map[string]bool) []*directive {
 			for _, c := range group.List {
 				text, ok := strings.CutPrefix(c.Text, directivePrefix)
 				if !ok {
+					loc := nearMissPrefix.FindStringIndex(c.Text)
+					if loc == nil {
+						continue
+					}
+					at := pkg.fset.Position(c.Slash)
+					out = append(out, &directive{
+						pos:       at,
+						malformed: "spelled " + quote(c.Text[:loc[1]]) + "; the exact form //lint:ignore is required (anything else suppresses nothing)",
+						fix: &Fix{
+							Description: "normalize the directive prefix to //lint:ignore",
+							Edits: []TextEdit{{
+								File: at.Filename, Start: at.Offset, End: at.Offset + loc[1],
+								New: directivePrefix,
+							}},
+						},
+					})
 					continue
 				}
 				d := &directive{pos: pkg.fset.Position(c.Slash)}
@@ -92,6 +118,7 @@ func applyDirectives(findings []Finding, dirs []*directive, reportUnused bool) [
 				File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
 				Check:   ignoreCheck,
 				Message: "malformed //lint:ignore directive: " + d.malformed,
+				Fix:     d.fix,
 			})
 		case !d.used && reportUnused:
 			out = append(out, Finding{

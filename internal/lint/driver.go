@@ -12,14 +12,24 @@ import (
 // a one-line shim and tests can run the whole CLI in-process. It lints
 // the requested packages and returns the process exit code: 0 clean,
 // 1 findings, 2 usage or load failure.
+//
+// -fix applies the mechanical suggested fixes (floateq rewrites,
+// directive normalization) and re-lints the patched tree, so the exit
+// code and output reflect what remains. -baseline filters findings
+// through a frozen ratchet file; -write-baseline refreezes it.
+// -artifact writes the versioned machine-readable record of the run.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sensorlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	rootFlag := fs.String("root", ".", "module root directory (must contain go.mod)")
+	fixFlag := fs.Bool("fix", false, "apply mechanical suggested fixes, then re-lint")
+	baselineFlag := fs.String("baseline", "", "ratchet file: frozen findings are absorbed, new code must be clean")
+	writeBaseline := fs.Bool("write-baseline", false, "refreeze -baseline to the current findings and exit 0")
+	artifactFlag := fs.String("artifact", "", "write the versioned findings artifact (JSON) to this path")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: sensorlint [-json] [-checks c1,c2] [-root dir] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: sensorlint [-json] [-checks c1,c2] [-root dir] [-fix] [-baseline file [-write-baseline]] [-artifact file] [packages]\n\n"+
 			"Packages are module-root-relative patterns (default ./...). Checks:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
@@ -27,6 +37,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselineFlag == "" {
+		fmt.Fprintln(stderr, "sensorlint: -write-baseline needs -baseline to name the file")
 		return 2
 	}
 
@@ -49,36 +63,90 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fullSet = len(analyzers) == len(Analyzers())
 	}
 
-	loader, err := NewLoader(*rootFlag)
+	run := func() ([]Finding, int, string, error) {
+		loader, err := NewLoader(*rootFlag)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		pkgs, err := loader.LoadAll(fs.Args())
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return Lint(pkgs, analyzers, fullSet), len(pkgs), loader.Root, nil
+	}
+
+	findings, npkgs, root, err := run()
 	if err != nil {
 		fmt.Fprintf(stderr, "sensorlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.LoadAll(fs.Args())
-	if err != nil {
-		fmt.Fprintf(stderr, "sensorlint: %v\n", err)
-		return 2
+
+	fixed := 0
+	if *fixFlag {
+		var errs []error
+		fixed, errs = ApplyFixes(findings)
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "sensorlint: %v\n", e)
+		}
+		if fixed > 0 {
+			fmt.Fprintf(stderr, "sensorlint: fixed %d finding(s); re-linting\n", fixed)
+			if findings, npkgs, root, err = run(); err != nil {
+				fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+				return 2
+			}
+		}
 	}
-	findings := RelativeTo(Lint(pkgs, analyzers, fullSet), loader.Root)
+	findings = RelativeTo(findings, root)
+
+	if *writeBaseline {
+		if err := WriteBaseline(*baselineFlag, findings); err != nil {
+			fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sensorlint: froze %d finding(s) into %s\n", len(findings), *baselineFlag)
+		return 0
+	}
+
+	absorbed := 0
+	fresh := findings
+	if *baselineFlag != "" {
+		baseline, err := LoadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+			return 2
+		}
+		fresh, absorbed = FilterBaseline(findings, baseline)
+	}
+
+	if *artifactFlag != "" {
+		if err := WriteArtifact(*artifactFlag, analyzers, npkgs, findings, absorbed, fixed); err != nil {
+			fmt.Fprintf(stderr, "sensorlint: %v\n", err)
+			return 2
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []Finding{}
+		if fresh == nil {
+			fresh = []Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(fresh); err != nil {
 			fmt.Fprintf(stderr, "sensorlint: %v\n", err)
 			return 2
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range fresh {
 			fmt.Fprintln(stdout, f)
 		}
 	}
-	if len(findings) > 0 {
+	if len(fresh) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "sensorlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+			suffix := ""
+			if absorbed > 0 {
+				suffix = fmt.Sprintf(" (%d more absorbed by the baseline)", absorbed)
+			}
+			fmt.Fprintf(stderr, "sensorlint: %d finding(s) in %d package(s)%s\n", len(fresh), npkgs, suffix)
 		}
 		return 1
 	}

@@ -10,13 +10,22 @@ import (
 
 // TestDriverRepoIsClean is the acceptance gate: the repository must
 // lint clean (every finding fixed or suppressed with a written reason)
-// from PR 2 onward. A failure here is not a test bug — fix or justify
-// the reported line.
+// from PR 2 onward, and the committed ratchet file must stay empty —
+// main carries no baselined debt; the baseline exists for downstream
+// forks and for freezing debt mid-migration, never for parking it.
+// A failure here is not a test bug — fix or justify the reported line.
 func TestDriverRepoIsClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := Main([]string{"-root", filepath.Join("..", "..")}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("sensorlint over the repo: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	baseline, err := LoadBaseline(filepath.Join("..", "..", "sensorlint.baseline"))
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if len(baseline) != 0 {
+		t.Fatalf("main must carry an empty baseline, found %d frozen finding(s)", len(baseline))
 	}
 }
 

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded errors on the paths where a swallowed
+// failure silently corrupts or loses results: cache writes
+// (Cache.Put, IngestResult, storeDisk, os.WriteFile, os.Rename),
+// result encoding (Encode, EncodeResult), and HTTP response writes.
+// A discard is a blank assignment (`_ = c.Put(...)`,
+// `_, _ = w.Write(...)`) or a bare expression statement whose call
+// returns an error by contract. Errors on these paths must be checked
+// or the degradation must be justified with a //lint:ignore reason —
+// PR 5's byte-identity audit traced a shard mismatch to exactly such a
+// swallowed cache-write failure mode.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error on a cache-write, encode, or HTTP-response path",
+	Run:  runErrDrop,
+}
+
+// errDropCallees are the method/function names whose returned error is
+// load-bearing on the guarded paths. The set is deliberately small and
+// specific: generic error-discard linting is go vet's job, this check
+// encodes which drops corrupt *results*.
+var errDropCallees = map[string]string{
+	"Put":          "a cache write",
+	"IngestResult": "result ingestion",
+	"storeDisk":    "a cache disk write",
+	"WriteFile":    "a file write",
+	"Rename":       "a file rename",
+	"Encode":       "result encoding",
+	"EncodeResult": "result encoding",
+}
+
+func runErrDrop(p *Pass) {
+	report := func(pos ast.Node, e ast.Expr) {
+		name, desc := errDropCall(e)
+		if name == "" || !returnsError(p, e) {
+			return
+		}
+		p.Reportf(pos.Pos(), "%s error from %s is dropped; check it or suppress with a reason for the deliberate degrade", desc, name)
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				report(n, n.X)
+			case *ast.AssignStmt:
+				if allBlank(n.Lhs) && len(n.Rhs) == 1 {
+					report(n, n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call may return an error. Calls the
+// checker fully resolved (module-internal callees) are judged by their
+// actual result types — so the void Cache.Put is never flagged — while
+// calls into stubbed stdlib packages (json Encode, os WriteFile) have
+// no type information and are presumed to return one: that is their
+// documented contract, and presuming otherwise would silently disable
+// the check.
+func returnsError(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return true
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errDropCall reports the callee name and path description when e is a
+// call on the guarded list.
+func errDropCall(e ast.Expr) (name, desc string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	var callee string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	case *ast.Ident:
+		callee = fun.Name
+	default:
+		return "", ""
+	}
+	if d, ok := errDropCallees[callee]; ok {
+		return callee, d
+	}
+	return "", ""
+}
+
+// allBlank reports whether every left-hand side is the blank
+// identifier — i.e. the statement exists only to discard results.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}

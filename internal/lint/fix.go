@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by findings to the
+// files on disk and returns how many findings were repaired. Edits are
+// grouped per file and applied in one pass back-to-front so earlier
+// offsets stay valid. Identical edits collapse (several findings in one
+// file may each want the same import insertion); overlapping distinct
+// edits are a conflict, and the whole file is skipped rather than
+// half-patched — rerunning after the first -fix pass converges.
+//
+// Finding file paths must still be absolute (ApplyFixes runs before
+// RelativeTo); edit offsets index the file bytes as the loader saw
+// them, so a file modified since loading fails its length check and is
+// skipped.
+func ApplyFixes(findings []Finding) (fixed int, errs []error) {
+	type edit struct {
+		TextEdit
+		finding int // index into findings, to count repaired findings
+	}
+	perFile := map[string][]edit{}
+	for i, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], edit{e, i})
+		}
+	}
+
+	repaired := map[int]bool{}
+	for _, file := range sortedKeys(perFile) {
+		edits := perFile[file]
+		// Dedupe identical edits, keeping every finding they repair.
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			if edits[i].End != edits[j].End {
+				return edits[i].End < edits[j].End
+			}
+			return edits[i].New < edits[j].New
+		})
+		uniq := edits[:0]
+		for _, e := range edits {
+			if len(uniq) > 0 && uniq[len(uniq)-1].TextEdit == e.TextEdit {
+				repaired[e.finding] = true
+				continue
+			}
+			uniq = append(uniq, e)
+		}
+		edits = uniq
+
+		conflict := false
+		for i := 1; i < len(edits); i++ {
+			if edits[i].Start < edits[i-1].End {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			errs = append(errs, fmt.Errorf("lint: overlapping fixes in %s; rerun after applying the rest", file))
+			continue
+		}
+
+		data, err := os.ReadFile(file)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		bad := false
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(data) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			errs = append(errs, fmt.Errorf("lint: %s changed since loading; rerun to fix it", file))
+			continue
+		}
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			data = append(data[:e.Start], append([]byte(e.New), data[e.End:]...)...)
+			repaired[e.finding] = true
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+	}
+	return len(repaired), errs
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixModule builds a throwaway module around one testdata/fix case:
+// the case's in.go becomes internal/app/subject.go, and a minimal
+// internal/mathx provides the AlmostEqual target the floateq rewrites
+// import. Returns the module root and the subject file path.
+func fixModule(t *testing.T, name string) (root, subject string) {
+	t.Helper()
+	root = t.TempDir()
+	in, err := os.ReadFile(filepath.Join("testdata", "fix", name, "in.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject = filepath.Join(root, "internal", "app", "subject.go")
+	files := map[string][]byte{
+		filepath.Join(root, "go.mod"): []byte("module fixmod\n\ngo 1.22\n"),
+		filepath.Join(root, "internal", "mathx", "eq.go"): []byte(`package mathx
+
+// AlmostEqual stands in for the real epsilon helper so the re-lint
+// pass after -fix can resolve the inserted import from source.
+func AlmostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+`),
+		subject: in,
+	}
+	for path, content := range files {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root, subject
+}
+
+// runFixGolden runs the driver with -fix over one fix case and
+// compares the patched subject file byte-for-byte against the case's
+// fixed.go.golden. The driver must exit 0: the in.go violations are
+// all mechanically fixable, so the re-lint pass after patching has to
+// come up clean.
+func runFixGolden(t *testing.T, name string) {
+	t.Helper()
+	root, subject := fixModule(t, name)
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-root", root, "-fix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sensorlint -fix: exit %d, want 0 (fixed tree must re-lint clean)\nstdout:\n%sstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "re-linting") {
+		t.Fatalf("driver never applied a fix:\n%s", stderr.String())
+	}
+	got, err := os.ReadFile(subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fix", name, "fixed.go.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-fix output diverges from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestFixFloatEq: ==/!= rewrites to mathx.AlmostEqual and math.IsNaN,
+// including the import insertion (two findings wanting the identical
+// import edit must collapse to one).
+func TestFixFloatEq(t *testing.T) { runFixGolden(t, "floateq") }
+
+// TestFixDirective: a "// lint:ignore" near-miss is normalized to the
+// exact prefix, after which the directive actually suppresses its
+// finding and the re-lint pass is clean.
+func TestFixDirective(t *testing.T) { runFixGolden(t, "directive") }
+
+// TestDriverBaselineRatchet exercises the ratchet lifecycle:
+// -write-baseline freezes the current debt, a baselined run absorbs
+// exactly that debt (exit 0, nothing printed), and new findings are
+// still reported because they match no frozen entry.
+func TestDriverBaselineRatchet(t *testing.T) {
+	root := smokeModule(t)
+	bl := filepath.Join(root, "sensorlint.baseline")
+
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-root", root, "-baseline", bl, "-write-baseline"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit %d\n%s", code, stderr.String())
+	}
+
+	art := filepath.Join(root, "artifact.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"-root", root, "-baseline", bl, "-artifact", art}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("baselined run still printed findings:\n%s", stdout.String())
+	}
+	var a Artifact
+	if data, err := os.ReadFile(art); err != nil {
+		t.Fatal(err)
+	} else if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Baselined != 2 || len(a.Findings) != 2 {
+		t.Fatalf("artifact must record the absorbed debt: baselined=%d findings=%d, want 2/2", a.Baselined, len(a.Findings))
+	}
+
+	fresh := filepath.Join(root, "internal", "foo", "fresh.go")
+	content := "package foo\n\nimport \"time\"\n\nfunc Fresh() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(fresh, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"-root", root, "-baseline", bl, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new debt must not be absorbed: exit %d, want 1\n%s", code, stderr.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Check != "nodeterm" ||
+		findings[0].File != filepath.Join("internal", "foo", "fresh.go") {
+		t.Fatalf("want exactly the fresh nodeterm finding, got:\n%s", stdout.String())
+	}
+}
+
+// TestDriverArtifact checks the versioned findings artifact: schema
+// tag, the full check table, and the finding/counter fields.
+func TestDriverArtifact(t *testing.T) {
+	root := smokeModule(t)
+	art := filepath.Join(root, "artifact.json")
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-root", root, "-artifact", art, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if a.Schema != ArtifactSchema {
+		t.Fatalf("schema %q, want %q", a.Schema, ArtifactSchema)
+	}
+	analyzers := Analyzers()
+	if len(a.Checks) != len(analyzers) {
+		t.Fatalf("artifact lists %d checks, want %d", len(a.Checks), len(analyzers))
+	}
+	for i, c := range a.Checks {
+		if c.Name != analyzers[i].Name || c.Doc == "" {
+			t.Fatalf("check %d = %+v, want %q with its doc line", i, c, analyzers[i].Name)
+		}
+	}
+	if a.Packages != 1 || len(a.Findings) != 2 || a.Baselined != 0 || a.Fixed != 0 {
+		t.Fatalf("artifact counters off: packages=%d findings=%d baselined=%d fixed=%d",
+			a.Packages, len(a.Findings), a.Baselined, a.Fixed)
+	}
+	for _, f := range a.Findings {
+		if f.File == "" || f.Line <= 0 || f.Check == "" || f.Message == "" {
+			t.Fatalf("malformed artifact finding: %+v", f)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // FloatEq flags == and != between floating-point operands. The
@@ -38,13 +39,105 @@ func runFloatEq(p *Pass) {
 				return true
 			}
 			if render(p.Fset, b.X) == render(p.Fset, b.Y) {
-				p.Reportf(b.Pos(), "x %s x on floats is a NaN test in disguise; say math.IsNaN explicitly", b.Op)
+				p.ReportFix(b.Pos(), floatEqFix(p, b),
+					"x %s x on floats is a NaN test in disguise; say math.IsNaN explicitly", b.Op)
 				return true
 			}
-			p.Reportf(b.Pos(), "exact %s on floating-point values compares rounding accidents; use an epsilon (internal/mathx) or restructure", b.Op)
+			p.ReportFix(b.Pos(), floatEqFix(p, b),
+				"exact %s on floating-point values compares rounding accidents; use an epsilon (internal/mathx) or restructure", b.Op)
 			return true
 		})
 	}
+}
+
+// floatEqFix builds the mechanical repair for one flagged comparison:
+// a self-compare becomes math.IsNaN (negated for ==), anything else
+// becomes mathx.AlmostEqual (negated for !=). The fix carries an
+// import-insertion edit when the file lacks the needed import; a file
+// with no parenthesized import block gets no fix rather than a broken
+// one.
+func floatEqFix(p *Pass, b *ast.BinaryExpr) *Fix {
+	x, y := render(p.Fset, b.X), render(p.Fset, b.Y)
+	if x == "" || y == "" {
+		return nil
+	}
+	var repl, desc, path string
+	self := x == y
+	if self {
+		path = "math"
+		desc = "replace float self-comparison with math.IsNaN"
+	} else {
+		path = mathxPath(p.Pkg)
+		desc = "replace exact float comparison with mathx.AlmostEqual"
+	}
+	imp, qual, ok := importEdit(p, b.Pos(), path)
+	if !ok {
+		return nil
+	}
+	if self {
+		repl = qual + ".IsNaN(" + x + ")"
+		if b.Op == token.EQL {
+			repl = "!" + repl
+		}
+	} else {
+		repl = qual + ".AlmostEqual(" + x + ", " + y + ")"
+		if b.Op == token.NEQ {
+			repl = "!" + repl
+		}
+	}
+	start, end := p.Fset.Position(b.Pos()), p.Fset.Position(b.End())
+	fix := &Fix{
+		Description: desc,
+		Edits: []TextEdit{{
+			File: start.Filename, Start: start.Offset, End: end.Offset, New: repl,
+		}},
+	}
+	if imp != nil {
+		fix.Edits = append(fix.Edits, *imp)
+	}
+	return fix
+}
+
+// mathxPath is the module-qualified import path of internal/mathx.
+func mathxPath(pkg *Package) string {
+	mod := pkg.ImportPath
+	if pkg.Rel != "" {
+		mod = strings.TrimSuffix(mod, "/"+pkg.Rel)
+	}
+	return mod + "/internal/mathx"
+}
+
+// importEdit resolves how the file containing pos refers to `path`:
+// already imported (no edit, possibly a renamed qualifier), importable
+// by extending a parenthesized import block (an insertion edit), or
+// not fixable (ok=false: no import block to extend).
+func importEdit(p *Pass, pos token.Pos, path string) (edit *TextEdit, qual string, ok bool) {
+	file := p.Pkg.fileAt(pos)
+	if file == nil {
+		return nil, "", false
+	}
+	base := path[strings.LastIndex(path, "/")+1:]
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return nil, imp.Name.Name, imp.Name.Name != "_" && imp.Name.Name != "."
+		}
+		return nil, base, true
+	}
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() {
+			continue
+		}
+		at := p.Fset.Position(gd.Lparen)
+		return &TextEdit{
+			File: at.Filename, Start: at.Offset + 1, End: at.Offset + 1,
+			New: "\n\t\"" + path + "\"\n",
+		}, base, true
+	}
+	return nil, "", false
 }
 
 func isFloat(t types.Type) bool {

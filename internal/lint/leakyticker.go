@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LeakyTicker flags timer constructions that leak under repetition,
+// aimed at the worker retry/poll loops and the coordinator lease
+// sweep:
+//
+//   - `time.After` inside a for/range loop allocates a timer every
+//     iteration that is not collected until it fires — a steady
+//     garbage stream in a long-lived poll loop. Hoist a time.NewTimer
+//     and Reset it per iteration (stopping it on the other select arm)
+//     or use a time.NewTicker.
+//   - `time.Tick` anywhere: the returned ticker can never be stopped.
+//   - `time.NewTicker`/`time.NewTimer` assigned to a local whose Stop
+//     method is never called in the same function (a `defer t.Stop()`
+//     counts).
+var LeakyTicker = &Analyzer{
+	Name: "leakyticker",
+	Doc:  "time.After in loops, unstoppable time.Tick, and tickers without a Stop",
+	Run:  runLeakyTicker,
+}
+
+func runLeakyTicker(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTimerLeaks(p, fd.Body)
+		}
+	}
+}
+
+func checkTimerLeaks(p *Pass, body *ast.BlockStmt) {
+	// stopped collects every receiver a .Stop() is called on, by
+	// object identity, anywhere in the function (defer included).
+	stopped := map[any]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" || len(call.Args) != 0 {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				stopped[obj] = true
+			}
+		}
+		return true
+	})
+
+	// loopDepth tracks how many enclosing for/range loops surround the
+	// node being visited, via a manual walk.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.FuncLit:
+			// A closure runs on its own schedule: restart the loop
+			// depth at its body rather than inheriting the caller's.
+			walk(n.Body, 0)
+			return
+		case *ast.CallExpr:
+			if _, ok := p.IsPkgCall(n, "time", "Tick"); ok {
+				p.Reportf(n.Pos(), "time.Tick's ticker can never be stopped and leaks; use time.NewTicker with a defer Stop")
+			}
+			if _, ok := p.IsPkgCall(n, "time", "After"); ok && loopDepth > 0 {
+				p.Reportf(n.Pos(), "time.After in a loop allocates an uncollectable timer per iteration; hoist a time.NewTimer and Reset it, or use time.NewTicker")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, ok := p.IsPkgCall(call, "time", "NewTicker", "NewTimer")
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj != nil && !stopped[obj] {
+					p.Reportf(call.Pos(), "time.%s result is never stopped in this function; add a defer %s.Stop()", name, id.Name)
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, loopDepth)
+		}
+	}
+	walk(body, 0)
+}
+
+// childNodes returns n's direct AST children, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true // skip n itself, descend once
+		}
+		out = append(out, c)
+		return false // do not descend past direct children
+	})
+	return out
+}

@@ -28,13 +28,34 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a source position.
+// Finding is one rule violation at a source position. Fix, when
+// non-nil, carries a mechanical suggested repair the driver can apply
+// with -fix. The JSON field set is part of the stable findings schema
+// (see DESIGN.md §12): existing fields never change meaning, new
+// fields are only ever added with omitempty.
 type Finding struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
+	Fix     *Fix   `json:"fix,omitempty"`
+}
+
+// Fix is a mechanical suggested repair: a set of byte-range edits that
+// together implement Description. Edits must not overlap.
+type Fix struct {
+	Description string     `json:"description"`
+	Edits       []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces file bytes [Start, End) with New. Offsets are
+// 0-based byte offsets into the file as loaded.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
 }
 
 func (f Finding) String() string {
@@ -52,17 +73,26 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Pass hands one analyzer one loaded package plus a report sink.
+// Pass hands one analyzer one loaded package plus a report sink. Mod
+// exposes the whole loaded module for the interprocedural analyses
+// (call graph, seed taint); when analyzing a single package it is a
+// one-package module.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	Mod      *Module
 
 	findings *[]Finding
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.findings = append(*p.findings, Finding{
 		File:    position.Filename,
@@ -70,6 +100,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:     position.Column,
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
@@ -89,18 +120,22 @@ func (p *Pass) InDir(rel string) bool {
 // against renamed imports and shadowing) and falls back to the
 // enclosing file's import table when the checker could not resolve the
 // identifier.
-func (p *Pass) ImportedPkg(e ast.Expr) string {
+func (p *Pass) ImportedPkg(e ast.Expr) string { return p.Pkg.importedPkg(e) }
+
+// importedPkg is ImportedPkg at the package level, usable by the
+// module-wide analyses that run without a Pass.
+func (pkg *Package) importedPkg(e ast.Expr) string {
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return ""
 	}
-	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+	if obj, ok := pkg.Info.Uses[id]; ok {
 		if pn, ok := obj.(*types.PkgName); ok {
 			return pn.Imported().Path()
 		}
 		return "" // resolved to something local: shadowed
 	}
-	file := p.Pkg.fileAt(id.Pos())
+	file := pkg.fileAt(id.Pos())
 	if file == nil {
 		return ""
 	}
@@ -120,11 +155,15 @@ func (p *Pass) ImportedPkg(e ast.Expr) string {
 // IsPkgCall reports whether call invokes pkgPath.fn (e.g. "math/rand",
 // "NewSource") through a package qualifier.
 func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath string, fns ...string) (string, bool) {
+	return p.Pkg.isPkgCall(call, pkgPath, fns...)
+}
+
+func (pkg *Package) isPkgCall(call *ast.CallExpr, pkgPath string, fns ...string) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
-	if p.ImportedPkg(sel.X) != pkgPath {
+	if pkg.importedPkg(sel.X) != pkgPath {
 		return "", false
 	}
 	for _, fn := range fns {

@@ -83,6 +83,22 @@ func TestSeedDeriveEngine(t *testing.T) { none(t, SeedDerive, "seedderive_engine
 // exemption.
 func TestSeedDeriveFaults(t *testing.T) { none(t, SeedDerive, "seedderive_faults", "internal/faults") }
 
+// The interprocedural cases: helpers proven safe through their call
+// sites, arithmetic hiding behind one call, escapes and local flow.
+func TestSeedDeriveInterproc(t *testing.T) {
+	one(t, SeedDerive, "seedderive_interproc", "internal/experiments")
+}
+
+func TestCachePut(t *testing.T) { one(t, CachePut, "cacheput", "internal/dist") }
+
+// internal/engine owns the cache layout, so the same writes there are
+// sanctioned.
+func TestCachePutEngineExempt(t *testing.T) { none(t, CachePut, "cacheput", "internal/engine") }
+
+func TestErrDrop(t *testing.T)     { one(t, ErrDrop, "errdrop", "internal/dist") }
+func TestLockHeld(t *testing.T)    { one(t, LockHeld, "lockheld", "internal/dist") }
+func TestLeakyTicker(t *testing.T) { one(t, LeakyTicker, "leakyticker", "internal/dist") }
+
 func TestNoDeterm(t *testing.T)      { one(t, NoDeterm, "nodeterm", "internal/protocol") }
 func TestNoDetermTrace(t *testing.T) { none(t, NoDeterm, "nodeterm_trace", "internal/trace") }
 
@@ -109,6 +125,20 @@ func TestBareGoroutineCmd(t *testing.T) { none(t, BareGoroutine, "baregoroutine_
 // binary package gets no exemption.
 func TestHTTPServer(t *testing.T)   { one(t, HTTPServer, "httpserver", "cmd/experiments") }
 func TestHTTPServerOK(t *testing.T) { none(t, HTTPServer, "httpserver_ok", "cmd/experiments") }
+
+// TestLoaderEdgeCases pins three loader contracts at once: generic
+// code type-checks and lints without crashing, //go:build-tagged files
+// are parsed and linted rather than silently skipped, and _test.go
+// files stay excluded. The golden holds exactly the tagged file's
+// nodeterm finding — nothing from generics.go, nothing from the
+// deliberately dirty excluded_test.go.
+func TestLoaderEdgeCases(t *testing.T) {
+	pkg := loadTestPkg(t, "loader_edge", "internal/loaderedge")
+	if got := len(pkg.Files); got != 2 {
+		t.Fatalf("loaded %d files, want 2 (generics.go + tagged.go; excluded_test.go must stay out)", got)
+	}
+	checkGolden(t, "loader_edge", Lint([]*Package{pkg}, Analyzers(), true))
+}
 
 // TestSuppressDirectives runs the full check set with unused-directive
 // reporting on, exercising both directive placements, the malformed

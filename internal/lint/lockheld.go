@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockHeld flags blocking operations performed while a mutex is held.
+// The coordinator and serve handlers follow a strict discipline —
+// mutate state under the lock, release it, then write the HTTP
+// response — because an Encode to a stalled client would otherwise
+// hold up every heartbeat and lease renewal behind one slow reader.
+// A blocking operation is a channel send/receive, a select without
+// default, time.Sleep, an outbound network call, a write to an
+// http.ResponseWriter, or a call to a module function that
+// (transitively) does one of those; see blocking.go.
+//
+// Two lock shapes are recognized: `mu.Lock()` paired with a later
+// `mu.Unlock()` in the same statement list (the region between them is
+// locked), and `mu.Lock()` followed by `defer mu.Unlock()` (the rest
+// of the function is locked). Receivers are matched textually
+// ("c.mu"), which is exact for the field-on-receiver locks used here.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "blocking operation (network write, channel op, sleep) while holding a mutex",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(p *Pass) {
+	blocking := p.Mod.Blocking()
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockRegions(p, fd.Body.List, map[string]bool{}, blocking)
+		}
+	}
+}
+
+// lockCall matches `key.Lock()` / `key.RLock()` (lock=true) or the
+// corresponding Unlock calls, returning the textual receiver key.
+func lockCall(stmt ast.Stmt) (key string, lock, unlock bool) {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	return lockCallExpr(expr.X)
+}
+
+func lockCallExpr(e ast.Expr) (key string, lock, unlock bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return key, true, false
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// exprKey renders an ident/selector chain ("c.mu") for textual lock
+// matching; other shapes yield "".
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// scanLockRegions walks one statement list tracking which locks are
+// held. Statements executed while any lock is held are inspected for
+// blocking operations; statements outside any region are recursed into
+// to find nested regions.
+func scanLockRegions(p *Pass, stmts []ast.Stmt, held map[string]bool, blocking map[*funcNode]string) {
+	for _, stmt := range stmts {
+		if key, lock, unlock := lockCall(stmt); key != "" {
+			if lock {
+				held[key] = true
+			} else if unlock {
+				delete(held, key)
+			}
+			continue
+		}
+		if def, ok := stmt.(*ast.DeferStmt); ok {
+			if key, _, unlock := lockCallExpr(def.Call); unlock && held[key] {
+				continue // defer mu.Unlock(): region runs to function end
+			}
+		}
+		if len(held) > 0 {
+			reportBlockingIn(p, stmt, held, blocking)
+			continue
+		}
+		// Not locked here: look inside nested statement lists for
+		// their own lock regions.
+		for _, body := range nestedStmtLists(stmt) {
+			scanLockRegions(p, body, map[string]bool{}, blocking)
+		}
+	}
+}
+
+// nestedStmtLists returns the statement lists directly inside stmt.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// reportBlockingIn inspects one statement executed under held locks
+// and reports every blocking operation in it. Goroutine spawns do not
+// block and function literals may run after the lock is released, so
+// both subtrees are skipped.
+func reportBlockingIn(p *Pass, stmt ast.Stmt, held map[string]bool, blocking map[*funcNode]string) {
+	locks := ""
+	for k := range held {
+		if locks == "" || k < locks {
+			locks = k // deterministic: report the lexically first lock
+		}
+	}
+	fn := enclosingNode(p, stmt)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "%s held while sending on a channel; shrink the critical section", locks)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(), "%s held while receiving from a channel; shrink the critical section", locks)
+				return false
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				p.Reportf(n.Pos(), "%s held while blocking in select; shrink the critical section", locks)
+				return false
+			}
+		case *ast.CallExpr:
+			if key, _, unlock := lockCallExpr(n); unlock && held[key] {
+				return false
+			}
+			var rw map[*ast.Ident]bool
+			if fn != nil {
+				rw = respWriterParams(fn)
+			}
+			if fn != nil {
+				if r := blockingCall(fn, n, rw); r != "" {
+					p.Reportf(n.Pos(), "%s held while %s; shrink the critical section", locks, verbPhrase(r))
+					return false
+				}
+			}
+			if id := calleeIdent(n.Fun); id != nil {
+				if callee := p.Mod.Graph().funcs[p.Pkg.Info.Uses[id]]; callee != nil {
+					if r, ok := blocking[callee]; ok {
+						p.Reportf(n.Pos(), "%s held across %s, which %s; unlock before the call",
+							locks, callee.decl.Name.Name, shortReason(r))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// verbPhrase rewrites a baseBlocking reason ("calls time.Sleep") into
+// the progressive form the lockheld message uses ("calling
+// time.Sleep").
+func verbPhrase(r string) string {
+	switch {
+	case len(r) > 6 && r[:6] == "calls ":
+		return "calling " + r[6:]
+	case len(r) > 9 && r[:9] == "performs ":
+		return "performing " + r[9:]
+	case len(r) > 7 && r[:7] == "writes ":
+		return "writing " + r[7:]
+	}
+	return r
+}
+
+// enclosingNode finds the funcNode whose declaration contains stmt.
+func enclosingNode(p *Pass, stmt ast.Stmt) *funcNode {
+	for decl, fn := range p.Mod.Graph().decls {
+		if fn.pkg == p.Pkg && decl.Pos() <= stmt.Pos() && stmt.End() <= decl.End() {
+			return fn
+		}
+	}
+	return nil
+}

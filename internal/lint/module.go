@@ -1,0 +1,44 @@
+package lint
+
+// Module aggregates every loaded package so interprocedural analyses
+// (the call graph, seed taint, blocking propagation) are computed once
+// per run and shared across per-package passes. Lint is
+// single-threaded, so the lazy initialization needs no locking.
+type Module struct {
+	Pkgs []*Package
+
+	graph    *callGraph
+	taint    *seedTaint
+	blocking map[*funcNode]string
+}
+
+// NewModule wraps the loaded packages for cross-package analysis.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// Graph returns the module-local call graph, built on first use.
+func (m *Module) Graph() *callGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m.Pkgs)
+	}
+	return m.graph
+}
+
+// SeedTaint returns the interprocedural seed-taint result, computed on
+// first use.
+func (m *Module) SeedTaint() *seedTaint {
+	if m.taint == nil {
+		m.taint = computeSeedTaint(m.Graph())
+	}
+	return m.taint
+}
+
+// Blocking returns, for every function that (transitively) performs a
+// blocking operation — channel send/receive, select without default,
+// time.Sleep, an outbound network call, or a write to an
+// http.ResponseWriter — a one-phrase reason. Computed on first use.
+func (m *Module) Blocking() map[*funcNode]string {
+	if m.blocking == nil {
+		m.blocking = computeBlocking(m.Graph())
+	}
+	return m.blocking
+}

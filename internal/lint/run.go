@@ -9,7 +9,10 @@ import (
 // "ignore" pseudo-check (problems with suppression directives
 // themselves) is implicit and always on.
 func Analyzers() []*Analyzer {
-	all := []*Analyzer{BareGoroutine, CtxBg, FloatEq, HTTPServer, NoDeterm, SeedDerive}
+	all := []*Analyzer{
+		BareGoroutine, CachePut, CtxBg, ErrDrop, FloatEq, HTTPServer,
+		LeakyTicker, LockHeld, NoDeterm, SeedDerive,
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }
@@ -24,11 +27,12 @@ func Lint(pkgs []*Package, analyzers []*Analyzer, reportUnused bool) []Finding {
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	mod := NewModule(pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
 		var findings []Finding
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.fset, Pkg: pkg, findings: &findings}
+			pass := &Pass{Analyzer: a, Fset: pkg.fset, Pkg: pkg, Mod: mod, findings: &findings}
 			a.Run(pass)
 		}
 		out = append(out, applyDirectives(findings, parseDirectives(pkg, known), reportUnused)...)

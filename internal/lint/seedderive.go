@@ -22,6 +22,18 @@ import (
 //  2. Arithmetic (+ - * / % ^ etc.) on a seed-named operand (`seed`,
 //     `cfg.Seed`, `baseSeed`, ...) is reported wherever it occurs: the
 //     sum of two seeds is not an independent seed.
+//
+// v2 makes rule 1 interprocedural via the module seed-taint analysis
+// (see seedtaint.go). A NewSource argument is silent when *provably*
+// safe: a DeriveSeed call, an integer constant, or a parameter whose
+// complete call-site set passes only safe values — so forwarding
+// helpers called correctly everywhere need no suppression. And a third
+// rule closes the indirection gap rule 1 left open:
+//
+//  3. An arithmetic-derived argument at a call site whose parameter
+//     flows (transitively) into a rand.NewSource is reported at the
+//     call site, even though the NewSource itself hides inside a
+//     helper.
 var SeedDerive = &Analyzer{
 	Name: "seedderive",
 	Doc:  "ad-hoc seed arithmetic and raw rand.NewSource outside internal/engine; use engine.DeriveSeed",
@@ -32,58 +44,56 @@ func runSeedDerive(p *Pass) {
 	if p.Rel() == "internal/engine" {
 		return
 	}
+	taint := p.Mod.SeedTaint()
 	for _, f := range p.Pkg.Files {
-		// flaggedArgs tracks arguments of already-reported NewSource
-		// calls so rule 2 does not report the same expression twice.
-		flaggedArgs := map[ast.Node]bool{}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if _, ok := p.IsPkgCall(n, "math/rand", "NewSource"); !ok {
-					return true
-				}
-				if len(n.Args) == 1 && derivedSeedArg(p, n.Args[0]) {
-					return true // stream seed minted by engine.DeriveSeed
-				}
-				if len(n.Args) == 1 && containsArith(n.Args[0]) {
-					flaggedArgs[n.Args[0]] = true
-					p.Reportf(n.Pos(), "seed derived by inline arithmetic collides across nearby parameters; derive it with engine.DeriveSeed(base, parts...)")
-				} else {
-					p.Reportf(n.Pos(), "raw rand.NewSource outside internal/engine: derive per-stream seeds with engine.DeriveSeed, or suppress if this seeds the root RNG from a caller-provided seed")
-				}
-			case *ast.BinaryExpr:
-				if !arithOp(n.Op) || !mentionsSeed(n) {
-					return true
-				}
-				for arg := range flaggedArgs {
-					if n.Pos() >= arg.Pos() && n.End() <= arg.End() {
-						return false
+		for _, d := range f.Decls {
+			decl, _ := d.(*ast.FuncDecl) // nil in package-level initializers
+			// flaggedArgs tracks expressions already reported by rule 1
+			// or rule 3 so rule 2 does not report inside them again.
+			flaggedArgs := map[ast.Node]bool{}
+			ast.Inspect(d, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if _, ok := p.IsPkgCall(n, "math/rand", "NewSource"); ok {
+						if len(n.Args) == 1 && taint.Safe(p.Pkg, decl, n.Args[0]) {
+							return true // provably a derived, constant, or proven-safe seed
+						}
+						if len(n.Args) == 1 && containsArith(n.Args[0]) {
+							flaggedArgs[n.Args[0]] = true
+							p.Reportf(n.Pos(), "seed derived by inline arithmetic collides across nearby parameters; derive it with engine.DeriveSeed(base, parts...)")
+						} else {
+							p.Reportf(n.Pos(), "raw rand.NewSource outside internal/engine: derive per-stream seeds with engine.DeriveSeed, or suppress if this seeds the root RNG from a caller-provided seed")
+						}
+						return true
 					}
+					// Rule 3: arithmetic flowing into a parameter that
+					// reaches a NewSource inside the callee. Seed-named
+					// operands are left to rule 2 (one report, not two).
+					for i, arg := range n.Args {
+						if !containsArith(arg) || mentionsSeed(arg) {
+							continue
+						}
+						if callee, ok := taint.SinkParam(p.Pkg, n, i); ok {
+							flaggedArgs[arg] = true
+							p.Reportf(arg.Pos(), "arithmetic-derived value seeds rand.NewSource inside %s; derive it with engine.DeriveSeed(base, parts...)", callee)
+						}
+					}
+				case *ast.BinaryExpr:
+					if !arithOp(n.Op) || !mentionsSeed(n) {
+						return true
+					}
+					for arg := range flaggedArgs {
+						if n.Pos() >= arg.Pos() && n.End() <= arg.End() {
+							return false
+						}
+					}
+					p.Reportf(n.Pos(), "arithmetic on a seed yields correlated or colliding streams; derive child seeds with engine.DeriveSeed(base, parts...)")
+					return false // one report per expression tree
 				}
-				p.Reportf(n.Pos(), "arithmetic on a seed yields correlated or colliding streams; derive child seeds with engine.DeriveSeed(base, parts...)")
-				return false // one report per expression tree
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
-}
-
-// derivedSeedArg reports whether e is a direct engine.DeriveSeed(...)
-// call: collision-resistant by construction, so a rand.NewSource
-// wrapped around it needs no suppression. The check keys off the
-// resolved import path, not the qualifier spelling, so renamed imports
-// neither defeat nor spoof it.
-func derivedSeedArg(p *Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "DeriveSeed" {
-		return false
-	}
-	path := p.ImportedPkg(sel.X)
-	return path == "internal/engine" || strings.HasSuffix(path, "/internal/engine")
 }
 
 func arithOp(op token.Token) bool {

@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// seedTaint is the interprocedural seed analysis behind seedderive v2.
+// It answers two questions the intraprocedural pass cannot:
+//
+//  1. Is this rand.NewSource argument *provably* a safe seed — an
+//     engine.DeriveSeed result, an integer constant, or a parameter
+//     that only ever receives such values at its (complete) call-site
+//     set? Provably safe sources need neither a finding nor a
+//     suppression, so forwarding helpers like
+//
+//     func seededRand(seed int64) *rand.Rand {
+//     return rand.New(rand.NewSource(seed))
+//     }
+//
+//     are blessed when every caller passes engine.DeriveSeed(...).
+//
+//  2. Which parameters are seed sinks — values that flow (possibly
+//     through further calls) into a rand.NewSource — so a call site
+//     passing an arithmetic-derived value to one can be flagged even
+//     though the NewSource hides behind indirection?
+//
+// The lattice per parameter is two-point: safe (top, optimistic start)
+// or tainted. A greatest-fixpoint sweep marks a parameter tainted when
+// any visible call site passes a non-safe expression, when the
+// function's call-site set is incomplete (exported outside internal/,
+// escaping as a value, interface-dispatchable method), or when it has
+// no visible call sites at all — a helper nobody calls must not be
+// blessed on zero evidence. Local variables transfer safety only
+// through plain single-value assignments; compound assignment,
+// increment/decrement, and address-taking all taint, so the sequential
+// `seed++` ladders rule 2 polices cannot sneak through a local.
+type seedTaint struct {
+	g       *callGraph
+	tainted map[types.Object]bool // parameters that may carry an unproven seed
+	sink    map[types.Object]bool // parameters that reach a rand.NewSource
+}
+
+// computeSeedTaint runs both fixpoints over the call graph.
+func computeSeedTaint(g *callGraph) *seedTaint {
+	t := &seedTaint{g: g, tainted: map[types.Object]bool{}, sink: map[types.Object]bool{}}
+
+	// Initialization: parameters are safe only when the call-site set
+	// is complete and non-empty; variadic tails are never tracked.
+	for _, fn := range g.funcs {
+		params := paramObjs(fn)
+		complete := g.provable(fn) && len(g.in[fn]) > 0
+		for i, p := range params {
+			if p == nil {
+				continue
+			}
+			if !complete || (variadic(fn) && i == len(params)-1) {
+				t.tainted[p] = true
+			}
+		}
+	}
+
+	// Greatest fixpoint: one sweep can only add taint, so iteration
+	// terminates.
+	for changed := true; changed; {
+		changed = false
+		for fn, sites := range g.in {
+			params := paramObjs(fn)
+			for _, cs := range sites {
+				if t.taintCallSite(cs, fn, params) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	t.computeSinks()
+	return t
+}
+
+// taintCallSite marks parameters of fn tainted by one call site,
+// reporting whether anything changed.
+func (t *seedTaint) taintCallSite(cs callSite, fn *funcNode, params []types.Object) bool {
+	args := cs.call.Args
+	changed := false
+	mark := func(p types.Object) {
+		if p != nil && !t.tainted[p] {
+			t.tainted[p] = true
+			changed = true
+		}
+	}
+	if len(args) != len(params) || cs.call.Ellipsis != token.NoPos {
+		// Arity mismatch (variadic spread, multi-value forwarding):
+		// nothing maps positionally, so trust nothing.
+		for _, p := range params {
+			mark(p)
+		}
+		return changed
+	}
+	for i, arg := range args {
+		p := params[i]
+		if p == nil || t.tainted[p] {
+			continue
+		}
+		if !t.safeExpr(arg, cs.caller, cs.pkg, map[types.Object]bool{}) {
+			mark(p)
+		}
+	}
+	return changed
+}
+
+// safeExpr reports whether e is a provably safe seed expression inside
+// caller (nil for package-level contexts). seen guards local-variable
+// cycles; an assignment cycle resolves optimistically, consistent with
+// the greatest fixpoint.
+func (t *seedTaint) safeExpr(e ast.Expr, caller *funcNode, pkg *Package, seen map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.safeExpr(e.X, caller, pkg, seen)
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return t.safeExpr(e.X, caller, pkg, seen)
+		}
+		return false
+	case *ast.CallExpr:
+		if isDeriveSeedCall(pkg, e) {
+			return true
+		}
+		// A pure type conversion is transparent: int64(x) is as safe
+		// as x.
+		if len(e.Args) == 1 {
+			if id := calleeIdent(e.Fun); id != nil {
+				if _, isType := pkg.Info.Uses[id].(*types.TypeName); isType {
+					return t.safeExpr(e.Args[0], caller, pkg, seen)
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		if caller == nil {
+			return false
+		}
+		if isParamOf(caller, obj) {
+			return !t.tainted[obj]
+		}
+		// Local variable: safe when every assignment reaching it is.
+		if seen[obj] {
+			return true
+		}
+		lf := caller.localFlow()
+		if lf.bad[obj] {
+			return false
+		}
+		rhs := lf.assigns[obj]
+		if len(rhs) == 0 {
+			return false
+		}
+		seen[obj] = true
+		for _, r := range rhs {
+			if !t.safeExpr(r, caller, pkg, seen) {
+				return false
+			}
+		}
+		delete(seen, obj)
+		return true
+	}
+	return false
+}
+
+// Safe reports whether e, appearing inside the given declaration (nil
+// for package level) of pkg, is a provably safe seed expression.
+func (t *seedTaint) Safe(pkg *Package, decl *ast.FuncDecl, e ast.Expr) bool {
+	var caller *funcNode
+	if decl != nil {
+		caller = t.g.decls[decl]
+	}
+	return t.safeExpr(e, caller, pkg, map[types.Object]bool{})
+}
+
+// SinkParam reports whether the i'th parameter of the function called
+// by call (resolved module-locally) flows into a rand.NewSource. The
+// callee's name is returned for diagnostics.
+func (t *seedTaint) SinkParam(pkg *Package, call *ast.CallExpr, i int) (string, bool) {
+	id := calleeIdent(call.Fun)
+	if id == nil {
+		return "", false
+	}
+	fn := t.g.funcs[pkg.Info.Uses[id]]
+	if fn == nil {
+		return "", false
+	}
+	params := paramObjs(fn)
+	if i >= len(params) || params[i] == nil || len(call.Args) != len(params) {
+		return "", false
+	}
+	return fn.decl.Name.Name, t.sink[params[i]]
+}
+
+// computeSinks marks parameters that (transitively) reach a
+// rand.NewSource argument: directly inside their own function, or by
+// being forwarded into another sink parameter. Monotone fixpoint.
+func (t *seedTaint) computeSinks() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range t.g.funcs {
+			if fn.decl.Body == nil {
+				continue
+			}
+			for _, p := range paramObjs(fn) {
+				if p == nil || t.sink[p] {
+					continue
+				}
+				if t.paramReachesSink(fn, p) {
+					t.sink[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// paramReachesSink reports whether parameter p of fn flows into a
+// NewSource argument or a known sink parameter within fn's body,
+// following plain local assignments.
+func (t *seedTaint) paramReachesSink(fn *funcNode, p types.Object) bool {
+	found := false
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isNewSource := fn.pkg.isPkgCall(call, "math/rand", "NewSource"); isNewSource {
+			for _, arg := range call.Args {
+				if t.exprUses(arg, fn, p, map[types.Object]bool{}) {
+					found = true
+				}
+			}
+			return true
+		}
+		id := calleeIdent(call.Fun)
+		if id == nil {
+			return true
+		}
+		callee := t.g.funcs[fn.pkg.Info.Uses[id]]
+		if callee == nil {
+			return true
+		}
+		params := paramObjs(callee)
+		if len(call.Args) != len(params) {
+			return true
+		}
+		for i, arg := range call.Args {
+			if params[i] != nil && t.sink[params[i]] && t.exprUses(arg, fn, p, map[types.Object]bool{}) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprUses reports whether e mentions object p directly or through a
+// chain of plain local assignments.
+func (t *seedTaint) exprUses(e ast.Expr, fn *funcNode, p types.Object, seen map[types.Object]bool) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fn.pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if obj == p {
+			used = true
+			return false
+		}
+		if _, isVar := obj.(*types.Var); isVar && !seen[obj] {
+			seen[obj] = true
+			for _, rhs := range fn.localFlow().assigns[obj] {
+				if t.exprUses(rhs, fn, p, seen) {
+					used = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// isParamOf reports whether obj is one of fn's declared parameters.
+func isParamOf(fn *funcNode, obj types.Object) bool {
+	for _, p := range paramObjs(fn) {
+		if p != nil && p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeriveSeedCall reports whether e is a direct engine.DeriveSeed
+// call, resolved by import path so renamed imports neither defeat nor
+// spoof it.
+func isDeriveSeedCall(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "DeriveSeed" {
+		return false
+	}
+	path := pkg.importedPkg(sel.X)
+	return path == "internal/engine" || strings.HasSuffix(path, "/internal/engine")
+}
+
+// localFlow records how a function's local variables are assigned:
+// assigns maps a variable to the right-hand sides of its plain
+// assignments, bad marks variables mutated in ways the taint analysis
+// does not model (compound assignment, ++/--, address taken,
+// multi-value unpacking, range assignment).
+type localFlow struct {
+	assigns map[types.Object][]ast.Expr
+	bad     map[types.Object]bool
+}
+
+// localFlow builds (once) the assignment map for fn's body.
+func (fn *funcNode) localFlow() *localFlow {
+	if fn.flow != nil {
+		return fn.flow
+	}
+	lf := &localFlow{assigns: map[types.Object][]ast.Expr{}, bad: map[types.Object]bool{}}
+	fn.flow = lf
+	if fn.decl.Body == nil {
+		return lf
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := fn.pkg.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return fn.pkg.Info.Uses[id]
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			plain := n.Tok == token.ASSIGN || n.Tok == token.DEFINE
+			for i, lhs := range n.Lhs {
+				obj := objOf(lhs)
+				if obj == nil {
+					continue
+				}
+				if !plain || len(n.Lhs) != len(n.Rhs) {
+					lf.bad[obj] = true
+					continue
+				}
+				lf.assigns[obj] = append(lf.assigns[obj], n.Rhs[i])
+			}
+		case *ast.IncDecStmt:
+			if obj := objOf(n.X); obj != nil {
+				lf.bad[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := objOf(n.X); obj != nil {
+					lf.bad[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e != nil {
+					if obj := objOf(e); obj != nil {
+						lf.bad[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return lf
+}

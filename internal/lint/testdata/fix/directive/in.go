@@ -1,0 +1,13 @@
+package fixdemo
+
+import "time"
+
+// The suppression below is a near-miss spelling ("// lint:ignore"),
+// which Go treats as an ordinary comment: it suppresses nothing. -fix
+// normalizes the prefix, after which the directive takes effect and
+// the re-lint pass comes up clean.
+
+func stamp() time.Time {
+	// lint:ignore nodeterm wall-clock decorates log lines only
+	return time.Now()
+}

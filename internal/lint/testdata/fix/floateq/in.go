@@ -1,0 +1,21 @@
+package fixdemo
+
+import (
+	"math"
+)
+
+// Convergence helpers carrying the exact float comparisons -fix must
+// rewrite. The fixed.go.golden file next to this one is the byte-exact
+// expected output after one `sensorlint -fix` pass.
+
+func converged(a, b float64) bool {
+	return a == b
+}
+
+func hasNaN(x float64) bool {
+	return x != x
+}
+
+func distinct(a, b float64) bool {
+	return math.Abs(a-b) > 1 && a != b
+}

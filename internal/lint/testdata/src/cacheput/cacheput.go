@@ -1,0 +1,46 @@
+// Package cacheput is lint testdata: raw file writes aimed at a cache
+// directory from outside internal/engine, and the sanctioned routes
+// that must stay silent.
+package cacheput
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type sink interface {
+	IngestResult(fp string, payload []byte) error
+	Put(fp string, v any, encode func(any) ([]byte, error))
+}
+
+type server struct {
+	cacheDir string
+	out      string
+	s        sink
+}
+
+// Raw writes into cache-named paths bypass fingerprinting.
+func (s *server) bad(fp string, payload []byte) error {
+	if err := os.MkdirAll(s.cacheDir, 0o755); err != nil { // want: os.MkdirAll into the cache directory
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cacheDir, fp+".json"), payload, 0o644) // want: os.WriteFile into the cache directory
+}
+
+func badRename(cachePath string, tmp string) error {
+	return os.Rename(tmp, cachePath) // want: os.Rename into the cache directory
+}
+
+func badCreate(cacheFile string) (*os.File, error) {
+	return os.Create(cacheFile) // want: os.Create into the cache directory
+}
+
+// The sanctioned ingestion routes.
+func (s *server) good(fp string, payload []byte) error {
+	return s.s.IngestResult(fp, payload)
+}
+
+// Writes to non-cache paths are out of scope.
+func (s *server) goodOther(name string, data []byte) error {
+	return os.WriteFile(filepath.Join(s.out, name), data, 0o644)
+}

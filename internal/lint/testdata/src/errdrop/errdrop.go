@@ -1,0 +1,48 @@
+// Package errdrop is lint testdata: discarded errors on the
+// cache-write, encode, and HTTP-response paths, alongside the checked
+// and genuinely void calls that must stay silent.
+package errdrop
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+)
+
+type store struct{}
+
+func (store) Put(fp string, payload []byte) error          { return nil }
+func (store) IngestResult(fp string, payload []byte) error { return nil }
+
+// memCache's Put returns nothing: the checker proves there is no error
+// to drop, so the name match alone must not fire.
+type memCache struct{}
+
+func (memCache) Put(fp string, v any) {}
+
+func drops(w http.ResponseWriter, s store, fp string, payload []byte) {
+	_ = json.NewEncoder(w).Encode(payload)       // want: result encoding error from Encode is dropped
+	json.NewEncoder(w).Encode(payload)           // want: result encoding error from Encode is dropped
+	_ = s.Put(fp, payload)                       // want: a cache write error from Put is dropped
+	s.IngestResult(fp, payload)                  // want: result ingestion error from IngestResult is dropped
+	_ = os.WriteFile("out.json", payload, 0o644) // want: a file write error from WriteFile is dropped
+}
+
+func checked(w http.ResponseWriter, s store, fp string, payload []byte) error {
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		return err
+	}
+	if err := s.Put(fp, payload); err != nil {
+		return err
+	}
+	return os.WriteFile("out.json", payload, 0o644)
+}
+
+func voidPut(m memCache, fp string, payload []byte) {
+	m.Put(fp, payload) // provably returns no error
+}
+
+func justified(s store, fp string, payload []byte) {
+	//lint:ignore errdrop testdata: deliberate best-effort write
+	_ = s.Put(fp, payload)
+}

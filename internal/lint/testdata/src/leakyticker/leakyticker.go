@@ -1,0 +1,84 @@
+// Package leakyticker is lint testdata: timers that leak under
+// repetition — time.After in poll loops, unstoppable time.Tick,
+// never-stopped tickers — and the hoisted-timer idiom that must stay
+// silent.
+package leakyticker
+
+import (
+	"context"
+	"time"
+)
+
+// A timer per iteration, uncollectable until each fires.
+func badAfterLoop(ctx context.Context, poll time.Duration) {
+	for {
+		select {
+		case <-time.After(poll): // want: time.After in a loop
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// The closure body is a loop too, even though the closure itself is not.
+func badAfterClosure(ctx context.Context, poll time.Duration) func() {
+	return func() {
+		for range [8]int{} {
+			<-time.After(poll) // want: time.After in a loop
+		}
+	}
+}
+
+// time.Tick's ticker can never be stopped, loop or not.
+func badTick(poll time.Duration) <-chan time.Time {
+	return time.Tick(poll) // want: time.Tick's ticker can never be stopped
+}
+
+// A ticker constructed and abandoned.
+func badNoStop(ctx context.Context, poll time.Duration) {
+	t := time.NewTicker(poll) // want: time.NewTicker result is never stopped
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// The hoisted reusable timer: one allocation, reset per iteration.
+func goodHoisted(ctx context.Context, poll time.Duration) {
+	t := time.NewTimer(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			t.Reset(poll)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// A ticker with a deferred Stop.
+func goodTicker(ctx context.Context, poll time.Duration) {
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// A single timeout outside any loop is the intended use of time.After.
+func goodSingleAfter(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return false
+	case <-ctx.Done():
+		return true
+	}
+}

@@ -1,0 +1,20 @@
+package loaderedge
+
+// Generic code the loader must type-check without crashing. The
+// explicitly instantiated call in Doubled exercises calleeIdent's
+// IndexExpr unwrapping in the call-graph builder; none of this should
+// produce findings.
+
+type Pair[T any] struct{ A, B T }
+
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+func Doubled(xs []int) []int {
+	return Map[int, int](xs, func(x int) int { return x * 2 })
+}

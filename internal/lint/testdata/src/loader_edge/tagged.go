@@ -1,0 +1,12 @@
+//go:build sensornet_tagged
+
+package loaderedge
+
+import "time"
+
+// Build-tagged files are linted regardless of their constraints: a
+// determinism bug behind a tag is still a bug, and the loader must not
+// silently skip this file. The golden file proves the finding below
+// surfaces.
+
+func TaggedStamp() time.Time { return time.Now() } // want nodeterm

@@ -1,0 +1,65 @@
+// Package lockheld is lint testdata: blocking operations under a held
+// mutex in the shapes the coordinator/serve handlers use, plus the
+// compute-under-lock-write-after pattern that must stay silent.
+package lockheld
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type coord struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// The response is written while the deferred unlock still holds the
+// lock: one stalled client reader blocks every other handler.
+func (c *coord) badDeferred(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state++
+	writeJSON(w, http.StatusOK, c.state) // want: c.mu held while writing the HTTP response
+}
+
+// Blocking operations between a sequential Lock/Unlock pair.
+func (c *coord) badSequential(v int) {
+	c.mu.Lock()
+	c.state = v
+	c.ch <- v                    // want: c.mu held while sending on a channel
+	time.Sleep(time.Millisecond) // want: c.mu held while calling time.Sleep
+	c.mu.Unlock()
+}
+
+// Direct response writes under the lock are as bad as helper calls.
+func (c *coord) badDirect(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.WriteHeader(http.StatusOK) // want: c.mu held while writing the HTTP response
+}
+
+// The sanctioned shape: mutate under the lock, release, then write.
+func (c *coord) good(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.state++
+	s := c.state
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, s)
+}
+
+// Spawning under the lock does not block the spawner.
+func (c *coord) goodSpawn(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = v
+	//lint:ignore baregoroutine testdata: lifecycle is irrelevant to the lockheld case under test
+	go func() { c.ch <- v }()
+}

@@ -1,0 +1,28 @@
+package mathx
+
+import "math"
+
+// Epsilon is the default tolerance for AlmostEqual: generous enough to
+// absorb the rounding drift of the surface sums (thousands of
+// accumulated float64 additions), tight enough that genuinely distinct
+// reachabilities and costs never alias.
+const Epsilon = 1e-9
+
+// AlmostEqual reports whether a and b agree to within Epsilon,
+// relatively for large magnitudes and absolutely near zero. NaN
+// compares unequal to everything, matching ==; infinities are equal
+// only to themselves. This is the comparison the floateq check
+// suggests in place of exact == on floats.
+func AlmostEqual(a, b float64) bool {
+	if a == b {
+		return true // fast path; also handles equal infinities
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= Epsilon {
+		return true
+	}
+	return diff <= Epsilon*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,41 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"zero", 0, 0, true},
+		{"near zero absolute", 0, 1e-12, true},
+		{"tiny drift", 1.0, 1.0 + 1e-12, true},
+		{"relative drift large magnitude", 1e12, 1e12 * (1 + 1e-10), true},
+		{"genuinely different", 0.1, 0.2, false},
+		{"different large", 1e12, 1.001e12, false},
+		{"nan left", math.NaN(), 1, false},
+		{"nan both", math.NaN(), math.NaN(), false},
+		{"inf equal", math.Inf(1), math.Inf(1), true},
+		{"inf opposite", math.Inf(1), math.Inf(-1), false},
+		{"inf vs finite", math.Inf(1), 1e300, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("%s: AlmostEqual(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualSymmetric(t *testing.T) {
+	pairs := [][2]float64{{1, 1 + 1e-12}, {1e12, 1e12 + 1}, {0.1, 0.2}, {0, -1e-12}}
+	for _, p := range pairs {
+		if AlmostEqual(p[0], p[1]) != AlmostEqual(p[1], p[0]) {
+			t.Errorf("AlmostEqual not symmetric for %v", p)
+		}
+	}
+}

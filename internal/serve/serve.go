@@ -75,7 +75,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is already out; nothing to recover
+	//lint:ignore errdrop the status line is already out; nothing to recover, the client sees a truncated body
+	_ = enc.Encode(v)
 }
 
 type errorBody struct {

@@ -9,6 +9,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Machine-readable run records (the sensorlint findings artifact and
+# the fresh bench snapshot the gate compares) are archived side by
+# side under artifacts/, which is gitignored.
+mkdir -p artifacts
+
 echo "== tier 1: go build ./... && go test ./..."
 go build ./...
 go test ./...
@@ -22,11 +27,20 @@ go test -race ./...
 echo "== tier 2: go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
-echo "== tier 2: go run ./cmd/sensorlint ./..."
-go run ./cmd/sensorlint ./...
+echo "== tier 2: go run ./cmd/sensorlint ./... (ratchet + findings artifact)"
+# The committed baseline is empty on main (TestDriverRepoIsClean
+# asserts it); passing it anyway keeps this the one canonical
+# invocation for forks that do carry frozen debt.
+go run ./cmd/sensorlint -baseline sensorlint.baseline \
+    -artifact artifacts/sensorlint.json ./...
 
-echo "== tier 2: bench smoke (hot loop still runs under the bench harness)"
-go test -run=NONE -bench=SimulatorDenseFlooding -benchtime=1x .
+echo "== tier 2: bench regression gate (smoke run vs latest committed BENCH_<n>.json)"
+# A 1x smoke run is noisy on wall-clock, so the gate's ns/op tolerance
+# is loose; allocs/op is nearly deterministic and gated tightly. See
+# internal/bench for the ratios.
+scripts/bench.sh artifacts/bench.json 1x
+latest_bench="$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
+go run ./cmd/benchgate -baseline "$latest_bench" -current artifacts/bench.json
 
 echo "== tier 2: two-process shard + merge smoke (fig4)"
 # Two concurrent shard processes populate one cache directory; the
