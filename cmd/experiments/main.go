@@ -48,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"sensornet/internal/chaos"
 	"sensornet/internal/dist"
 	"sensornet/internal/engine"
 	"sensornet/internal/experiments"
@@ -82,6 +83,9 @@ func main() {
 		distShard = flag.Int("dist-shards", 2, "coordinator queue partitions (nominally the planned worker count)")
 		failAfter = flag.Int("worker-fail-after", 0, "fault injection: worker exits (code 7) holding a lease after completing this many jobs")
 		addrFile  = flag.String("dist-addr-file", "", "coordinator writes its actual listen address here once bound (for :0 listeners in scripts)")
+
+		chaosProfile = flag.String("chaos-profile", "off", "fault injection: wrap the worker's HTTP transport in seed-deterministic chaos (off|mild|hostile); requires -worker")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "root seed for -chaos-profile fault streams; the same seed and profile replay the identical fault schedule")
 
 		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
 		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
@@ -154,10 +158,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -worker-fail-after only applies to -worker")
 		os.Exit(2)
 	}
+	chaosProf, err := chaos.ParseProfile(*chaosProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -chaos-profile:", err)
+		os.Exit(2)
+	}
+	if chaosProf != nil && *workerURL == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -chaos-profile only applies to -worker (the coordinator must stay truthful; proxy it for coordinator-side chaos)")
+		os.Exit(2)
+	}
 
 	var cache *engine.Cache
 	if *cacheDir != "" {
 		cache = engine.NewCache(*cacheDir, experiments.CacheSalt)
+	} else if *workerURL != "" {
+		// A worker always gets at least an in-memory cache: a re-leased
+		// job it already computed (its lease expired, then failed back
+		// over to it) is answered from cache instead of re-executed.
+		cache = engine.NewCache("", experiments.CacheSalt)
 	}
 	eng := engine.New(engine.Config{
 		Workers:   *workers,
@@ -180,7 +198,7 @@ func main() {
 	case *workerURL != "":
 		err = runWorker(ctx, *workerURL, *workerID, eng, distConfig{
 			figure: *figure, pa: pa, ps: ps, deg: deg, skipSim: *skipSim,
-			failAfter: *failAfter,
+			failAfter: *failAfter, chaosProf: chaosProf, chaosSeed: *chaosSeed,
 		}, w)
 	case *serveAddr != "":
 		err = runServe(ctx, *serveAddr, eng, pa, ps)
@@ -283,6 +301,8 @@ type distConfig struct {
 	ttl       time.Duration
 	workers   int
 	failAfter int
+	chaosProf *chaos.Profile
+	chaosSeed int64
 }
 
 func (d distConfig) jobs() ([]engine.Job, error) {
@@ -337,6 +357,28 @@ func runCoordinator(ctx context.Context, addr, addrFile string, cache *engine.Ca
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+		// Graceful drain: stop granting leases, let in-flight heartbeats
+		// and results land, then shut down. Bounded by the lease TTL —
+		// past that every outstanding lease has expired and the drain
+		// resolves by itself.
+		coord.Drain()
+		fmt.Fprintln(os.Stderr, "experiments: interrupt — draining (in-flight leases finish; Ctrl-C again to force)")
+		drainTimer := time.NewTimer(cfg.ttl + 5*time.Second)
+		forceCtx, forceStop := signal.NotifyContext(context.Background(), os.Interrupt)
+		select {
+		case <-coord.Drained():
+			// Same beat as the Done path below: a worker between its
+			// result post and its next lease poll must observe Draining,
+			// not a refused socket.
+			select {
+			case <-time.After(time.Second):
+			case <-forceCtx.Done():
+			}
+		case <-drainTimer.C:
+		case <-forceCtx.Done():
+		}
+		drainTimer.Stop()
+		forceStop()
 	case <-coord.Done():
 		// Give idle pollers a beat to collect their Done response before
 		// the listener refuses new connections.
@@ -350,13 +392,14 @@ func runCoordinator(ctx context.Context, addr, addrFile string, cache *engine.Ca
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}
+
+	s := coord.Stats()
+	fmt.Fprintf(w, "coordinator: %d/%d jobs completed (%d cached at start), %d failed, %d steals, %d leases expired, %d workers, %d ingested, %d duplicates, %d backpressured, %d dup-ingests\n",
+		s.Completed, s.Jobs, s.CachedAtStart, s.Failed, s.Steals, s.Expired, len(s.Workers),
+		s.Ingested, s.Duplicates, s.Backpressured, cache.Stats().IngestDupes)
 	if ctx.Err() != nil {
 		return context.Canceled
 	}
-
-	s := coord.Stats()
-	fmt.Fprintf(w, "coordinator: %d/%d jobs completed (%d cached at start), %d failed, %d steals, %d leases expired, %d workers\n",
-		s.Completed, s.Jobs, s.CachedAtStart, s.Failed, s.Steals, s.Expired, len(s.Workers))
 	if failed := coord.FailedJobs(); len(failed) > 0 {
 		names := make([]string, len(failed))
 		for i, j := range failed {
@@ -384,11 +427,24 @@ func runWorker(ctx context.Context, url, id string, eng *engine.Engine,
 		}
 		id = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	var client *http.Client
+	if cfg.chaosProf != nil {
+		// Seed-deterministic hostile transport between this worker and
+		// the coordinator: same -chaos-seed + -chaos-profile ⇒ the
+		// identical fault schedule, so a flaky-looking run replays.
+		client = &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: chaos.Wrap(nil, cfg.chaosProf, cfg.chaosSeed),
+		}
+		fmt.Fprintf(os.Stderr, "experiments: chaos transport %q enabled (seed %d)\n",
+			cfg.chaosProf.Name, cfg.chaosSeed)
+	}
 	worker, err := dist.NewWorker(dist.WorkerConfig{
 		ID:        id,
 		BaseURL:   url,
 		Engine:    eng,
 		Jobs:      jobs,
+		Client:    client,
 		FailAfter: cfg.failAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)

@@ -1,0 +1,410 @@
+// Package chaos is a seed-deterministic hostile network: an
+// http.RoundTripper wrapper that drops, delays, duplicates, truncates,
+// and bit-corrupts HTTP traffic with per-path rates, every decision
+// drawn from an engine.DeriveSeed stream keyed on (seed, path,
+// per-path sequence number, decision label). The i-th request on a
+// path therefore suffers the exact same faults on every run with the
+// same seed and profile — a chaos run is a replayable experiment, not
+// a dice roll, which is the same philosophy internal/faults applies to
+// the simulated sensor field and the paper applies to its channel
+// models: design against the loss, then prove the output identical
+// anyway.
+//
+// The wrapper sits below the retry layer it is meant to exercise: the
+// dist worker's post loop and the coordinator's idempotent ingest must
+// absorb everything this package throws — dropped requests (the server
+// never saw it), dropped responses (the server DID see it, the
+// acknowledgement died: the classic duplicate-delivery trap),
+// duplicated requests (the server saw it twice), and truncated or
+// bit-flipped bodies in either direction (caught by the protocol's
+// X-Body-Sum checksums and turned into retries).
+//
+// Wrap(base, nil, 0) returns base unchanged — the disabled path adds
+// zero overhead, not even a pointer indirection.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sensornet/internal/engine"
+)
+
+// ErrInjected is the sentinel wrapped by every transport error this
+// package fabricates (dropped requests and dropped responses), so
+// callers can tell injected faults from real network trouble.
+var ErrInjected = errors.New("chaos: injected transport fault")
+
+// Rates are the per-request fault probabilities, each in [0, 1].
+// Truncate and Corrupt are drawn independently for the request and the
+// response direction.
+type Rates struct {
+	// DropRequest is the probability the request never reaches the
+	// server (connection refused / packet lost on the way out).
+	DropRequest float64 `json:"dropRequest"`
+	// DropResponse is the probability the server processes the request
+	// but the reply is lost — the dangerous half: any side effect has
+	// already happened when the client sees the error.
+	DropResponse float64 `json:"dropResponse"`
+	// Duplicate is the probability the request is delivered twice (the
+	// extra copy's response is discarded).
+	Duplicate float64 `json:"duplicate"`
+	// Delay is the probability the request is held before forwarding,
+	// for a uniform duration in (0, MaxDelay].
+	Delay float64 `json:"delay"`
+	// MaxDelay bounds injected delays; <= 0 means 50ms.
+	MaxDelay time.Duration `json:"maxDelay"`
+	// Truncate is the probability a body is cut short mid-stream.
+	Truncate float64 `json:"truncate"`
+	// Corrupt is the probability a single body byte has one bit
+	// flipped.
+	Corrupt float64 `json:"corrupt"`
+}
+
+// zero reports whether every rate is off.
+func (r Rates) zero() bool {
+	return r.DropRequest <= 0 && r.DropResponse <= 0 && r.Duplicate <= 0 &&
+		r.Delay <= 0 && r.Truncate <= 0 && r.Corrupt <= 0
+}
+
+// Profile names a fault mix: default rates plus per-path overrides
+// (keyed by exact URL path, e.g. "/api/result").
+type Profile struct {
+	Name    string
+	Default Rates
+	PerPath map[string]Rates
+}
+
+// rates resolves the effective rates for a path.
+func (p *Profile) rates(path string) Rates {
+	if r, ok := p.PerPath[path]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// Mild is a lightly lossy network: occasional drops and delays, no
+// payload damage. Useful as a first hardening target.
+func Mild() *Profile {
+	return &Profile{
+		Name: "mild",
+		Default: Rates{
+			DropRequest:  0.05,
+			DropResponse: 0.03,
+			Duplicate:    0.03,
+			Delay:        0.15,
+			MaxDelay:     20 * time.Millisecond,
+		},
+	}
+}
+
+// Hostile is the full fault mix the chaos smoke runs under: drops in
+// both directions, duplicated deliveries, injected latency, and body
+// truncation/corruption — with the result path's acknowledgements
+// extra lossy, because a lost result ack is the classic path to a
+// duplicate post.
+func Hostile() *Profile {
+	base := Rates{
+		DropRequest:  0.10,
+		DropResponse: 0.06,
+		Duplicate:    0.08,
+		Delay:        0.25,
+		MaxDelay:     30 * time.Millisecond,
+		Truncate:     0.04,
+		Corrupt:      0.04,
+	}
+	result := base
+	result.DropResponse = 0.15
+	return &Profile{
+		Name:    "hostile",
+		Default: base,
+		PerPath: map[string]Rates{"/api/result": result},
+	}
+}
+
+// ParseProfile resolves a profile by name. "" and "off" mean no chaos
+// (nil profile).
+func ParseProfile(name string) (*Profile, error) {
+	switch name {
+	case "", "off":
+		return nil, nil
+	case "mild":
+		return Mild(), nil
+	case "hostile":
+		return Hostile(), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown profile %q (want off, mild, or hostile)", name)
+	}
+}
+
+// Fault is one recorded chaos decision, in per-path sequence order.
+// The slice of these is the run's fault schedule; two transports with
+// equal (seed, profile) driven through equal request sequences record
+// equal schedules.
+type Fault struct {
+	Path string        `json:"path"`
+	Seq  int           `json:"seq"`  // per-path request ordinal, from 0
+	Kind string        `json:"kind"` // delay|drop-request|duplicate|truncate-request|corrupt-request|drop-response|truncate-response|corrupt-response
+	Dur  time.Duration `json:"dur,omitempty"`
+}
+
+// Transport is the fault-injecting RoundTripper. Construct with New
+// (or Wrap); safe for concurrent use.
+type Transport struct {
+	base    http.RoundTripper
+	profile *Profile
+	seed    int64
+
+	mu     sync.Mutex
+	seq    map[string]int
+	faults []Fault
+}
+
+// New wraps base (nil means http.DefaultTransport) in a chaos
+// transport drawing from the given seed. The profile must be non-nil;
+// use Wrap when "maybe disabled" is the natural call shape.
+func New(base http.RoundTripper, profile *Profile, seed int64) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, profile: profile, seed: seed, seq: map[string]int{}}
+}
+
+// Wrap returns base unchanged when the profile is nil or all-zero —
+// the disabled path short-circuits to the raw transport with zero
+// added work — and a fault-injecting Transport otherwise.
+func Wrap(base http.RoundTripper, profile *Profile, seed int64) http.RoundTripper {
+	if profile == nil || (profile.Default.zero() && len(profile.PerPath) == 0) {
+		if base == nil {
+			return http.DefaultTransport
+		}
+		return base
+	}
+	return New(base, profile, seed)
+}
+
+// Faults snapshots the recorded fault schedule so far.
+func (t *Transport) Faults() []Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Fault, len(t.faults))
+	copy(out, t.faults)
+	return out
+}
+
+// frac maps a decision label onto a uniform [0, 1) draw that is a pure
+// function of (seed, path, seq, label).
+func (t *Transport) frac(path string, seq int, label string) float64 {
+	draw := engine.DeriveSeed(t.seed, "chaos", path, seq, label)
+	return float64(draw) / float64(uint64(1)<<63)
+}
+
+func (t *Transport) record(f Fault) {
+	t.mu.Lock()
+	t.faults = append(t.faults, f)
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper: the request is assigned its
+// per-path ordinal, then every fault decision for this (path, ordinal)
+// is evaluated in a fixed order — delay, drop-request, request
+// mutations, duplicate, forward, drop-response, response mutations.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	path := req.URL.Path
+	t.mu.Lock()
+	seq := t.seq[path]
+	t.seq[path]++
+	t.mu.Unlock()
+	r := t.profile.rates(path)
+
+	if t.frac(path, seq, "delay") < r.Delay {
+		maxDelay := r.MaxDelay
+		if maxDelay <= 0 {
+			maxDelay = 50 * time.Millisecond
+		}
+		d := time.Duration(t.frac(path, seq, "delay-len") * float64(maxDelay))
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		t.record(Fault{Path: path, Seq: seq, Kind: "delay", Dur: d})
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+		timer.Stop()
+	}
+
+	if t.frac(path, seq, "drop-request") < r.DropRequest {
+		t.record(Fault{Path: path, Seq: seq, Kind: "drop-request"})
+		closeBody(req)
+		return nil, fmt.Errorf("chaos: request %s#%d dropped: %w", path, seq, ErrInjected)
+	}
+
+	// Request-body damage needs a replayable body; requests without
+	// GetBody (streaming uploads) pass through unmutated.
+	if req.GetBody != nil {
+		if t.frac(path, seq, "truncate-request") < r.Truncate {
+			cut := t.frac(path, seq, "truncate-request-at")
+			if mutated, ok := mutateRequest(req, func(b []byte) []byte { return truncate(b, cut) }); ok {
+				t.record(Fault{Path: path, Seq: seq, Kind: "truncate-request"})
+				req = mutated
+			}
+		}
+		if t.frac(path, seq, "corrupt-request") < r.Corrupt {
+			at := t.frac(path, seq, "corrupt-request-at")
+			bit := uint(t.frac(path, seq, "corrupt-request-bit") * 8)
+			if mutated, ok := mutateRequest(req, func(b []byte) []byte { return flipBit(b, at, bit) }); ok {
+				t.record(Fault{Path: path, Seq: seq, Kind: "corrupt-request"})
+				req = mutated
+			}
+		}
+		if t.frac(path, seq, "duplicate") < r.Duplicate {
+			t.record(Fault{Path: path, Seq: seq, Kind: "duplicate"})
+			t.sendShadow(req)
+		}
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	if t.frac(path, seq, "drop-response") < r.DropResponse {
+		t.record(Fault{Path: path, Seq: seq, Kind: "drop-response"})
+		drain(resp)
+		return nil, fmt.Errorf("chaos: response %s#%d dropped after the server processed it: %w", path, seq, ErrInjected)
+	}
+	if t.frac(path, seq, "truncate-response") < r.Truncate {
+		cut := t.frac(path, seq, "truncate-response-at")
+		if err := mutateResponse(resp, func(b []byte) []byte { return truncate(b, cut) }); err != nil {
+			return nil, err
+		}
+		t.record(Fault{Path: path, Seq: seq, Kind: "truncate-response"})
+	}
+	if t.frac(path, seq, "corrupt-response") < r.Corrupt {
+		at := t.frac(path, seq, "corrupt-response-at")
+		bit := uint(t.frac(path, seq, "corrupt-response-bit") * 8)
+		if err := mutateResponse(resp, func(b []byte) []byte { return flipBit(b, at, bit) }); err != nil {
+			return nil, err
+		}
+		t.record(Fault{Path: path, Seq: seq, Kind: "corrupt-response"})
+	}
+	return resp, nil
+}
+
+// sendShadow delivers one extra copy of the request and discards the
+// outcome: the server observes a duplicate arrival, the client never
+// learns about it. Failures are swallowed — a lost shadow is
+// indistinguishable from no duplication, which is fine for a fault
+// injector.
+func (t *Transport) sendShadow(req *http.Request) {
+	body, err := req.GetBody()
+	if err != nil {
+		return
+	}
+	shadow := req.Clone(req.Context())
+	shadow.Body = body
+	resp, err := t.base.RoundTrip(shadow)
+	if err != nil {
+		return
+	}
+	drain(resp)
+}
+
+// mutateRequest rewrites the request body through f, returning a clone
+// with a consistent ContentLength and a replayable GetBody.
+func mutateRequest(req *http.Request, f func([]byte) []byte) (*http.Request, bool) {
+	src, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	raw, err := io.ReadAll(src)
+	src.Close()
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	mutated := f(raw)
+	out := req.Clone(req.Context())
+	out.Body = io.NopCloser(bytes.NewReader(mutated))
+	out.ContentLength = int64(len(mutated))
+	out.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(mutated)), nil
+	}
+	return out, true
+}
+
+// mutateResponse buffers the response body, rewrites it through f, and
+// swaps in the damaged copy. Headers (including any body checksum the
+// server set) are left intact — that is the point: the receiver's
+// integrity check must notice.
+func mutateResponse(resp *http.Response, f func([]byte) []byte) error {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		resp.Body = io.NopCloser(bytes.NewReader(nil))
+		return nil
+	}
+	mutated := f(raw)
+	resp.Body = io.NopCloser(bytes.NewReader(mutated))
+	resp.ContentLength = int64(len(mutated))
+	return nil
+}
+
+// truncate cuts b to a strict prefix chosen by cut in [0, 1).
+func truncate(b []byte, cut float64) []byte {
+	n := int(cut * float64(len(b)))
+	if n >= len(b) {
+		n = len(b) - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return b[:n]
+}
+
+// flipBit flips one bit of the byte at relative position at in [0, 1).
+func flipBit(b []byte, at float64, bit uint) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	i := int(at * float64(len(out)))
+	if i >= len(out) {
+		i = len(out) - 1
+	}
+	out[i] ^= 1 << (bit % 8)
+	return out
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// drain discards a response the client will never see (a shadow
+// duplicate's or a dropped one's), reading it out so the underlying
+// connection can be reused.
+func drain(resp *http.Response) {
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		resp.Body.Close()
+		return
+	}
+	resp.Body.Close()
+}

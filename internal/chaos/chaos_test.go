@@ -1,0 +1,332 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer replies with the request body and counts arrivals.
+func echoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		//lint:ignore errdrop test echo server; a failed write surfaces as a client-side read error
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func post(t *testing.T, client *http.Client, url, path, body string) (string, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// TestWrapDisabledIsIdentity pins the zero-overhead-when-disabled
+// contract: a nil or all-zero profile returns the base RoundTripper
+// itself, not a wrapper.
+func TestWrapDisabledIsIdentity(t *testing.T) {
+	base := &http.Transport{}
+	if got := Wrap(base, nil, 42); got != http.RoundTripper(base) {
+		t.Fatal("Wrap(base, nil) did not return base unchanged")
+	}
+	if got := Wrap(base, &Profile{Name: "empty"}, 42); got != http.RoundTripper(base) {
+		t.Fatal("Wrap(base, all-zero profile) did not return base unchanged")
+	}
+	if got := Wrap(nil, nil, 0); got != http.RoundTripper(http.DefaultTransport) {
+		t.Fatal("Wrap(nil, nil) did not return the default transport")
+	}
+	if _, ok := Wrap(base, Hostile(), 42).(*Transport); !ok {
+		t.Fatal("Wrap with a live profile did not return a chaos Transport")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"", "off"} {
+		p, err := ParseProfile(name)
+		if p != nil || err != nil {
+			t.Errorf("ParseProfile(%q) = %v, %v; want nil, nil", name, p, err)
+		}
+	}
+	for _, name := range []string{"mild", "hostile"} {
+		p, err := ParseProfile(name)
+		if err != nil || p == nil || p.Name != name {
+			t.Errorf("ParseProfile(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ParseProfile("apocalyptic"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// driveSequence sends a fixed request sequence through a fresh chaos
+// transport and returns its recorded fault schedule.
+func driveSequence(t *testing.T, url string, seed int64, profile *Profile) []Fault {
+	t.Helper()
+	tr := New(nil, profile, seed)
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	for i := 0; i < 60; i++ {
+		path := "/api/lease"
+		if i%3 == 1 {
+			path = "/api/result"
+		}
+		if i%3 == 2 {
+			path = "/api/heartbeat"
+		}
+		// Outcomes are irrelevant here; only the decision stream is
+		// under test.
+		//lint:ignore errdrop chaos faults are expected failures in this determinism probe
+		_, _ = post(t, client, url, path, `{"worker":"w","n":`+string(rune('0'+i%10))+`}`)
+	}
+	return tr.Faults()
+}
+
+// TestDeterministicSchedule is the replay anchor: same seed, same
+// profile, same request sequence ⇒ identical fault schedule, down to
+// the injected delay durations. A different seed diverges.
+func TestDeterministicSchedule(t *testing.T) {
+	srv, _ := echoServer(t)
+	a := driveSequence(t, srv.URL, 42, Hostile())
+	b := driveSequence(t, srv.URL, 42, Hostile())
+	if len(a) == 0 {
+		t.Fatal("hostile profile injected no faults across 60 requests")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\nvs\n%v", a, b)
+	}
+	kinds := map[string]bool{}
+	for _, f := range a {
+		kinds[f.Kind] = true
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("schedule exercised only %v", kinds)
+	}
+	c := driveSequence(t, srv.URL, 43, Hostile())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// certain returns a profile that applies exactly one fault kind with
+// probability 1.
+func certain(set func(*Rates)) *Profile {
+	var r Rates
+	set(&r)
+	return &Profile{Name: "certain", Default: r}
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.DropRequest = 1 }), 1)}
+	_, err := post(t, client, srv.URL, "/x", "hello")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests, want 0", hits.Load())
+	}
+}
+
+func TestDropResponseAfterServerProcessed(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.DropResponse = 1 }), 1)}
+	_, err := post(t, client, srv.URL, "/x", "hello")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (the side effect happened)", hits.Load())
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.Duplicate = 1 }), 1)}
+	body, err := post(t, client, srv.URL, "/x", "hello")
+	if err != nil || body != "hello" {
+		t.Fatalf("post = %q, %v", body, err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+func TestCorruptResponseSameLengthOneBit(t *testing.T) {
+	srv, _ := echoServer(t)
+	const msg = "the quick brown fox"
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.Corrupt = 1 }), 1)}
+	body, err := post(t, client, srv.URL, "/x", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt fires on both directions (independent draws at rate 1):
+	// the echoed bytes must differ from the original but keep length.
+	if len(body) != len(msg) {
+		t.Fatalf("corrupted body length %d, want %d", len(body), len(msg))
+	}
+	if body == msg {
+		t.Fatal("corrupt rate 1 left the body intact")
+	}
+	diff := 0
+	for i := range msg {
+		if body[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff > 2 {
+		t.Fatalf("%d bytes differ, want at most 2 (one per direction)", diff)
+	}
+}
+
+func TestTruncateShortensBody(t *testing.T) {
+	srv, _ := echoServer(t)
+	const msg = "0123456789abcdef0123456789abcdef"
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.Truncate = 1 }), 7)}
+	body, err := post(t, client, srv.URL, "/x", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) >= len(msg) {
+		t.Fatalf("truncated round trip returned %d bytes, want < %d", len(body), len(msg))
+	}
+	if !strings.HasPrefix(msg, body) {
+		t.Fatalf("truncation is not a prefix: %q", body)
+	}
+}
+
+func TestDelayRecordsDuration(t *testing.T) {
+	srv, _ := echoServer(t)
+	prof := certain(func(r *Rates) { r.Delay = 1; r.MaxDelay = 5 * time.Millisecond })
+	tr := New(nil, prof, 3)
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	if _, err := post(t, client, srv.URL, "/x", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	faults := tr.Faults()
+	if len(faults) != 1 || faults[0].Kind != "delay" || faults[0].Dur <= 0 {
+		t.Fatalf("faults = %v", faults)
+	}
+	if elapsed := time.Since(start); elapsed < faults[0].Dur {
+		t.Fatalf("elapsed %v < recorded delay %v", elapsed, faults[0].Dur)
+	}
+}
+
+// TestPerPathRates: a per-path override applies on that path only.
+func TestPerPathRates(t *testing.T) {
+	srv, hits := echoServer(t)
+	prof := &Profile{
+		Name:    "split",
+		PerPath: map[string]Rates{"/lossy": {DropRequest: 1}},
+	}
+	client := &http.Client{Transport: New(nil, prof, 9)}
+	if _, err := post(t, client, srv.URL, "/lossy", "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("lossy path err = %v", err)
+	}
+	if body, err := post(t, client, srv.URL, "/clean", "x"); err != nil || body != "x" {
+		t.Fatalf("clean path = %q, %v", body, err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestPerPathSequencesIndependent: each path numbers its own requests,
+// so interleaving traffic on other paths cannot shift a path's fault
+// schedule — the property that makes multi-endpoint runs replayable.
+func TestPerPathSequencesIndependent(t *testing.T) {
+	srv, _ := echoServer(t)
+	prof := Hostile()
+
+	solo := New(nil, prof, 11)
+	soloClient := &http.Client{Transport: solo}
+	for i := 0; i < 20; i++ {
+		//lint:ignore errdrop chaos faults are expected failures in this determinism probe
+		_, _ = post(t, soloClient, srv.URL, "/api/result", "payload")
+	}
+
+	mixed := New(nil, prof, 11)
+	mixedClient := &http.Client{Transport: mixed}
+	for i := 0; i < 20; i++ {
+		//lint:ignore errdrop chaos faults are expected failures in this determinism probe
+		_, _ = post(t, mixedClient, srv.URL, "/api/lease", "noise")
+		//lint:ignore errdrop chaos faults are expected failures in this determinism probe
+		_, _ = post(t, mixedClient, srv.URL, "/api/result", "payload")
+	}
+
+	filter := func(fs []Fault) []Fault {
+		var out []Fault
+		for _, f := range fs {
+			if f.Path == "/api/result" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	a, b := filter(solo.Faults()), filter(mixed.Faults())
+	if len(a) == 0 {
+		t.Fatal("no faults on /api/result across 20 hostile requests")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("interleaved traffic shifted the /api/result schedule:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestDamagedBodyKeepsHeaderIntact: corruption touches the body only;
+// a checksum header set by the sender survives to expose it.
+func TestDamagedBodyKeepsHeaderIntact(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Body-Sum", "expected-sum")
+		//lint:ignore errdrop test server; a failed write surfaces client-side
+		_, _ = w.Write([]byte("payload-bytes"))
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: New(nil, certain(func(r *Rates) { r.Corrupt = 1 }), 5)}
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Body-Sum") != "expected-sum" {
+		t.Fatal("corruption damaged the header")
+	}
+	if bytes.Equal(data, []byte("payload-bytes")) {
+		t.Fatal("body not corrupted")
+	}
+}

@@ -1,12 +1,15 @@
 package dist
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -32,6 +35,16 @@ type Config struct {
 	// failures, so a poison job cannot wedge the campaign; defaults
 	// to 3.
 	MaxJobFailures int
+	// IngestBurst bounds how many result payloads the coordinator admits
+	// per IngestWindow before answering 429 + Retry-After; the deferred
+	// worker keeps its lease and retries. Defaults to 256 per second —
+	// far above steady-state for real campaigns, low enough that a
+	// thundering herd of re-posted duplicates cannot monopolise the
+	// coordinator lock.
+	IngestBurst int
+	// IngestWindow is the sliding window IngestBurst is measured over;
+	// defaults to 1s.
+	IngestWindow time.Duration
 	// Now is the coordinator's clock; defaults to time.Now. Tests
 	// inject a fake to drive lease expiry deterministically.
 	Now func() time.Time
@@ -99,7 +112,23 @@ type Coordinator struct {
 
 	total, cached, completed, failed      int
 	steals, expired, requeued, duplicates int
-	ingestErrors                          int
+	ingestErrors, ingested, backpressured int
+
+	// ingestTimes is the sliding backpressure window: admission times of
+	// the most recent ingests, pruned to IngestWindow on every check.
+	ingestTimes []time.Time
+
+	// shardMean tracks an exponential moving average of observed job
+	// runtime per shard (seconds, from lease grant to accepted result),
+	// and shardObs how many samples each mean has absorbed. Stealing
+	// weighs queues by len × mean runtime, so the victim is the shard
+	// with the most outstanding *work*, not merely the most entries.
+	shardMean []float64
+	shardObs  []int
+
+	draining    bool
+	drained     chan struct{}
+	drainedOnce sync.Once
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -126,13 +155,22 @@ func NewCoordinator(cfg Config, jobs []engine.Job) (*Coordinator, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.IngestBurst <= 0 {
+		cfg.IngestBurst = 256
+	}
+	if cfg.IngestWindow <= 0 {
+		cfg.IngestWindow = time.Second
+	}
 	c := &Coordinator{
-		cfg:     cfg,
-		jobs:    map[string]*distJob{},
-		queues:  make([][]string, cfg.Shards),
-		leases:  map[string]*leaseInfo{},
-		workers: map[string]*workerInfo{},
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		jobs:      map[string]*distJob{},
+		queues:    make([][]string, cfg.Shards),
+		leases:    map[string]*leaseInfo{},
+		workers:   map[string]*workerInfo{},
+		shardMean: make([]float64, cfg.Shards),
+		shardObs:  make([]int, cfg.Shards),
+		done:      make(chan struct{}),
+		drained:   make(chan struct{}),
 	}
 	for _, j := range jobs {
 		fp := j.Fingerprint()
@@ -179,6 +217,37 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.
 // down when the campaign finishes.
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
+// Drain moves the coordinator into graceful shutdown: no new leases
+// are granted (workers asking for one see Draining and exit), while
+// in-flight heartbeats and results keep landing normally. Once the
+// last outstanding lease resolves — its result posted, its failure
+// recorded, or its deadline expired — the Drained channel closes.
+// Drain is idempotent and safe from any goroutine (the cmd layer calls
+// it from the signal handler).
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return
+	}
+	c.draining = true
+	c.logf("dist: draining — %d leases in flight, no new leases will be granted", len(c.leases))
+	c.checkDrainedLocked()
+}
+
+// Drained returns a channel closed once Drain was called and every
+// outstanding lease has resolved. It never closes before Drain.
+func (c *Coordinator) Drained() <-chan struct{} { return c.drained }
+
+// checkDrainedLocked closes the drained channel when a drain has been
+// requested and no leases remain in flight. Called wherever the lease
+// table can shrink: results, failures, and expiry sweeps.
+func (c *Coordinator) checkDrainedLocked() {
+	if c.draining && len(c.leases) == 0 {
+		c.drainedOnce.Do(func() { close(c.drained) })
+	}
+}
+
 // Stats snapshots the coordinator's state.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
@@ -194,6 +263,8 @@ func (c *Coordinator) statsLocked() Stats {
 		Leased: len(c.leases),
 		Steals: c.steals, Expired: c.expired, Requeued: c.requeued,
 		Duplicates: c.duplicates, IngestErrors: c.ingestErrors,
+		Ingested: c.ingested, Backpressured: c.backpressured,
+		Draining: c.draining,
 	}
 	for _, q := range c.queues {
 		s.Pending += len(q)
@@ -245,6 +316,8 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 		c.logf("dist: lease %s (%s) on worker %s expired; job re-enqueued on shard %d",
 			id, j.spec.Name, l.worker, j.shard)
 	}
+	// A drain waits only for leases; expiry resolves them too.
+	c.checkDrainedLocked()
 }
 
 // touchWorkerLocked registers a worker on first contact (assigning it
@@ -262,20 +335,29 @@ func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerInfo {
 }
 
 // popLocked takes the next leasable fingerprint for a worker on shard:
-// the front of its own queue, else the tail of the longest other queue
-// (a steal). Stale queue entries — jobs already terminal or re-leased —
-// are dropped lazily.
+// the front of its own queue, else the tail of the queue holding the
+// most outstanding *work* (a steal). Stale queue entries — jobs already
+// terminal or re-leased — are dropped lazily.
 func (c *Coordinator) popLocked(shard int) (fp string, stolen, ok bool) {
 	if fp, ok := c.popQueueLocked(shard, false); ok {
 		return fp, false, true
 	}
-	// Steal from the longest remaining queue's tail: the victim keeps
-	// draining its front, the thief eats the slack from the other end.
+	// Steal from the victim queue's tail: the victim keeps draining its
+	// front, the thief eats the slack from the other end. The victim is
+	// the shard whose remaining work — queue length weighted by observed
+	// per-job runtime — is largest, so a short queue of slow jobs
+	// outranks a long queue of fast ones. With no runtime samples yet
+	// every shard weighs 1.0 per entry and this degrades to
+	// longest-queue, the pre-deadline-aware policy.
 	for {
-		victim, max := -1, 0
+		victim, best := -1, 0.0
 		for i, q := range c.queues {
-			if i != shard && len(q) > max {
-				victim, max = i, len(q)
+			if i == shard || len(q) == 0 {
+				continue
+			}
+			est := float64(len(q)) * c.meanRuntimeLocked(i)
+			if victim < 0 || est > best {
+				victim, best = i, est
 			}
 		}
 		if victim < 0 {
@@ -285,6 +367,44 @@ func (c *Coordinator) popLocked(shard int) (fp string, stolen, ok bool) {
 			return fp, true, true
 		}
 	}
+}
+
+// meanRuntimeLocked estimates one job's runtime on a shard, in
+// seconds: the shard's own EWMA when it has samples, else the mean
+// over shards that do, else 1.0 (any constant works — with no samples
+// anywhere the weights cancel and victim selection is queue length).
+func (c *Coordinator) meanRuntimeLocked(shard int) float64 {
+	if c.shardObs[shard] > 0 {
+		return c.shardMean[shard]
+	}
+	sum, n := 0.0, 0
+	for i, obs := range c.shardObs {
+		if obs > 0 {
+			sum += c.shardMean[i]
+			n++
+		}
+	}
+	if n > 0 {
+		return sum / float64(n)
+	}
+	return 1.0
+}
+
+// observeRuntimeLocked folds one completed lease's wall time into its
+// shard's runtime EWMA (α = 0.3: recent jobs dominate, one outlier
+// does not).
+func (c *Coordinator) observeRuntimeLocked(shard int, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	sec := d.Seconds()
+	if c.shardObs[shard] == 0 {
+		c.shardMean[shard] = sec
+	} else {
+		const alpha = 0.3
+		c.shardMean[shard] = alpha*sec + (1-alpha)*c.shardMean[shard]
+	}
+	c.shardObs[shard]++
 }
 
 func (c *Coordinator) popQueueLocked(shard int, fromTail bool) (string, bool) {
@@ -305,10 +425,36 @@ func (c *Coordinator) popQueueLocked(shard int, fromTail bool) (string, bool) {
 	return "", false
 }
 
+// nextExpiryHintLocked computes how long an idle worker should wait
+// before asking again, from the age of the outstanding leases: the
+// time until the soonest deadline, clamped to [50ms, LeaseTTL/4].
+func (c *Coordinator) nextExpiryHintLocked(now time.Time) time.Duration {
+	hint := c.cfg.LeaseTTL / 4
+	for _, l := range c.leases {
+		if until := l.deadline.Sub(now); until < hint {
+			hint = until
+		}
+	}
+	if hint < 50*time.Millisecond {
+		hint = 50 * time.Millisecond
+	}
+	return hint
+}
+
 func (c *Coordinator) checkDoneLocked() {
 	if c.completed+c.failed == c.total {
 		c.doneOnce.Do(func() { close(c.done) })
 	}
+}
+
+// ackLocked stamps a result acknowledgment with the coordinator's
+// terminal state. The worker whose post completes the campaign (or
+// resolves the last draining lease) learns it from this very response
+// — one lease poll later the server may already be gone.
+func (c *Coordinator) ackLocked(r ResultResponse) ResultResponse {
+	r.Done = c.completed+c.failed == c.total
+	r.Draining = c.draining
+	return r
 }
 
 func (c *Coordinator) recordSpan(l *leaseInfo, name string, shard int, now time.Time, failed bool) {
@@ -323,19 +469,45 @@ func (c *Coordinator) recordSpan(l *leaseInfo, name string, shard int, now time.
 
 // --- HTTP handlers ---
 
+// bodySum computes the hex sha256 carried in HeaderBodySum.
+func bodySum(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeJSON marshals the response up front so its checksum can travel
+// in HeaderBodySum — a client seeing a mismatched sum knows the bytes
+// were damaged in transit and retries rather than acting on them.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the protocol's plain structs; fail loud rather
+		// than emit an unverifiable body.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderBodySum, bodySum(data))
 	w.WriteHeader(status)
-	//lint:ignore errdrop the status line is already out, so nothing useful can be done with an Encode failure; the client sees a truncated body and retries
-	_ = json.NewEncoder(w).Encode(v)
+	// The status line is already out; a short write leaves the client a
+	// truncated body that fails its checksum and retries.
+	_, _ = w.Write(data)
 }
 
 // decodeBody reads one JSON request body, bounded so a misbehaving
-// client cannot balloon coordinator memory.
+// client cannot balloon coordinator memory, and — when the worker
+// attached a HeaderBodySum — verifies the bytes arrived intact before
+// parsing them. A sum mismatch is a 400 the worker treats as
+// retryable; a fresh send re-rolls the transport's fault dice.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	const maxBody = 64 << 20 // surface rows are small; 64 MiB is generous
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	data, err := io.ReadAll(body)
+	if err == nil {
+		if want := r.Header.Get(HeaderBodySum); want != "" && want != bodySum(data) {
+			err = errors.New("dist: request body checksum mismatch (corrupted in transit)")
+		}
+	}
 	if err == nil {
 		err = json.Unmarshal(data, v)
 	}
@@ -376,14 +548,21 @@ func (c *Coordinator) lease(req LeaseRequest) LeaseResponse {
 		resp.Done = true
 		return resp
 	}
+	if c.draining {
+		// Graceful shutdown: the campaign is not done, but no more work
+		// will be handed out. The worker finishes nothing-in-particular
+		// and exits; unfinished jobs stay pending for a resumed run.
+		resp.Draining = true
+		return resp
+	}
 	fp, stolen, ok := c.popLocked(wi.shard)
 	if !ok {
 		// Everything outstanding is leased elsewhere; it may fail over,
-		// so the worker should poll rather than quit.
-		resp.RetryMillis = (c.cfg.LeaseTTL / 4).Milliseconds()
-		if resp.RetryMillis < 50 {
-			resp.RetryMillis = 50
-		}
+		// so the worker should poll again when that could next happen:
+		// the soonest lease deadline, clamped to [50ms, TTL/4] so a
+		// heartbeat-extended fleet still gets polled at the old cadence
+		// and a nearly expired lease is probed promptly.
+		resp.RetryMillis = c.nextExpiryHintLocked(now).Milliseconds()
 		return resp
 	}
 	j := c.jobs[fp]
@@ -443,17 +622,25 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	status, body := c.result(req)
+	status, body, retryAfter := c.result(req)
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if retryAfter%time.Second > 0 {
+			secs++ // Retry-After is whole seconds; round up, never down to 0
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, body)
 }
 
 // result ingests one posted shard result under the coordinator lock,
-// returning the HTTP status and response body for the handler to write
-// after release. The IngestResult call stays inside the critical
-// section deliberately: it is a local content-addressed cache write,
-// and admitting a result must be atomic with the job-state transition
-// or a concurrent duplicate post could double-count completion.
-func (c *Coordinator) result(req ResultRequest) (int, any) {
+// returning the HTTP status, response body, and (for 429) a
+// Retry-After hint for the handler to write after release. The
+// IngestResult call stays inside the critical section deliberately: it
+// is a local content-addressed cache write, and admitting a result
+// must be atomic with the job-state transition or a concurrent
+// duplicate post could double-count completion.
+func (c *Coordinator) result(req ResultRequest) (int, any, time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
@@ -463,7 +650,7 @@ func (c *Coordinator) result(req ResultRequest) (int, any) {
 	}
 	j, ok := c.jobs[req.Fingerprint]
 	if !ok {
-		return http.StatusNotFound, ResultResponse{Accepted: false}
+		return http.StatusNotFound, ResultResponse{Accepted: false}, 0
 	}
 	l := c.leases[req.LeaseID] // may be nil: expired leases still publish
 	releaseLease := func() {
@@ -482,12 +669,15 @@ func (c *Coordinator) result(req ResultRequest) (int, any) {
 		}
 		if j.state == stateDone || j.state == stateFailed {
 			c.duplicates++
-			return http.StatusOK, ResultResponse{Accepted: true, Duplicate: true}
+			releaseLease()
+			c.checkDrainedLocked()
+			return http.StatusOK, c.ackLocked(ResultResponse{Accepted: true, Duplicate: true}), 0
 		}
 		if l != nil {
 			c.recordSpan(l, j.spec.Name, j.shard, now, true)
 		}
 		releaseLease()
+		c.checkDrainedLocked()
 		j.failures++
 		if j.failures >= c.cfg.MaxJobFailures {
 			j.state = stateFailed
@@ -495,7 +685,7 @@ func (c *Coordinator) result(req ResultRequest) (int, any) {
 			c.logf("dist: job %s retired after %d failures (last: %s)",
 				j.spec.Name, j.failures, req.Error)
 			c.checkDoneLocked()
-			return http.StatusOK, ResultResponse{Accepted: true, Retired: true}
+			return http.StatusOK, c.ackLocked(ResultResponse{Accepted: true, Retired: true}), 0
 		}
 		// Requeue at the tail: a failing job must not starve the healthy
 		// front of the queue.
@@ -504,25 +694,39 @@ func (c *Coordinator) result(req ResultRequest) (int, any) {
 		c.requeued++
 		c.logf("dist: job %s failed on worker %s (%s); re-enqueued (%d/%d failures)",
 			j.spec.Name, req.Worker, req.Error, j.failures, c.cfg.MaxJobFailures)
-		return http.StatusOK, ResultResponse{Accepted: true}
+		return http.StatusOK, c.ackLocked(ResultResponse{Accepted: true}), 0
 	}
 
 	if j.state == stateDone {
 		// A late post from an expired lease: content addressing makes it
-		// byte-identical to what we already stored, so absorb it.
+		// byte-identical to what we already stored, so absorb it without
+		// touching the sink — duplicates are free and never re-ingested.
 		c.duplicates++
 		releaseLease()
-		return http.StatusOK, ResultResponse{Accepted: true, Duplicate: true}
+		c.checkDrainedLocked()
+		return http.StatusOK, c.ackLocked(ResultResponse{Accepted: true, Duplicate: true}), 0
+	}
+	// Backpressure applies only to fresh payloads about to be ingested:
+	// duplicates and failure reports cost nothing, and a 429 must leave
+	// the job's state (and the worker's lease) exactly as it found them
+	// so the deferred retry is a plain replay.
+	if wait, ok := c.admitIngestLocked(now); !ok {
+		c.backpressured++
+		return http.StatusTooManyRequests,
+			map[string]string{"error": "dist: ingest budget exhausted; retry after backoff"}, wait
 	}
 	if err := c.cfg.Sink.IngestResult(req.Fingerprint, req.Payload); err != nil {
 		c.ingestErrors++
 		c.logf("dist: ingesting result of %s from worker %s: %v", j.spec.Name, req.Worker, err)
-		return http.StatusInternalServerError, map[string]string{"error": err.Error()}
+		return http.StatusInternalServerError, map[string]string{"error": err.Error()}, 0
 	}
+	c.ingested++
 	if l != nil {
 		c.recordSpan(l, j.spec.Name, j.shard, now, false)
+		c.observeRuntimeLocked(j.shard, now.Sub(l.started))
 	}
 	releaseLease()
+	c.checkDrainedLocked()
 	if j.state == stateFailed {
 		// A success arriving after the job was retired un-retires it:
 		// the result is real and content-addressed, so keep it.
@@ -534,7 +738,30 @@ func (c *Coordinator) result(req ResultRequest) (int, any) {
 		wi.stats.Completed++
 	}
 	c.checkDoneLocked()
-	return http.StatusOK, ResultResponse{Accepted: true}
+	return http.StatusOK, c.ackLocked(ResultResponse{Accepted: true}), 0
+}
+
+// admitIngestLocked charges one ingest against the sliding-window
+// budget. When the window is full it reports how long until its oldest
+// admission ages out — the Retry-After the deferred worker is told.
+func (c *Coordinator) admitIngestLocked(now time.Time) (time.Duration, bool) {
+	cutoff := now.Add(-c.cfg.IngestWindow)
+	keep := c.ingestTimes[:0]
+	for _, t := range c.ingestTimes {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	c.ingestTimes = keep
+	if len(c.ingestTimes) >= c.cfg.IngestBurst {
+		wait := c.ingestTimes[0].Sub(cutoff)
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		return wait, false
+	}
+	c.ingestTimes = append(c.ingestTimes, now)
+	return 0, true
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -546,5 +773,10 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": c.Stats().Jobs})
+	s := c.Stats()
+	status := "ok"
+	if s.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "jobs": s.Jobs})
 }

@@ -13,15 +13,18 @@ import (
 	"sensornet/internal/engine"
 )
 
-// fakeSink is an in-memory engine.ResultSink.
+// fakeSink is an in-memory engine.ResultSink that counts ingests per
+// fingerprint, so tests can pin exactly-once delivery through the
+// protocol layer.
 type fakeSink struct {
 	mu      sync.Mutex
 	results map[string][]byte
+	counts  map[string]int
 	failFor map[string]bool // fingerprints whose ingest errors
 }
 
 func newFakeSink() *fakeSink {
-	return &fakeSink{results: map[string][]byte{}, failFor: map[string]bool{}}
+	return &fakeSink{results: map[string][]byte{}, counts: map[string]int{}, failFor: map[string]bool{}}
 }
 
 func (s *fakeSink) HasResult(fp string) bool {
@@ -37,8 +40,17 @@ func (s *fakeSink) IngestResult(fp string, payload []byte) error {
 	if s.failFor[fp] {
 		return fmt.Errorf("sink: injected ingest failure for %s", fp)
 	}
+	s.counts[fp]++
 	s.results[fp] = append([]byte(nil), payload...)
 	return nil
+}
+
+// ingests reports how many times a fingerprint's payload reached the
+// sink.
+func (s *fakeSink) ingests(fp string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[fp]
 }
 
 // fakeClock drives Config.Now deterministically.

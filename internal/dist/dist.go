@@ -35,6 +35,14 @@ package dist
 
 import "encoding/json"
 
+// HeaderBodySum carries a hex sha256 of the message body, set by
+// workers on every request and by the coordinator on every response.
+// Either side verifies it before parsing, so a transport that corrupts
+// or truncates bytes (see internal/chaos) produces a retryable
+// integrity failure instead of silently ingesting damaged JSON — the
+// guard that keeps byte-identical merges true under hostile networks.
+const HeaderBodySum = "X-Body-Sum"
+
 // Protocol endpoints served by the Coordinator.
 const (
 	// PathLease is POSTed by workers to obtain one leased job.
@@ -65,12 +73,15 @@ type LeaseRequest struct {
 	Worker string `json:"worker"`
 }
 
-// LeaseResponse answers a lease request. Exactly one of three shapes
-// comes back: Done (campaign complete — stop), Job set (a lease), or
-// neither (nothing leasable right now — retry after RetryMillis; jobs
-// may reappear when an expired lease re-enqueues).
+// LeaseResponse answers a lease request. Exactly one of four shapes
+// comes back: Done (campaign complete — stop), Draining (the
+// coordinator is shutting down and grants no new leases — finish and
+// exit), Job set (a lease), or none of those (nothing leasable right
+// now — retry after RetryMillis; jobs may reappear when an expired
+// lease re-enqueues).
 type LeaseResponse struct {
 	Done        bool     `json:"done,omitempty"`
+	Draining    bool     `json:"draining,omitempty"`
 	Job         *JobSpec `json:"job,omitempty"`
 	LeaseID     string   `json:"leaseId,omitempty"`
 	TTLMillis   int64    `json:"ttlMillis,omitempty"`
@@ -117,6 +128,16 @@ type ResultResponse struct {
 	// Retired marks a failure report that exhausted the job's failure
 	// budget: the job will not be re-leased.
 	Retired bool `json:"retired,omitempty"`
+	// Done reports the campaign is complete as of this acknowledgment.
+	// The poster whose result (or failure report) finishes the campaign
+	// learns it here and can exit immediately — its next lease poll
+	// would race the coordinator's shutdown and hit a closed socket.
+	Done bool `json:"done,omitempty"`
+	// Draining reports the coordinator is winding down: no further
+	// leases will be granted, and the server closes once the in-flight
+	// leases resolve. Same race as Done — the poster that lands the
+	// final draining lease must not poll again.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Stats snapshots the coordinator's queue, lease, and worker state for
@@ -139,6 +160,16 @@ type Stats struct {
 	Requeued     int `json:"requeued"`
 	Duplicates   int `json:"duplicates"`
 	IngestErrors int `json:"ingestErrors"`
+	// Ingested counts result payloads actually written into the sink —
+	// the exactly-once counterpart of Duplicates: Ingested never exceeds
+	// the job count no matter how many times results are delivered.
+	Ingested int `json:"ingested"`
+	// Backpressured counts result posts deferred with 429 + Retry-After
+	// because the ingest budget was exhausted.
+	Backpressured int `json:"backpressured"`
+	// Draining reports the coordinator has stopped granting leases and
+	// is waiting for in-flight work to land.
+	Draining bool `json:"draining,omitempty"`
 	// Workers lists every worker that ever contacted the coordinator,
 	// sorted by ID.
 	Workers []WorkerStats `json:"workers"`

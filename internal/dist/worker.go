@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +43,17 @@ type WorkerConfig struct {
 	// has nothing leasable; the coordinator's RetryMillis hint, when
 	// present, takes precedence. Defaults to 250ms.
 	Poll time.Duration
+	// PostAttempts bounds the retry loop around each protocol request;
+	// defaults to 10. Every failure is retried — transport errors,
+	// checksum mismatches, and error statuses alike — because under a
+	// chaotic transport any single response is unreliable evidence, and
+	// the protocol is idempotent end to end: a replayed lease request,
+	// heartbeat, or result post is always safe.
+	PostAttempts int
+	// PostBackoff spaces the retries; the zero value means the shared
+	// engine discipline with Base 100ms, Max 2s. A 429's Retry-After
+	// overrides the computed delay.
+	PostBackoff engine.BackoffPolicy
 	// FailAfter, when > 0, injects a crash: after that many posted
 	// results the worker takes one more lease and exits with
 	// ErrFailInjected without executing it.
@@ -56,6 +68,14 @@ type WorkerReport struct {
 	// shards' queues; Completed the results posted; Failed the jobs
 	// whose execution or encoding failed (reported to the coordinator).
 	Leased, Stolen, Completed, Failed int
+	// FromCache counts completed leases answered from the worker's own
+	// engine cache without recomputing — the idempotent re-lease path: a
+	// job this worker already ran (under a lease that later expired and
+	// failed back over to it) costs one cache read, not a re-execution.
+	FromCache int
+	// Drained reports the coordinator told this worker it was draining;
+	// the worker finished its in-flight job and exited cleanly.
+	Drained bool
 	// Shard is the queue the coordinator assigned this worker.
 	Shard int
 }
@@ -63,8 +83,12 @@ type WorkerReport struct {
 // String renders the report as the one-line summary the -worker CLI
 // prints.
 func (r WorkerReport) String() string {
-	return fmt.Sprintf("worker shard %d: %d leased (%d stolen), %d completed, %d failed",
-		r.Shard, r.Leased, r.Stolen, r.Completed, r.Failed)
+	s := fmt.Sprintf("worker shard %d: %d leased (%d stolen), %d completed (%d from cache), %d failed",
+		r.Shard, r.Leased, r.Stolen, r.Completed, r.FromCache, r.Failed)
+	if r.Drained {
+		s += " [drained]"
+	}
+	return s
 }
 
 // Worker pulls leases from a coordinator and executes them on the
@@ -95,6 +119,15 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 250 * time.Millisecond
 	}
+	if cfg.PostAttempts <= 0 {
+		cfg.PostAttempts = 10
+	}
+	if cfg.PostBackoff.Base <= 0 {
+		cfg.PostBackoff.Base = 100 * time.Millisecond
+	}
+	if cfg.PostBackoff.Max <= 0 {
+		cfg.PostBackoff.Max = 2 * time.Second
+	}
 	w := &Worker{
 		cfg:  cfg,
 		jobs: make(map[string]engine.Job, len(cfg.Jobs)),
@@ -114,34 +147,48 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
-// post sends one JSON request and decodes the JSON response, retrying
-// transient transport failures a few times so a briefly unreachable
-// coordinator does not kill the worker.
+// post sends one JSON request and decodes the JSON response. The
+// request carries a HeaderBodySum integrity checksum and the response's
+// is verified before parsing, so a transport that corrupts or
+// truncates bytes produces a retry, never a silently damaged message.
+// Every failure — transport error, non-200 status, checksum mismatch,
+// undecodable body — is retried up to PostAttempts times on the shared
+// engine backoff discipline; a 429's Retry-After overrides the
+// computed delay. Retrying everything is sound because the protocol is
+// idempotent end to end (duplicate leases, heartbeats, and result
+// posts are all absorbed), and under a hostile transport a "permanent"
+// status may itself be damage.
 func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("dist: encoding %s request: %w", path, err)
 	}
+	sum := bodySum(body)
 	var lastErr error
 	backoff := time.NewTimer(0)
 	if !backoff.Stop() {
 		<-backoff.C
 	}
 	defer backoff.Stop()
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			backoff.Reset(time.Duration(attempt) * 200 * time.Millisecond)
+	wait := time.Duration(0)
+	for attempt := 1; attempt <= w.cfg.PostAttempts; attempt++ {
+		if attempt > 1 {
+			backoff.Reset(wait)
 			select {
 			case <-backoff.C:
 			case <-ctx.Done():
 				return context.Cause(ctx)
 			}
 		}
+		// Default spacing for the next round; a Retry-After below
+		// overrides it.
+		wait = w.cfg.PostBackoff.Delay(path, attempt)
 		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set(HeaderBodySum, sum)
 		res, err := w.cfg.Client.Do(hr)
 		if err != nil {
 			lastErr = err
@@ -153,22 +200,46 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 			lastErr = err
 			continue
 		}
+		if want := res.Header.Get(HeaderBodySum); want != "" && want != bodySum(data) {
+			lastErr = fmt.Errorf("dist: %s: response body checksum mismatch (corrupted in transit)", path)
+			continue
+		}
+		if res.StatusCode == http.StatusTooManyRequests {
+			lastErr = fmt.Errorf("dist: %s: coordinator backpressured the post", path)
+			if ra := retryAfter(res); ra > 0 {
+				wait = ra
+			}
+			continue
+		}
 		if res.StatusCode != http.StatusOK {
 			lastErr = fmt.Errorf("dist: %s: coordinator said %s: %s", path, res.Status, strings.TrimSpace(string(data)))
-			if res.StatusCode >= 500 {
-				continue // coordinator-side trouble may clear
-			}
-			return lastErr
+			continue
 		}
 		if resp == nil {
 			return nil
 		}
 		if err := json.Unmarshal(data, resp); err != nil {
-			return fmt.Errorf("dist: %s: bad response %q: %w", path, data, err)
+			lastErr = fmt.Errorf("dist: %s: bad response %q: %w", path, data, err)
+			continue
 		}
 		return nil
 	}
-	return fmt.Errorf("dist: %s: giving up after retries: %w", path, lastErr)
+	return fmt.Errorf("dist: %s: giving up after %d attempts: %w", path, w.cfg.PostAttempts, lastErr)
+}
+
+// retryAfter parses a Retry-After header's delay-seconds form,
+// returning 0 when absent or unparseable (HTTP-date form is not worth
+// supporting for a header we mint ourselves).
+func retryAfter(res *http.Response) time.Duration {
+	v := res.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Run pulls leases until the coordinator reports the campaign done (or
@@ -191,6 +262,14 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 		}
 		rep.Shard = lease.Shard
 		if lease.Done {
+			return rep, nil
+		}
+		if lease.Draining {
+			// Graceful shutdown: the coordinator grants no more work.
+			// Anything this worker finished has already been posted, so
+			// exit cleanly; unfinished jobs stay with the coordinator.
+			w.logf("dist: coordinator is draining; exiting after %d completed", rep.Completed)
+			rep.Drained = true
 			return rep, nil
 		}
 		if lease.Job == nil {
@@ -216,25 +295,56 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 			// fail this job over to another worker.
 			return rep, ErrFailInjected
 		}
-		if err := w.runLease(ctx, lease, rep); err != nil {
+		stop, err := w.runLease(ctx, lease, rep)
+		if err != nil {
 			return rep, err
+		}
+		if stop {
+			// The result acknowledgment said the campaign is over (done or
+			// draining): exit now. Another lease poll would race the
+			// coordinator's shutdown and find a closed socket.
+			return rep, nil
 		}
 	}
 }
 
+// postResult posts one result (or failure report) and interprets the
+// acknowledgment's terminal flags. It returns stop=true when the
+// coordinator reported the campaign done or draining — the worker must
+// exit without polling again, because the post it just made may be the
+// very one that lets the coordinator shut down.
+func (w *Worker) postResult(ctx context.Context, req ResultRequest, rep *WorkerReport) (bool, error) {
+	var resp ResultResponse
+	if err := w.post(ctx, PathResult, req, &resp); err != nil {
+		return false, err
+	}
+	if resp.Draining {
+		rep.Drained = true
+		w.logf("dist: coordinator is draining; exiting after this result")
+		return true, nil
+	}
+	if resp.Done {
+		w.logf("dist: campaign complete; exiting")
+		return true, nil
+	}
+	return false, nil
+}
+
 // runLease executes one leased job and posts its outcome. Only
 // transport-level or cancellation errors propagate; job failures are
-// reported to the coordinator and the loop continues.
-func (w *Worker) runLease(ctx context.Context, lease LeaseResponse, rep *WorkerReport) error {
+// reported to the coordinator and the loop continues. stop=true means
+// the result acknowledgment reported the campaign terminal (done or
+// draining) and the worker must exit without another lease poll.
+func (w *Worker) runLease(ctx context.Context, lease LeaseResponse, rep *WorkerReport) (stop bool, err error) {
 	spec := *lease.Job
 	job, ok := w.jobs[spec.Fingerprint]
 	if !ok {
 		rep.Failed++
 		w.logf("dist: leased job %s is not in this worker's job set (figure/preset flags differ from the coordinator?)", spec.Name)
-		return w.post(ctx, PathResult, ResultRequest{
+		return w.postResult(ctx, ResultRequest{
 			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
 			Error: "job not in worker job set (figure/preset mismatch)",
-		}, nil)
+		}, rep)
 	}
 
 	// Heartbeat while the job computes, at a third of the lease TTL so
@@ -253,32 +363,39 @@ func (w *Worker) runLease(ctx context.Context, lease LeaseResponse, rep *WorkerR
 
 	if err != nil {
 		if ctx.Err() != nil {
-			return context.Cause(ctx)
+			return false, context.Cause(ctx)
 		}
 		rep.Failed++
 		w.logf("dist: job %s failed: %v", spec.Name, err)
-		return w.post(ctx, PathResult, ResultRequest{
+		return w.postResult(ctx, ResultRequest{
 			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
 			Error: err.Error(),
-		}, nil)
+		}, rep)
 	}
 	payload, err := engine.EncodeResult(job, results[0].Value)
 	if err != nil {
 		rep.Failed++
-		return w.post(ctx, PathResult, ResultRequest{
+		return w.postResult(ctx, ResultRequest{
 			Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
 			Error: err.Error(),
-		}, nil)
+		}, rep)
 	}
-	if err := w.post(ctx, PathResult, ResultRequest{
+	stop, err = w.postResult(ctx, ResultRequest{
 		Worker: w.cfg.ID, LeaseID: lease.LeaseID, Fingerprint: spec.Fingerprint,
 		Payload: payload,
-	}, nil); err != nil {
-		return err
+	}, rep)
+	if err != nil {
+		return false, err
 	}
 	rep.Completed++
-	w.logf("dist: job %s completed and posted (%d bytes)", spec.Name, len(payload))
-	return nil
+	if results[0].FromCache {
+		// A re-leased job this worker had already computed: the engine
+		// cache answered without re-executing (idempotent re-lease).
+		rep.FromCache++
+	}
+	w.logf("dist: job %s completed and posted (%d bytes, fromCache=%v)",
+		spec.Name, len(payload), results[0].FromCache)
+	return stop, nil
 }
 
 // heartbeat extends the lease until ctx is cancelled (the job

@@ -1,0 +1,279 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensornet/internal/engine"
+)
+
+// scriptedServer runs an httptest server over a handler func and
+// returns its URL.
+func scriptedServer(t *testing.T, h http.HandlerFunc) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func testWorker(t *testing.T, url string, mutate func(*WorkerConfig)) *Worker {
+	t.Helper()
+	encode, decode := func(v any) ([]byte, error) { return json.Marshal(v) },
+		func(b []byte) (any, error) {
+			var v float64
+			err := json.Unmarshal(b, &v)
+			return v, err
+		}
+	cfg := WorkerConfig{
+		ID:      "w-test",
+		BaseURL: url,
+		Engine:  engine.New(engine.Config{Workers: 1, Cache: engine.NewCache("", "salt")}),
+		Jobs: []engine.Job{engine.JobFunc{
+			Key:      "fp-1",
+			Fn:       func(ctx context.Context) (any, error) { return 1.5, nil },
+			EncodeFn: encode, DecodeFn: decode,
+		}},
+		Poll:        5 * time.Millisecond,
+		PostBackoff: engine.BackoffPolicy{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWorkerPostSetsChecksumAndRetriesAllFailures pins the rebuilt
+// retry loop: the request carries HeaderBodySum, and a 400, a garbage
+// body, and a 500 are each retried — under a hostile transport no
+// single response is trusted evidence, and the protocol is idempotent.
+func TestWorkerPostSetsChecksumAndRetriesAllFailures(t *testing.T) {
+	var hits atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if got := r.Header.Get(HeaderBodySum); got == "" {
+			t.Errorf("request %d missing %s", n, HeaderBodySum)
+		}
+		switch n {
+		case 1:
+			http.Error(w, "bad request", http.StatusBadRequest)
+		case 2:
+			//lint:ignore errdrop scripted test server
+			_, _ = w.Write([]byte("{not json"))
+		case 3:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: true})
+		}
+	})
+	w := testWorker(t, url, nil)
+	var resp HeartbeatResponse
+	if err := w.post(context.Background(), PathHeartbeat, HeartbeatRequest{Worker: "w-test"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Extended || hits.Load() != 4 {
+		t.Fatalf("resp %+v after %d hits, want success on hit 4", resp, hits.Load())
+	}
+}
+
+// TestWorkerPostVerifiesResponseChecksum: a response whose body does
+// not match its advertised sum is retried, not parsed.
+func TestWorkerPostVerifiesResponseChecksum(t *testing.T) {
+	var hits atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Valid JSON a naive client would happily accept — but the
+			// sum says the bytes were damaged in transit.
+			w.Header().Set(HeaderBodySum, bodySum([]byte(`{"extended":true}`)))
+			//lint:ignore errdrop scripted test server
+			_, _ = w.Write([]byte(`{"extended":false}`))
+			return
+		}
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: true})
+	})
+	w := testWorker(t, url, nil)
+	var resp HeartbeatResponse
+	if err := w.post(context.Background(), PathHeartbeat, HeartbeatRequest{Worker: "w-test"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Extended || hits.Load() != 2 {
+		t.Fatalf("resp %+v after %d hits, want retry then success", resp, hits.Load())
+	}
+}
+
+// TestWorkerPostHonorsRetryAfter: a 429's Retry-After overrides the
+// backoff schedule — the deferred post waits at least that long.
+func TestWorkerPostHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultResponse{Accepted: true})
+	})
+	w := testWorker(t, url, nil)
+	start := time.Now()
+	var resp ResultResponse
+	if err := w.post(context.Background(), PathResult, ResultRequest{Worker: "w-test", Fingerprint: "fp-1"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || hits.Load() != 2 {
+		t.Fatalf("resp %+v after %d hits", resp, hits.Load())
+	}
+	// PostBackoff caps at 2ms here, so a ≥1s wait proves Retry-After won.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("replay after %v, want ≥ 1s (Retry-After honored)", elapsed)
+	}
+}
+
+// TestWorkerPostGivesUpAfterAttempts: a persistently failing endpoint
+// exhausts PostAttempts and surfaces the last error.
+func TestWorkerPostGivesUpAfterAttempts(t *testing.T) {
+	var hits atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	})
+	w := testWorker(t, url, func(c *WorkerConfig) { c.PostAttempts = 3 })
+	err := w.post(context.Background(), PathHeartbeat, HeartbeatRequest{Worker: "w-test"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("%d hits, want 3", hits.Load())
+	}
+}
+
+// TestWorkerDrainingExit: a Draining lease response makes the worker
+// exit cleanly with the drain recorded, not treat it as done or error.
+func TestWorkerDrainingExit(t *testing.T) {
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, LeaseResponse{Draining: true, Shard: 2})
+	})
+	w := testWorker(t, url, nil)
+	rep, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drained || rep.Shard != 2 || rep.Leased != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if s := rep.String(); !strings.Contains(s, "[drained]") {
+		t.Fatalf("report string %q does not mention the drain", s)
+	}
+}
+
+// TestWorkerExitsOnResultAckTerminal pins the shutdown race fix: the
+// worker whose result post completes the campaign (or resolves the
+// last draining lease) learns it from the acknowledgment itself and
+// exits without another lease poll — by then the coordinator's server
+// may already be closed.
+func TestWorkerExitsOnResultAckTerminal(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		ack     ResultResponse
+		drained bool
+	}{
+		{"done", ResultResponse{Accepted: true, Done: true}, false},
+		{"draining", ResultResponse{Accepted: true, Draining: true}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var leasePolls atomic.Int64
+			url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+				switch r.URL.Path {
+				case PathLease:
+					leasePolls.Add(1)
+					writeJSON(w, http.StatusOK, LeaseResponse{
+						Job:     &JobSpec{Name: "fp-1", Fingerprint: "fp-1"},
+						LeaseID: "lease-1", TTLMillis: 60000,
+					})
+				case PathResult:
+					writeJSON(w, http.StatusOK, tc.ack)
+				default:
+					writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: true})
+				}
+			})
+			w := testWorker(t, url, nil)
+			rep, err := w.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed != 1 || rep.Drained != tc.drained {
+				t.Fatalf("report = %+v, want 1 completed, drained=%v", rep, tc.drained)
+			}
+			if leasePolls.Load() != 1 {
+				t.Fatalf("worker polled for a lease %d times, want exactly 1 (no poll after a terminal ack)", leasePolls.Load())
+			}
+		})
+	}
+}
+
+// TestWorkerReLeaseAnsweredFromCache pins the idempotent re-lease
+// path end to end on the worker side: when the coordinator grants the
+// same job twice (its first lease expired after the result was
+// computed but before the grant was observed), the second execution is
+// served from the worker's own engine cache — one real computation,
+// two posted results.
+func TestWorkerReLeaseAnsweredFromCache(t *testing.T) {
+	var executions atomic.Int64
+	var leases atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathLease:
+			n := leases.Add(1)
+			if n <= 2 {
+				// The same job, twice: lease 1 "expired" coordinator-side
+				// and was granted again.
+				writeJSON(w, http.StatusOK, LeaseResponse{
+					Job:     &JobSpec{Name: "fp-1", Fingerprint: "fp-1"},
+					LeaseID: "lease-" + string(rune('0'+n)), TTLMillis: 60000,
+				})
+				return
+			}
+			writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+		case PathResult:
+			var req ResultRequest
+			if decodeBody(w, r, &req) {
+				writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Duplicate: leases.Load() > 1})
+			}
+		default:
+			writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: true})
+		}
+	})
+	w := testWorker(t, url, func(c *WorkerConfig) {
+		c.Jobs = []engine.Job{engine.JobFunc{
+			Key: "fp-1",
+			Fn: func(ctx context.Context) (any, error) {
+				executions.Add(1)
+				return 1.5, nil
+			},
+			EncodeFn: func(v any) ([]byte, error) { return json.Marshal(v) },
+			DecodeFn: func(b []byte) (any, error) {
+				var v float64
+				err := json.Unmarshal(b, &v)
+				return v, err
+			},
+		}}
+	})
+	rep, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("job executed %d times, want 1 (re-lease must hit the cache)", executions.Load())
+	}
+	if rep.Completed != 2 || rep.FromCache != 1 {
+		t.Fatalf("report = %+v, want 2 completed with 1 from cache", rep)
+	}
+}

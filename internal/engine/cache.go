@@ -26,13 +26,14 @@ type Cache struct {
 	// log.Printf; set to a no-op to silence.
 	Warnf func(format string, args ...any)
 
-	mu      sync.Mutex
-	mem     map[string]any
-	raw     map[string][]byte // ingested payloads not yet decoded
-	hits    int
-	misses  int
-	stores  int
-	corrupt int
+	mu          sync.Mutex
+	mem         map[string]any
+	raw         map[string][]byte // ingested payloads not yet decoded
+	hits        int
+	misses      int
+	stores      int
+	corrupt     int
+	ingestDupes int
 }
 
 // envelope is the on-disk cache entry format. The fingerprint is
@@ -230,10 +231,13 @@ func (c *Cache) path(key string) string {
 
 // CacheStats reports cache effectiveness counters. Corrupt counts disk
 // entries that could not be read back (torn writes, stale formats) and
-// were discarded as misses.
+// were discarded as misses. IngestDupes counts IngestResult calls for
+// fingerprints that already had a valid stored result — duplicate wire
+// deliveries absorbed without rewriting the entry.
 type CacheStats struct {
 	Hits, Misses, Stores int
 	Corrupt              int
+	IngestDupes          int
 }
 
 // Stats returns the cache's counters.
@@ -243,5 +247,6 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Stores: c.stores, Corrupt: c.corrupt}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Stores: c.stores,
+		Corrupt: c.corrupt, IngestDupes: c.ingestDupes}
 }

@@ -326,21 +326,10 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 }
 
 // retryBackoff is the delay before the retry following failed attempt
-// a: exponential doubling capped at MaxBackoff, then jittered into
-// [d/2, d) so simultaneous transient failures across workers do not
-// retry in lockstep. The jitter derives from the job name and attempt
-// via DeriveSeed, keeping retry schedules reproducible without a
-// shared RNG.
+// a, per the shared BackoffPolicy (capped doubling, deterministic
+// per-job jitter).
 func (e *Engine) retryBackoff(name string, a int) time.Duration {
-	d := e.cfg.Backoff
-	for i := 1; i < a && d < e.cfg.MaxBackoff; i++ {
-		d <<= 1
-	}
-	if d > e.cfg.MaxBackoff {
-		d = e.cfg.MaxBackoff
-	}
-	frac := float64(DeriveSeed(int64(a), "retry-backoff", name)) / float64(uint64(1)<<63)
-	return d/2 + time.Duration(frac*float64(d/2))
+	return BackoffPolicy{Base: e.cfg.Backoff, Max: e.cfg.MaxBackoff}.Delay(name, a)
 }
 
 // safeRun executes one job attempt, converting a panic into an error

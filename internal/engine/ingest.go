@@ -49,6 +49,14 @@ func (c *Cache) HasResult(fingerprint string) bool {
 // when a directory is configured, written to disk through the same
 // envelope path Put uses — so remotely computed entries are
 // byte-identical to local ones.
+//
+// Ingest is idempotent by content addressing: a fingerprint that
+// already has a valid stored result is not rewritten — the duplicate
+// is counted (CacheStats.IngestDupes) and dropped, which keeps a
+// replayed or duplicated wire delivery from ever touching the entry a
+// reader may be holding open. Distributed callers dedupe by job state
+// before ingesting, so a nonzero IngestDupes count means a duplicate
+// slipped past the protocol layer.
 func (c *Cache) IngestResult(fingerprint string, payload []byte) error {
 	if c == nil {
 		return fmt.Errorf("engine: ingest into a nil cache")
@@ -58,6 +66,12 @@ func (c *Cache) IngestResult(fingerprint string, payload []byte) error {
 	}
 	if !json.Valid(payload) {
 		return fmt.Errorf("engine: ingest %q: payload is not valid JSON", fingerprint)
+	}
+	if c.HasResult(fingerprint) {
+		c.mu.Lock()
+		c.ingestDupes++
+		c.mu.Unlock()
+		return nil
 	}
 	k := c.key(fingerprint)
 	buf := make([]byte, len(payload))

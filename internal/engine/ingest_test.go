@@ -146,6 +146,47 @@ func TestIngestRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestIngestDuplicateAbsorbed: re-ingesting a fingerprint that already
+// has a valid result is a counted no-op — the stored entry is not
+// rewritten (no second disk write a reader could observe mid-rename)
+// and IngestDupes records the absorbed duplicate.
+func TestIngestDuplicateAbsorbed(t *testing.T) {
+	_, decode := testCodec()
+	c := NewCache(t.TempDir(), "s")
+	if err := c.IngestResult("fp", []byte("1.5")); err != nil {
+		t.Fatal(err)
+	}
+	before := readDirFiles(t, c.dir)
+	if err := c.IngestResult("fp", []byte("1.5")); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.IngestDupes != 1 {
+		t.Fatalf("IngestDupes = %d, want 1", s.IngestDupes)
+	}
+	if s.Stores != 1 {
+		t.Fatalf("Stores = %d, want 1 (duplicate must not re-store)", s.Stores)
+	}
+	after := readDirFiles(t, c.dir)
+	if len(before) != 1 || len(after) != 1 {
+		t.Fatalf("entry counts: before %d, after %d", len(before), len(after))
+	}
+	if v, ok := c.Get("fp", decode); !ok || v.(float64) != 1.5 {
+		t.Fatalf("Get after duplicate ingest = %v, %v", v, ok)
+	}
+	// The memory-only layer dedupes too.
+	m := NewCache("", "s")
+	if err := m.IngestResult("fp", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.IngestResult("fp", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.IngestDupes != 1 || s.Stores != 1 {
+		t.Fatalf("memory-only dedupe stats = %+v", s)
+	}
+}
+
 // TestIngestWrongSaltInvisible: an entry ingested under one salt is not
 // a result under another (the salt partitions the address space).
 func TestIngestWrongSaltInvisible(t *testing.T) {

@@ -95,4 +95,39 @@ wait "$coord"
 "$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/dcache" -merge 2 -out "$tmp/dist.txt"
 cmp "$tmp/direct.txt" "$tmp/dist.txt"
 
+echo "== tier 2: chaos-transport distributed smoke (fig4, hostile faults, one worker dies)"
+# The same campaign under a seed-deterministic hostile transport: both
+# workers' HTTP clients drop, delay, duplicate, truncate, and corrupt
+# traffic (-chaos-profile hostile). The run must still converge, the
+# coordinator must report zero duplicate cache ingests (every replayed
+# delivery absorbed at the protocol layer), and the merge must stay
+# byte-identical to the direct run.
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/ccache" \
+    -coordinator 127.0.0.1:0 -dist-shards 2 -lease-ttl 2s \
+    -dist-addr-file "$tmp/caddr" -out "$tmp/coord-report.txt" &
+coord=$!
+i=0
+while [ ! -s "$tmp/caddr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "chaos coordinator never published its address" >&2; exit 1; }
+    sleep 0.1
+done
+url="http://$(cat "$tmp/caddr")"
+set +e
+"$tmp/experiments" -figure fig4 -quick -worker "$url" -worker-id w-chaos-dying \
+    -worker-fail-after 1 -chaos-profile hostile -chaos-seed 42 2>/dev/null
+dying_rc=$?
+set -e
+[ "$dying_rc" -eq 7 ] || { echo "chaos fault-injected worker exited $dying_rc, want 7" >&2; exit 1; }
+"$tmp/experiments" -figure fig4 -quick -worker "$url" -worker-id w-chaos-survivor \
+    -chaos-profile hostile -chaos-seed 43 2>/dev/null
+wait "$coord"
+grep -q " 0 dup-ingests" "$tmp/coord-report.txt" || {
+    echo "chaos run leaked duplicate ingests past the protocol layer:" >&2
+    cat "$tmp/coord-report.txt" >&2
+    exit 1
+}
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/ccache" -merge 2 -out "$tmp/chaos.txt"
+cmp "$tmp/direct.txt" "$tmp/chaos.txt"
+
 echo "all checks passed"
