@@ -27,9 +27,12 @@ func main() {
 	flag.Float64Var(&tol.Ns, "ns", tol.Ns, "max allowed ns/op ratio vs baseline")
 	flag.Float64Var(&tol.Bytes, "bytes", tol.Bytes, "max allowed B/op ratio vs baseline")
 	flag.Float64Var(&tol.Allocs, "allocs", tol.Allocs, "max allowed allocs/op ratio vs baseline")
+	flag.Float64Var(&tol.P50, "p50", tol.P50, "max allowed loadgen p50 latency ratio vs baseline")
+	flag.Float64Var(&tol.P99, "p99", tol.P99, "max allowed loadgen p99 latency ratio vs baseline")
+	flag.Float64Var(&tol.ErrorRate, "error-rate", tol.ErrorRate, "absolute error-rate allowance over the baseline")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH_n.json -current fresh.json [-ns r] [-bytes r] [-allocs r]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH_n.json -current fresh.json [-ns r] [-bytes r] [-allocs r] [-p50 r] [-p99 r] [-error-rate a]")
 		os.Exit(2)
 	}
 

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +77,10 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "with -merge: print missing shards/jobs as JSON on stdout when the merge is incomplete")
 		serveAddr = flag.String("serve", "", "serve tuning queries from cached surfaces on this address (e.g. :8080); requires -cache-dir")
 
+		serveBudget   = flag.Float64("serve-budget", 0, "with -serve: admission-controlled write-through budget in jobs/sec for filling cache misses (0 = strict never-recompute)")
+		serveBurst    = flag.Int("serve-burst", 0, "with -serve-budget: token-bucket burst capacity (0 = ceil of the rate)")
+		serveInflight = flag.Int("serve-inflight", 0, "with -serve-budget: max concurrently admitted fill jobs (0 = unbounded)")
+
 		coordAddr = flag.String("coordinator", "", "serve the figure's job queue to remote workers on this address (e.g. :9090); results land in -cache-dir; exits when the campaign completes")
 		workerURL = flag.String("worker", "", "pull job leases from the coordinator at this URL and execute them locally; run with the same -figure/-quick flags as the coordinator")
 		workerID  = flag.String("worker-id", "", "worker identity reported to the coordinator (default host:pid)")
@@ -93,6 +98,7 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling; off by default")
 	)
 	flag.Parse()
 
@@ -101,8 +107,14 @@ func main() {
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
+	stopPprof, err := startPprofServer(*pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -pprof:", err)
+		os.Exit(1)
+	}
+	defer stopPprof()
+
 	deg := degParams{rho: *degRho}
-	var err error
 	if deg.crash, err = parseRates(*crashRates); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: -crash-rates:", err)
 		os.Exit(2)
@@ -158,6 +170,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -worker-fail-after only applies to -worker")
 		os.Exit(2)
 	}
+	if (*serveBudget > 0 || *serveBurst > 0 || *serveInflight > 0) && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -serve-budget/-serve-burst/-serve-inflight only apply to -serve")
+		os.Exit(2)
+	}
 	chaosProf, err := chaos.ParseProfile(*chaosProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: -chaos-profile:", err)
@@ -183,6 +199,9 @@ func main() {
 		Cache:     cache,
 		Shard:     spec,
 		CacheOnly: cacheOnly,
+		// A zero -serve-budget leaves Budget nil: the strict
+		// never-recompute serving contract stays the explicit default.
+		Budget: engine.NewBudget(*serveBudget, *serveBurst, *serveInflight),
 	})
 
 	// Ctrl-C cancels outstanding jobs and exits cleanly.
@@ -201,7 +220,7 @@ func main() {
 			failAfter: *failAfter, chaosProf: chaosProf, chaosSeed: *chaosSeed,
 		}, w)
 	case *serveAddr != "":
-		err = runServe(ctx, *serveAddr, eng, pa, ps)
+		err = runServe(ctx, *serveAddr, *addrFile, eng, pa, ps)
 	case *shard != "":
 		err = runShard(ctx, eng, *figure, pa, ps, deg, *skipSim, w)
 	default:
@@ -461,14 +480,34 @@ func runWorker(ctx context.Context, url, id string, eng *engine.Engine,
 }
 
 // runServe blocks serving tuning queries until the context is
-// cancelled (Ctrl-C), then shuts the listener down gracefully.
-func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps experiments.Preset) error {
-	srv, err := serve.New(eng, pa, ps)
+// cancelled (Ctrl-C), then shuts the listener down gracefully. The
+// surface snapshots are warmed eagerly, so a server over a populated
+// cache pays its cache reads before the first request; cold surfaces
+// are reported and left to retry per request (shards may publish
+// later). addrFile, when set, receives the bound listen address (for
+// :0 listeners in scripts).
+func runServe(ctx context.Context, addr, addrFile string, eng *engine.Engine, pa, ps experiments.Preset) error {
+	srv, err := serve.NewCtx(ctx, eng, pa, ps)
 	if err != nil {
 		return err
 	}
+	if err := srv.Warm(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: serve warm-up incomplete (cold surfaces retry per request):", err)
+	}
+	if b := eng.Budget(); b != nil {
+		fmt.Fprintf(os.Stderr, "experiments: write-through %s\n", b.Stats())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	hs := &http.Server{
-		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
@@ -476,8 +515,8 @@ func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps exper
 		IdleTimeout:       5 * time.Minute,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "experiments: serving tuning queries on %s\n", addr)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "experiments: serving tuning queries on %s\n", ln.Addr())
 	select {
 	case err := <-errCh:
 		return err
@@ -486,6 +525,39 @@ func runServe(ctx context.Context, addr string, eng *engine.Engine, pa, ps exper
 		defer cancel()
 		return hs.Shutdown(shutCtx)
 	}
+}
+
+// startPprofServer optionally serves net/http/pprof on its own mux and
+// listener — never the serving or coordinator mux, so enabling
+// profiling cannot expose debug handlers on a public port by accident.
+// Returns the shutdown function (a no-op when addr is empty).
+func startPprofServer(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// No WriteTimeout: profile captures stream for ?seconds=N.
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "experiments: -pprof:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutCtx)
+	}, nil
 }
 
 // startProfiles starts the requested pprof captures and returns the

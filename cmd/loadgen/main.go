@@ -1,0 +1,285 @@
+// Command loadgen is the closed-loop load generator behind the serving
+// latency tier: it drives a running `experiments -serve` instance with
+// a mixed query distribution at a target aggregate QPS and reports
+// end-to-end latency percentiles and the error rate.
+//
+// Closed-loop means each connection waits for its response before
+// issuing the next request, paced globally to -qps; latency is
+// measured per request, client-side. The query mix is seeded and
+// deterministic: the same -seed replays the same request sequence.
+//
+// Examples:
+//
+//	loadgen -url http://127.0.0.1:8080 -quick -qps 200 -duration 10s
+//	loadgen -url ... -quick -out artifacts/loadgen.json \
+//	    -max-p99 50ms -max-error-rate 0            # smoke gate
+//	loadgen -url ... -quick -bench-merge BENCH.json # latency tier
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sensornet/internal/bench"
+	"sensornet/internal/engine"
+	"sensornet/internal/experiments"
+	"sensornet/internal/metrics"
+	"sensornet/internal/optimize"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "base URL of a running `experiments -serve` (e.g. http://127.0.0.1:8080)")
+		qps      = flag.Float64("qps", 200, "target aggregate request rate (0 = unthrottled)")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
+		surfaces = flag.String("surfaces", "analytic", "comma-separated surfaces to query: analytic,sim")
+		quick    = flag.Bool("quick", true, "build the query mix from the quick presets (match the server's -quick)")
+		seed     = flag.Int64("seed", 1, "query-mix seed; the same seed replays the same sequence")
+		name     = flag.String("name", "serve-load", "run name recorded in reports and bench snapshots")
+		out      = flag.String("out", "", "write the JSON report to this file (stdout otherwise)")
+		merge    = flag.String("bench-merge", "", "merge this run into an existing BENCH json snapshot's latency section")
+
+		maxP99   = flag.Duration("max-p99", 0, "fail (exit 1) when p99 exceeds this bound (0 = unchecked)")
+		maxErr   = flag.Float64("max-error-rate", -1, "fail (exit 1) when the error rate exceeds this fraction (negative = unchecked)")
+		httpTout = flag.Duration("request-timeout", 10*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "usage: loadgen -url http://host:port [-qps n] [-duration d] [-conns n] [-surfaces analytic,sim] [-quick] [-out f] [-bench-merge f]")
+		os.Exit(2)
+	}
+
+	mix, err := queryMix(*surfaces, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+
+	rep := run(strings.TrimRight(*url, "/"), mix, *qps, *duration, *conns, *seed, *httpTout)
+	rep.Name = *name
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	body = append(body, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(body)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f/s), %.2f%% errors, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
+		rep.Requests, rep.DurationS, rep.ActualQPS, rep.ErrorRate*100,
+		rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+
+	if *merge != "" {
+		if err := mergeBench(*merge, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -bench-merge:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: merged latency run %q into %s\n", rep.Name, *merge)
+	}
+
+	failed := false
+	if *maxP99 > 0 && rep.P99Ms > float64(*maxP99)/float64(time.Millisecond) {
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %.2fms exceeds the %s bound\n", rep.P99Ms, *maxP99)
+		failed = true
+	}
+	if *maxErr >= 0 && rep.ErrorRate > *maxErr {
+		fmt.Fprintf(os.Stderr, "loadgen: error rate %.4f exceeds the %.4f bound\n", rep.ErrorRate, *maxErr)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report is the loadgen JSON output; the latency fields mirror
+// bench.LatencyResult so a run can merge straight into a snapshot.
+type report struct {
+	Name      string  `json:"name"`
+	URL       string  `json:"url"`
+	TargetQPS float64 `json:"target_qps"`
+	ActualQPS float64 `json:"actual_qps"`
+	DurationS float64 `json:"duration_s"`
+	Conns     int     `json:"conns"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	// Statuses counts responses by HTTP status ("error" = transport
+	// failure).
+	Statuses map[string]int `json:"statuses"`
+}
+
+// queryMix builds the candidate request paths: every optimal
+// (surface, metric, rho) tuple, every surface row, and the full
+// surface dump — the shapes the serving tier answers.
+func queryMix(surfaces string, quick bool) ([]string, error) {
+	pa, ps := experiments.PaperAnalytic(), experiments.PaperSim()
+	if quick {
+		pa, ps = experiments.QuickAnalytic(), experiments.QuickSim()
+	}
+	var paths []string
+	for _, name := range strings.Split(surfaces, ",") {
+		var pre experiments.Preset
+		switch name = strings.TrimSpace(name); name {
+		case "analytic":
+			pre = pa
+		case "sim":
+			pre = ps
+		default:
+			return nil, fmt.Errorf("unknown surface %q: want analytic or sim", name)
+		}
+		for _, sel := range optimize.Selectors() {
+			for _, rho := range pre.Rhos {
+				paths = append(paths, fmt.Sprintf("/api/optimal?surface=%s&metric=%s&rho=%g", name, sel.Name, rho))
+			}
+		}
+		for _, rho := range pre.Rhos {
+			paths = append(paths, fmt.Sprintf("/api/surface?surface=%s&rho=%g", name, rho))
+		}
+		paths = append(paths, "/api/surface?surface="+name)
+	}
+	return paths, nil
+}
+
+// run drives the closed loop: conns workers share a pacing ticker and
+// pull deterministic queries from their own seeded streams.
+func run(base string, mix []string, qps float64, duration time.Duration, conns int, seed int64, timeout time.Duration) *report {
+	if conns < 1 {
+		conns = 1
+	}
+	var ticks <-chan time.Time
+	if qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / qps))
+		defer t.Stop()
+		ticks = t.C
+	}
+	deadline := time.After(duration)
+	stop := make(chan struct{})
+	go func() {
+		<-deadline
+		close(stop)
+	}()
+
+	type sample struct {
+		ms     float64
+		status string
+		err    bool
+	}
+	results := make([][]sample, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, "loadgen-conn", c)))
+			client := &http.Client{Timeout: timeout}
+			for {
+				if ticks != nil {
+					select {
+					case <-ticks:
+					case <-stop:
+						return
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				url := base + mix[rng.Intn(len(mix))]
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				s := sample{ms: ms}
+				if err != nil {
+					s.status, s.err = "error", true
+				} else {
+					resp.Body.Close()
+					s.status = fmt.Sprintf("%d", resp.StatusCode)
+					s.err = resp.StatusCode != http.StatusOK
+				}
+				results[c] = append(results[c], s)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		URL: base, TargetQPS: qps, Conns: conns,
+		DurationS: elapsed.Seconds(),
+		Statuses:  map[string]int{},
+	}
+	var lat []float64
+	for _, rs := range results {
+		for _, s := range rs {
+			rep.Requests++
+			rep.Statuses[s.status]++
+			if s.err {
+				rep.Errors++
+			}
+			lat = append(lat, s.ms)
+			if s.ms > rep.MaxMs {
+				rep.MaxMs = s.ms
+			}
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.ActualQPS = float64(rep.Requests) / elapsed.Seconds()
+		rep.P50Ms = metrics.Percentile(lat, 50)
+		rep.P90Ms = metrics.Percentile(lat, 90)
+		rep.P99Ms = metrics.Percentile(lat, 99)
+	}
+	return rep
+}
+
+// mergeBench folds the run into a bench snapshot's latency section,
+// replacing a same-named run and preserving everything else.
+func mergeBench(path string, rep *report) error {
+	snap, err := bench.Load(path)
+	if err != nil {
+		return err
+	}
+	lr := bench.LatencyResult{
+		Name: rep.Name, Requests: rep.Requests, ErrorRate: rep.ErrorRate,
+		P50Ms: rep.P50Ms, P90Ms: rep.P90Ms, P99Ms: rep.P99Ms, MaxMs: rep.MaxMs,
+	}
+	replaced := false
+	for i, r := range snap.Latency {
+		if r.Name == lr.Name {
+			snap.Latency[i] = lr
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		snap.Latency = append(snap.Latency, lr)
+	}
+	body, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}

@@ -30,11 +30,25 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// LatencyResult is one closed-loop load run (cmd/loadgen) in a
+// snapshot: end-to-end serving latency percentiles in milliseconds
+// plus the error rate, keyed by the run's configured name.
+type LatencyResult struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	ErrorRate float64 `json:"error_rate"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
 // Snapshot is the parsed form of one BENCH_<n>.json file.
 type Snapshot struct {
-	Date       string   `json:"date"`
-	Benchtime  string   `json:"benchtime"`
-	Benchmarks []Result `json:"benchmarks"`
+	Date       string          `json:"date"`
+	Benchtime  string          `json:"benchtime"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Latency    []LatencyResult `json:"latency,omitempty"`
 }
 
 // Load reads and parses a snapshot file.
@@ -54,16 +68,27 @@ func Load(path string) (*Snapshot, error) {
 }
 
 // Tolerance holds the per-metric regression ratios: current may be at
-// most base*ratio before the gate fails.
+// most base*ratio before the gate fails. The latency fields gate the
+// loadgen percentiles — ratios like Ns (wall-clock on a shared
+// machine is noisy, so they only catch blowups) — and ErrorRate is an
+// absolute allowance on top of the baseline rate, not a ratio, since
+// healthy baselines are exactly zero.
 type Tolerance struct {
 	Ns     float64
 	Bytes  float64
 	Allocs float64
+
+	P50       float64
+	P99       float64
+	ErrorRate float64
 }
 
 // DefaultTolerance is the check.sh gate configuration; see the package
-// comment for why the three ratios differ.
-var DefaultTolerance = Tolerance{Ns: 4.0, Bytes: 1.6, Allocs: 1.35}
+// comment for why the ratios differ.
+var DefaultTolerance = Tolerance{
+	Ns: 4.0, Bytes: 1.6, Allocs: 1.35,
+	P50: 6.0, P99: 6.0, ErrorRate: 0.02,
+}
 
 // Violation is one metric of one benchmark exceeding its tolerance,
 // or a baseline benchmark missing from the current run.
@@ -79,7 +104,11 @@ func (v Violation) String() string {
 	if v.Metric == "missing" {
 		return fmt.Sprintf("%s: present in baseline but missing from the current run", v.Bench)
 	}
-	return fmt.Sprintf("%s: %s regressed %.0f -> %.0f (%.2fx, limit %.2fx)",
+	if v.Metric == "error_rate" {
+		return fmt.Sprintf("%s: error_rate rose %.3f -> %.3f (allowance +%.3f)",
+			v.Bench, v.Base, v.Current, v.Limit)
+	}
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (%.2fx, limit %.2fx)",
 		v.Bench, v.Metric, v.Base, v.Current, v.Current/v.Base, v.Limit)
 }
 
@@ -113,6 +142,41 @@ func Compare(baseline, current *Snapshot, tol Tolerance) []Violation {
 		check("ns/op", b.NsPerOp, c.NsPerOp, tol.Ns)
 		check("B/op", b.BytesPerOp, c.BytesPerOp, tol.Bytes)
 		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, tol.Allocs)
+	}
+	out = append(out, compareLatency(baseline, current, tol)...)
+	return out
+}
+
+// compareLatency gates the loadgen runs the same way Compare gates the
+// micro-benchmarks: every baseline run must still exist, percentiles
+// are ratio-bounded, and the error rate may exceed the baseline's by
+// at most the absolute ErrorRate allowance.
+func compareLatency(baseline, current *Snapshot, tol Tolerance) []Violation {
+	cur := map[string]LatencyResult{}
+	for _, r := range current.Latency {
+		cur[r.Name] = r
+	}
+	var out []Violation
+	base := append([]LatencyResult(nil), baseline.Latency...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	for _, b := range base {
+		c, ok := cur[b.Name]
+		if !ok {
+			out = append(out, Violation{Bench: b.Name, Metric: "missing"})
+			continue
+		}
+		if b.P50Ms > 0 && c.P50Ms > b.P50Ms*tol.P50 {
+			out = append(out, Violation{Bench: b.Name, Metric: "p50_ms",
+				Base: b.P50Ms, Current: c.P50Ms, Limit: tol.P50})
+		}
+		if b.P99Ms > 0 && c.P99Ms > b.P99Ms*tol.P99 {
+			out = append(out, Violation{Bench: b.Name, Metric: "p99_ms",
+				Base: b.P99Ms, Current: c.P99Ms, Limit: tol.P99})
+		}
+		if c.ErrorRate > b.ErrorRate+tol.ErrorRate {
+			out = append(out, Violation{Bench: b.Name, Metric: "error_rate",
+				Base: b.ErrorRate, Current: c.ErrorRate, Limit: tol.ErrorRate})
+		}
 	}
 	return out
 }

@@ -95,3 +95,57 @@ func TestLoadRejectsEmpty(t *testing.T) {
 		t.Fatal("an empty snapshot must not load: the gate would silently pass")
 	}
 }
+
+func latSnap(results ...LatencyResult) *Snapshot {
+	s := snap(Result{Name: "A", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1})
+	s.Latency = results
+	return s
+}
+
+func TestCompareLatencyClean(t *testing.T) {
+	base := latSnap(LatencyResult{Name: "serve-analytic", Requests: 300,
+		ErrorRate: 0, P50Ms: 0.5, P90Ms: 1.0, P99Ms: 2.0, MaxMs: 5})
+	cur := latSnap(LatencyResult{Name: "serve-analytic", Requests: 310,
+		ErrorRate: 0.01, P50Ms: 2.9, P90Ms: 6, P99Ms: 11.9, MaxMs: 40})
+	if v := Compare(base, cur, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("within-tolerance latency run flagged: %v", v)
+	}
+}
+
+func TestCompareLatencyRegressions(t *testing.T) {
+	base := latSnap(LatencyResult{Name: "serve-analytic",
+		ErrorRate: 0, P50Ms: 0.5, P99Ms: 2.0})
+	cur := latSnap(LatencyResult{Name: "serve-analytic",
+		ErrorRate: 0.5, P50Ms: 3.1, P99Ms: 12.5})
+	v := Compare(base, cur, DefaultTolerance)
+	if len(v) != 3 {
+		t.Fatalf("want p50, p99, and error_rate flagged, got %v", v)
+	}
+	for i, metric := range []string{"p50_ms", "p99_ms", "error_rate"} {
+		if v[i].Metric != metric {
+			t.Fatalf("violation %d is %q, want %q", i, v[i].Metric, metric)
+		}
+		if !strings.Contains(v[i].String(), metric) {
+			t.Fatalf("violation string %q does not name its metric", v[i].String())
+		}
+	}
+}
+
+func TestCompareLatencyMissingRun(t *testing.T) {
+	base := latSnap(LatencyResult{Name: "serve-analytic", P50Ms: 1, P99Ms: 1})
+	cur := latSnap()
+	v := Compare(base, cur, DefaultTolerance)
+	if len(v) != 1 || v[0].Metric != "missing" || v[0].Bench != "serve-analytic" {
+		t.Fatalf("want one missing-run violation, got %v", v)
+	}
+}
+
+func TestCompareNoLatencyBackCompat(t *testing.T) {
+	// Old snapshots carry no latency section: the gate must not invent
+	// violations for them.
+	base := snap(Result{Name: "A", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1})
+	cur := latSnap(LatencyResult{Name: "new-run", P50Ms: 99, P99Ms: 99, ErrorRate: 1})
+	if v := Compare(base, cur, DefaultTolerance); len(v) != 0 {
+		t.Fatalf("latency-free baseline produced violations: %v", v)
+	}
+}

@@ -41,6 +41,14 @@ type Config struct {
 	// paths use this to guarantee they never recompute shard work.
 	// Uncacheable jobs (empty fingerprint) still execute.
 	CacheOnly bool
+	// Budget, when non-nil on a CacheOnly engine, turns strict
+	// never-recompute into admission-controlled write-through: a cache
+	// miss may execute (and publish) the job if the budget admits it;
+	// an exhausted budget degrades to the Missing behaviour above.
+	// Identical concurrent fills dedup through a per-fingerprint
+	// singleflight, so N racers cost one execution and one token.
+	// Ignored when CacheOnly is false.
+	Budget *Budget
 	// Spans receives one trace span per attempt and cache hit;
 	// defaults to a fresh log owned by the engine.
 	Spans *trace.SpanLog
@@ -116,8 +124,9 @@ type Result struct {
 // from multiple goroutines; batches submitted concurrently share the
 // cache and telemetry but are executed independently.
 type Engine struct {
-	cfg   Config
-	spans *trace.SpanLog
+	cfg     Config
+	spans   *trace.SpanLog
+	flights flightGroup
 
 	mu      sync.Mutex
 	batches int
@@ -156,6 +165,10 @@ func (e *Engine) Shard() ShardSpec { return e.cfg.Shard }
 // CacheOnly reports whether the engine refuses to compute cacheable
 // jobs.
 func (e *Engine) CacheOnly() bool { return e.cfg.CacheOnly }
+
+// Budget returns the engine's write-through admission gate (nil when
+// the engine is strictly never-recompute).
+func (e *Engine) Budget() *Budget { return e.cfg.Budget }
 
 // Spans returns the engine's telemetry span log.
 func (e *Engine) Spans() *trace.SpanLog { return e.spans }
@@ -256,7 +269,7 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 	encode, decode := codecOf(job)
 	epoch := e.spans.Epoch()
 
-	if v, ok := e.cfg.Cache.Get(fp, decode); ok {
+	cached := func(v any) Result {
 		res.Value = v
 		res.FromCache = true
 		e.spans.Record(trace.Span{Name: name, Worker: worker, Cached: true,
@@ -264,12 +277,68 @@ func (e *Engine) runJob(ctx context.Context, worker int, job Job) Result {
 		e.emit(Event{Kind: EventCacheHit, Job: name, Worker: worker})
 		return res
 	}
-	if e.cfg.CacheOnly && fp != "" {
-		// Not an error per job: the batch keeps draining so the merge
-		// step can report every missing shard at once, and Run
-		// aggregates the misses into one *MissingError.
+	if v, ok := e.cfg.Cache.Get(fp, decode); ok {
+		return cached(v)
+	}
+	if e.cfg.CacheOnly && fp != "" && e.cfg.Budget == nil {
+		// Strict never-recompute: not an error per job — the batch keeps
+		// draining so the merge step can report every missing shard at
+		// once, and Run aggregates the misses into one *MissingError.
 		res.Missing = true
 		return res
+	}
+
+	// About to compute a publishable result: coalesce with any
+	// concurrent execution of the same fingerprint. The leader falls
+	// through to the attempt loop; followers wait, then act on how the
+	// flight resolved.
+	if fp != "" && e.cfg.Cache != nil {
+		for {
+			call, leader := e.flights.join(fp)
+			if leader {
+				defer func() {
+					out := flightFailed
+					switch {
+					case res.Missing:
+						out = flightMissing
+					case res.Err == nil:
+						out = flightStored
+					}
+					e.flights.finish(fp, call, out)
+				}()
+				break
+			}
+			out, err := call.wait(ctx)
+			if err != nil {
+				res.Err = jobError(name, err)
+				return res
+			}
+			switch out {
+			case flightStored:
+				if v, ok := e.cfg.Cache.Get(fp, decode); ok {
+					return cached(v)
+				}
+				// The leader succeeded but the cache could not hold the
+				// value (codec-less disk round-trip); loop and take a
+				// turn ourselves.
+			case flightMissing:
+				res.Missing = true
+				return res
+			case flightFailed:
+				// The leader's attempt errored independently of ours;
+				// loop and take our own turn.
+			}
+		}
+	}
+
+	// Write-through admission: the flight leader pays one token for the
+	// whole cohort. Denial degrades to the strict Missing behaviour.
+	if e.cfg.CacheOnly && fp != "" {
+		if !e.cfg.Budget.TryAcquire() {
+			res.Missing = true
+			return res
+		}
+		defer e.cfg.Budget.Release()
 	}
 
 	attempts := 1 + e.cfg.Retries

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Per-fingerprint singleflight: when several goroutines race to compute
+// the same cacheable job — concurrent serving requests write-through
+// filling one cold row, or overlapping batches sharing work — exactly
+// one leader executes and publishes to the cache; everyone else waits
+// and re-reads. N racing identical fills then cost one execution and
+// one budget token instead of N.
+
+// flightOutcome tells waiters how a flight resolved.
+type flightOutcome uint8
+
+const (
+	// flightFailed: the leader's attempt errored; take your own turn.
+	flightFailed flightOutcome = iota
+	// flightStored: the result landed in the cache; re-read it.
+	flightStored
+	// flightMissing: the admission budget denied the fill; report
+	// Missing without burning another token on a doomed election.
+	flightMissing
+)
+
+// flightCall is one in-progress execution of a fingerprint.
+type flightCall struct {
+	done    chan struct{}
+	outcome flightOutcome
+}
+
+// wait blocks until the flight resolves or ctx is cancelled.
+func (c *flightCall) wait(ctx context.Context) (flightOutcome, error) {
+	select {
+	case <-c.done:
+		return c.outcome, nil
+	case <-ctx.Done():
+		return flightFailed, context.Cause(ctx)
+	}
+}
+
+// flightGroup coalesces concurrent executions per fingerprint.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// join returns the in-flight call for fp and whether this caller was
+// elected leader (no call was in flight, a fresh one is registered).
+func (g *flightGroup) join(fp string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[fp]; ok {
+		return c, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[fp] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome and wakes every waiter. The
+// entry is deregistered first, so a waiter that loops re-joins a fresh
+// flight instead of the resolved one.
+func (g *flightGroup) finish(fp string, c *flightCall, out flightOutcome) {
+	g.mu.Lock()
+	delete(g.calls, fp)
+	g.mu.Unlock()
+	c.outcome = out
+	close(c.done)
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedupsConcurrentIdenticalJobs: N goroutines racing the same
+// fingerprint through one engine execute it exactly once; everyone else
+// is served from the cache the leader published.
+func TestFlightDedupsConcurrentIdenticalJobs(t *testing.T) {
+	cache := NewCache("", "test-salt")
+	eng := New(Config{Workers: 4, Cache: cache})
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	job := JobFunc{
+		JobName: "slow",
+		Key:     "slow-fp",
+		Fn: func(ctx context.Context) (any, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		},
+	}
+
+	const racers = 8
+	var wg sync.WaitGroup
+	results := make([]Result, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := eng.Run(context.Background(), []Job{job})
+			errs[i] = err
+			if len(rs) == 1 {
+				results[i] = rs[0]
+			}
+		}(i)
+	}
+	<-started // the leader is executing; the rest must be waiting
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("job executed %d times across %d racers, want exactly 1", runs.Load(), racers)
+	}
+	computed := 0
+	for i, r := range results {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if r.Value != 42 {
+			t.Fatalf("racer %d value = %v", i, r.Value)
+		}
+		if !r.FromCache {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d racers report computing, want 1 leader", computed)
+	}
+}
+
+// TestFlightFollowerRetriesAfterLeaderFailure: a failed leader does not
+// poison the fingerprint — the next caller takes its own turn.
+func TestFlightFollowerRetriesAfterLeaderFailure(t *testing.T) {
+	cache := NewCache("", "test-salt")
+	eng := New(Config{Workers: 2, Cache: cache})
+	var attempt atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	job := JobFunc{
+		JobName: "flaky",
+		Key:     "flaky-fp",
+		Fn: func(ctx context.Context) (any, error) {
+			if attempt.Add(1) == 1 {
+				close(started)
+				<-release
+				return nil, errors.New("leader boom")
+			}
+			return "ok", nil
+		},
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(context.Background(), []Job{job})
+		leaderErr <- err
+	}()
+	<-started
+	followerDone := make(chan Result, 1)
+	go func() {
+		rs, err := eng.Run(context.Background(), []Job{job})
+		if err != nil {
+			followerDone <- Result{Err: err}
+			return
+		}
+		followerDone <- rs[0]
+	}()
+	time.Sleep(10 * time.Millisecond) // let the follower join the flight
+	close(release)
+
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader run should fail")
+	}
+	r := <-followerDone
+	if r.Err != nil || r.Value != "ok" {
+		t.Fatalf("follower result = %+v, want its own successful attempt", r)
+	}
+	if attempt.Load() != 2 {
+		t.Fatalf("%d attempts, want leader fail + follower retry", attempt.Load())
+	}
+}
+
+// TestFlightBudgetDenialPropagates: when the flight leader is denied by
+// the admission budget, waiting followers come back Missing without
+// re-running the election (one denial, not N).
+func TestFlightBudgetDenialPropagates(t *testing.T) {
+	cache := NewCache("", "test-salt")
+	b, _ := testBudget(1, 1, 0) // one token, no refill
+	eng := New(Config{Workers: 4, Cache: cache, CacheOnly: true, Budget: b})
+	// Drain the single token with a throwaway fill.
+	if _, err := eng.Run(context.Background(), []Job{budgetJob("warm", new(atomic.Int64))}); err != nil {
+		t.Fatalf("warm fill: %v", err)
+	}
+
+	var runs atomic.Int64
+	job := budgetJob("cold", &runs)
+	const racers = 6
+	var wg sync.WaitGroup
+	missing := atomic.Int64{}
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, _ := eng.Run(context.Background(), []Job{job})
+			if len(rs) == 1 && rs[0].Missing {
+				missing.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs.Load() != 0 {
+		t.Fatalf("budget-denied job executed %d times", runs.Load())
+	}
+	if missing.Load() != racers {
+		t.Fatalf("%d/%d racers saw Missing", missing.Load(), racers)
+	}
+}
+
+// TestFlightWaitCancellation: a follower whose context dies while
+// waiting gets the context error, not a hang.
+func TestFlightWaitCancellation(t *testing.T) {
+	cache := NewCache("", "test-salt")
+	eng := New(Config{Workers: 2, Cache: cache})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	job := JobFunc{
+		JobName: "stuck",
+		Key:     "stuck-fp",
+		Fn: func(ctx context.Context) (any, error) {
+			close(started)
+			<-release
+			return 1, nil
+		},
+	}
+	go eng.Run(context.Background(), []Job{job})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(ctx, []Job{job})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower never returned")
+	}
+}

@@ -81,6 +81,37 @@ func Median(xs []float64) float64 {
 	return (clean[n/2-1] + clean[n/2]) / 2
 }
 
+// Percentile returns the q-th percentile (0 <= q <= 100) of the
+// finite entries of xs, linearly interpolating between order
+// statistics (NaN when there are none). q outside [0, 100] clamps.
+// This backs the serving latency tier: p50/p90/p99 over request
+// durations.
+func Percentile(xs []float64, q float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if q <= 0 {
+		return clean[0]
+	}
+	if q >= 100 {
+		return clean[len(clean)-1]
+	}
+	rank := q / 100 * float64(len(clean)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(clean) {
+		return clean[lo]
+	}
+	return clean[lo] + frac*(clean[lo+1]-clean[lo])
+}
+
 // FeasibleFraction returns the fraction of entries that are finite: the
 // share of runs for which a constrained metric was achievable.
 func FeasibleFraction(xs []float64) float64 {

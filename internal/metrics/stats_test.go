@@ -74,6 +74,27 @@ func TestMedian(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 10}, {50, 30}, {100, 50},
+		{25, 20}, {90, 46}, {-5, 10}, {110, 50},
+	} {
+		if got := Percentile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{math.NaN(), 7}, 99); got != 7 {
+		t.Fatalf("percentile should skip NaN, got %v", got)
+	}
+	if got := Percentile([]float64{5}, 50); got != 5 {
+		t.Fatalf("single-sample percentile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
 func TestFeasibleFraction(t *testing.T) {
 	if got := FeasibleFraction([]float64{1, math.NaN(), 2, math.Inf(1)}); got != 0.5 {
 		t.Fatalf("feasible fraction = %v, want 0.5", got)

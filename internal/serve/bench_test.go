@@ -1,0 +1,92 @@
+// Serving-path benchmarks: the latency tier's per-request cost. All
+// three run against a prebuilt snapshot over a warmed in-memory cache,
+// so they measure exactly what a steady-state production hit pays —
+// mux dispatch, ETag derivation, and one pre-encoded []byte write.
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sensornet/internal/engine"
+	"sensornet/internal/experiments"
+	"sensornet/internal/serve"
+)
+
+var benchSrv struct {
+	once sync.Once
+	srv  *serve.Server
+	err  error
+}
+
+// benchServer builds (once) a warm server over a memory-only cache:
+// a computing engine fills the cache, a cache-only engine over the
+// same *Cache serves it, and both snapshots are prebuilt.
+func benchServer(b *testing.B) *serve.Server {
+	b.Helper()
+	benchSrv.once.Do(func() {
+		pa := experiments.QuickAnalytic()
+		pa.Rhos = []float64{40, 100}
+		ps := experiments.QuickSim()
+		ps.Rhos = []float64{40}
+		ps.Grid = []float64{0.05, 0.2, 0.6, 1}
+		ps.Runs = 2
+
+		cache := engine.NewCache("", experiments.CacheSalt)
+		fill := engine.New(engine.Config{Workers: 4, Cache: cache})
+		jobs := experiments.SurfaceJobs(pa, false, 4)
+		jobs = append(jobs, experiments.SurfaceJobs(ps, true, 4)...)
+		if _, benchSrv.err = fill.Run(b.Context(), jobs); benchSrv.err != nil {
+			return
+		}
+		eng := engine.New(engine.Config{Workers: 4, Cache: cache, CacheOnly: true})
+		if benchSrv.srv, benchSrv.err = serve.New(eng, pa, ps); benchSrv.err != nil {
+			return
+		}
+		benchSrv.err = benchSrv.srv.Warm(b.Context())
+	})
+	if benchSrv.err != nil {
+		b.Fatal(benchSrv.err)
+	}
+	return benchSrv.srv
+}
+
+func benchRequest(b *testing.B, url string) {
+	srv := benchServer(b)
+	req := httptest.NewRequest("GET", url, nil)
+	// One untimed warm-up hit so a -benchtime=1x smoke (b.N == 1)
+	// measures the steady state, not first-call lazy initialisation
+	// (mux routing caches and the like).
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, req)
+	if warm.Code != http.StatusOK {
+		b.Fatalf("GET %s: status %d", url, warm.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("GET %s: status %d", url, rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeOptimal is one steady-state tuning query.
+func BenchmarkServeOptimal(b *testing.B) {
+	benchRequest(b, "/api/optimal?surface=analytic&metric=reach&rho=40")
+}
+
+// BenchmarkServeSurfaceRow is one steady-state single-density slice.
+func BenchmarkServeSurfaceRow(b *testing.B) {
+	benchRequest(b, "/api/surface?surface=analytic&rho=100")
+}
+
+// BenchmarkServeSurfaceFull is the full-surface dump — the largest
+// pre-encoded body on the fast path.
+func BenchmarkServeSurfaceFull(b *testing.B) {
+	benchRequest(b, "/api/surface?surface=analytic")
+}

@@ -5,12 +5,15 @@
 // The server wraps a cache-only engine (engine.Config.CacheOnly): a
 // query whose surface rows are in the content-addressed cache is
 // answered without recomputing anything, and a query whose rows are
-// missing fails with 503 and the list of unpublished jobs, never by
-// silently recomputing shard work in the serving process. Handlers run
-// on the request context, so a dropped client cancels the cache load.
+// missing fails with 503 and the list of unpublished jobs — unless the
+// engine carries an admission Budget, in which case misses may be
+// filled write-through within that budget. Warm surfaces are served
+// from a precompacted in-memory snapshot (see store.go): steady-state
+// hits never touch the cache at all.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,31 +26,79 @@ import (
 	"sensornet/internal/optimize"
 )
 
+// surfaceState is one preset's serving state: its content digest, the
+// ETag tables (pure functions of the digest, computed once at
+// construction so even a cold server can answer 304), and the
+// snapshot store.
+type surfaceState struct {
+	name      string // canonical surface= query value
+	pre       experiments.Preset
+	simulated bool
+	digest    string
+	store     store
+	// optimalETag[metric][rhoIdx], rowETag[rhoIdx], fullETag: the
+	// strong validators for every 200 shape this surface can serve.
+	optimalETag map[string][]string
+	rowETag     []string
+	fullETag    string
+}
+
+func newSurfaceState(name string, pre experiments.Preset, simulated bool) *surfaceState {
+	st := &surfaceState{
+		name: name, pre: pre, simulated: simulated,
+		digest:      surfaceDigest(pre, simulated),
+		optimalETag: make(map[string][]string),
+		rowETag:     make([]string, len(pre.Rhos)),
+	}
+	for _, sel := range optimize.Selectors() {
+		tags := make([]string, len(pre.Rhos))
+		for i, rho := range pre.Rhos {
+			tags[i] = etagOf("optimal", st.digest, sel.Name, rhoKey(rho))
+		}
+		st.optimalETag[sel.Name] = tags
+	}
+	for i, rho := range pre.Rhos {
+		st.rowETag[i] = etagOf("surface", st.digest, rhoKey(rho))
+	}
+	st.fullETag = etagOf("surface", st.digest, "all")
+	return st
+}
+
 // Server is the HTTP query layer over cached surfaces.
 //
 // Endpoints:
 //
-//	GET /healthz                  liveness + cache configuration
-//	GET /api/cache                engine CacheStats counters
-//	GET /api/metrics              the optimisation metric registry
-//	GET /api/optimal?surface=analytic|sim&metric=<name>&rho=<density>
-//	GET /api/surface?surface=analytic|sim[&rho=<density>]
+//	GET  /healthz                  liveness + cache/snapshot/budget state
+//	GET  /api/cache                engine CacheStats counters
+//	GET  /api/metrics              the optimisation metric registry
+//	GET  /api/optimal?surface=analytic|sim&metric=<name>&rho=<density>
+//	GET  /api/surface?surface=analytic|sim[&rho=<density>]
+//	POST /api/refresh[?surface=analytic|sim]   rebuild snapshots
 type Server struct {
 	eng      *engine.Engine
-	analytic experiments.Preset
-	sim      experiments.Preset
+	analytic *surfaceState
+	sim      *surfaceState
 	mux      *http.ServeMux
-	// analyticDigest/simDigest are the content-addressed identities of
-	// the two surfaces (hashed job fingerprints), precomputed once and
-	// mixed into every ETag (see etag.go).
-	analyticDigest, simDigest string
+	// baseCtx bounds snapshot builds. Builds are coalesced across
+	// requests, so they run on the server's context, not the leader
+	// request's: a dropped leader client must not cancel the build its
+	// followers are waiting on.
+	baseCtx context.Context
 }
 
-// New builds a Server over eng, which must be cache-only — the
-// serving contract is "answers come from the cache, never from
-// recomputation" — and should carry the same cache (and presets) the
-// shard processes populated.
+// New builds a Server over eng on a background base context; see
+// NewCtx.
 func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) {
+	return NewCtx(context.Background(), eng, analytic, sim)
+}
+
+// NewCtx builds a Server over eng, which must be cache-only — the
+// serving contract is "answers come from the cache, never from
+// unbounded recomputation" (an engine.Budget may admit bounded
+// write-through fills) — and should carry the same cache (and presets)
+// the shard processes populated. ctx bounds coalesced snapshot builds;
+// cancel it to abort in-flight builds at shutdown.
+func NewCtx(ctx context.Context, eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) {
 	if !eng.CacheOnly() {
 		return nil, errors.New("serve: engine must be cache-only (engine.Config.CacheOnly)")
 	}
@@ -55,20 +106,67 @@ func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) 
 		return nil, errors.New("serve: engine must be unsharded: serving reads every shard's cached rows")
 	}
 	s := &Server{
-		eng: eng, analytic: analytic, sim: sim, mux: http.NewServeMux(),
-		analyticDigest: surfaceDigest(analytic, false),
-		simDigest:      surfaceDigest(sim, true),
+		eng:      eng,
+		analytic: newSurfaceState("analytic", analytic, false),
+		sim:      newSurfaceState("sim", sim, true),
+		mux:      http.NewServeMux(),
+		baseCtx:  ctx,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/cache", s.handleCache)
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/optimal", s.handleOptimal)
 	s.mux.HandleFunc("GET /api/surface", s.handleSurface)
+	s.mux.HandleFunc("POST /api/refresh", s.handleRefresh)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Warm eagerly builds both surface snapshots, so a server started over
+// a populated cache pays its cache reads before the first request.
+// Surfaces whose rows are not yet published are left cold (their
+// requests keep retrying); the first error is returned for logging.
+func (s *Server) Warm(ctx context.Context) error {
+	var firstErr error
+	for _, st := range []*surfaceState{s.analytic, s.sim} {
+		if _, err := st.store.build(ctx, func() (*snapshot, error) {
+			return s.loadSnapshot(ctx, st)
+		}, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// loadSnapshot runs the engine load for one surface and compacts it.
+func (s *Server) loadSnapshot(ctx context.Context, st *surfaceState) (*snapshot, error) {
+	var surf *experiments.Surface
+	var err error
+	if st.simulated {
+		surf, err = experiments.SimSurfaceCtx(ctx, s.eng, st.pre)
+	} else {
+		surf, err = experiments.AnalyticSurfaceCtx(ctx, s.eng, st.pre)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildSnapshot(st.name, surf)
+}
+
+// snapshot returns st's published snapshot, building it (coalesced
+// across concurrent cold requests) when necessary. The build runs on
+// the server's base context; the request context only bounds this
+// caller's wait.
+func (s *Server) snapshot(r *http.Request, st *surfaceState) (*snapshot, error) {
+	if snap := st.store.get(); snap != nil {
+		return snap, nil
+	}
+	return st.store.build(r.Context(), func() (*snapshot, error) {
+		return s.loadSnapshot(s.baseCtx, st)
+	}, false)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -77,6 +175,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetIndent("", "  ")
 	//lint:ignore errdrop the status line is already out; nothing to recover, the client sees a truncated body
 	_ = enc.Encode(v)
+}
+
+// writeRaw sends a pre-encoded JSON body (see encodeJSON for the byte
+// contract shared with writeJSON).
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 type errorBody struct {
@@ -107,11 +213,19 @@ func fail(w http.ResponseWriter, err error, fallback int) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"cacheOnly": true,
 		"hasCache":  s.eng.Cache() != nil,
-	})
+		"snapshots": map[string]bool{
+			"analytic": s.analytic.store.get() != nil,
+			"sim":      s.sim.store.get() != nil,
+		},
+	}
+	if b := s.eng.Budget(); b != nil {
+		body["budget"] = b.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
@@ -137,32 +251,65 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// preset resolves the surface= query parameter.
-func (s *Server) preset(r *http.Request) (experiments.Preset, bool, error) {
-	switch name := r.URL.Query().Get("surface"); name {
+// refreshResult reports one surface's rebuild outcome.
+type refreshResult struct {
+	Surface     string   `json:"surface"`
+	OK          bool     `json:"ok"`
+	Error       string   `json:"error,omitempty"`
+	MissingJobs []string `json:"missingJobs,omitempty"`
+}
+
+// handleRefresh forces snapshot rebuilds — after shards publish new
+// rows, hit this instead of restarting the server. A failed rebuild
+// keeps the last good snapshot published. Refreshing every surface is
+// the default; surface=analytic|sim narrows it.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	states := []*surfaceState{s.analytic, s.sim}
+	if name := r.URL.Query().Get("surface"); name != "" {
+		st, err := s.surfaceState(name)
+		if err != nil {
+			fail(w, err, http.StatusBadRequest)
+			return
+		}
+		states = []*surfaceState{st}
+	}
+	status := http.StatusOK
+	out := make([]refreshResult, len(states))
+	for i, st := range states {
+		res := refreshResult{Surface: st.name, OK: true}
+		if _, err := st.store.build(r.Context(), func() (*snapshot, error) {
+			return s.loadSnapshot(s.baseCtx, st)
+		}, true); err != nil {
+			status = http.StatusServiceUnavailable
+			res.OK = false
+			res.Error = err.Error()
+			var missing *engine.MissingError
+			if errors.As(err, &missing) {
+				const maxListed = 20
+				for j, job := range missing.Jobs {
+					if j == maxListed {
+						res.MissingJobs = append(res.MissingJobs, "...")
+						break
+					}
+					res.MissingJobs = append(res.MissingJobs, job.Name)
+				}
+			}
+		}
+		out[i] = res
+	}
+	writeJSON(w, status, out)
+}
+
+// surfaceState resolves a surface= value.
+func (s *Server) surfaceState(name string) (*surfaceState, error) {
+	switch name {
 	case "analytic":
-		return s.analytic, false, nil
+		return s.analytic, nil
 	case "sim":
-		return s.sim, true, nil
+		return s.sim, nil
 	default:
-		return experiments.Preset{}, false, fmt.Errorf("serve: surface=%q: want analytic or sim", name)
+		return nil, fmt.Errorf("serve: surface=%q: want analytic or sim", name)
 	}
-}
-
-// digest returns the precomputed content identity of a surface.
-func (s *Server) digest(simulated bool) string {
-	if simulated {
-		return s.simDigest
-	}
-	return s.analyticDigest
-}
-
-// loadSurface loads a surface entirely from the cache.
-func (s *Server) loadSurface(r *http.Request, pre experiments.Preset, simulated bool) (*experiments.Surface, error) {
-	if simulated {
-		return experiments.SimSurfaceCtx(r.Context(), s.eng, pre)
-	}
-	return experiments.AnalyticSurfaceCtx(r.Context(), s.eng, pre)
 }
 
 // rhoIndex finds the row index of the queried density. Densities are
@@ -191,6 +338,8 @@ func parseRho(r *http.Request) (float64, error) {
 
 // optimalBody is the answer to a tuning query: the (s, p) operating
 // point optimising the metric at the density, and the achieved value.
+// Rho echoes the preset's canonical density (the one the query matched
+// within tolerance), keeping the body a pure function of the ETag.
 type optimalBody struct {
 	Surface string  `json:"surface"`
 	Metric  string  `json:"metric"`
@@ -211,42 +360,34 @@ func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	pre, simulated, err := s.preset(r)
+	st, err := s.surfaceState(r.URL.Query().Get("surface"))
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	idx, ok := rhoIndex(pre, rho)
+	idx, ok := rhoIndex(st.pre, rho)
 	if !ok {
-		fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
+		fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, st.pre.Rhos), http.StatusNotFound)
 		return
 	}
 	// The answer is a pure function of the surface digest, the metric,
 	// and the density — so a validator match proves the client already
-	// has it, before a single cache read.
-	etag := etagOf("optimal", s.digest(simulated), sel.Name, rhoKey(rho))
+	// has it, before touching the snapshot (or, cold, the cache).
+	etag := st.optimalETag[sel.Name][idx]
 	if notModified(w, r, etag) {
 		return
 	}
-	surf, err := s.loadSurface(r, pre, simulated)
+	snap, err := s.snapshot(r, st)
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	opt, ok := sel.Pick(surf.Points[idx])
-	if !ok {
+	if !snap.optima[sel.Name][idx].ok {
 		fail(w, fmt.Errorf("serve: no feasible grid point for metric %q at rho=%g", sel.Name, rho), http.StatusNotFound)
 		return
 	}
 	w.Header().Set("ETag", etag)
-	writeJSON(w, http.StatusOK, optimalBody{
-		Surface: r.URL.Query().Get("surface"),
-		Metric:  sel.Name,
-		Rho:     rho,
-		S:       pre.S,
-		P:       opt.P,
-		Value:   opt.Value,
-	})
+	writeRaw(w, http.StatusOK, snap.optimalBody[sel.Name][idx])
 }
 
 // pointBody is the NaN-safe JSON shape of one surface point:
@@ -292,7 +433,7 @@ type surfaceBody struct {
 }
 
 func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
-	pre, simulated, err := s.preset(r)
+	st, err := s.surfaceState(r.URL.Query().Get("surface"))
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
@@ -304,36 +445,29 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 			fail(w, err, http.StatusBadRequest)
 			return
 		}
-		idx, ok := rhoIndex(pre, rho)
+		idx, ok := rhoIndex(st.pre, rho)
 		if !ok {
-			fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, pre.Rhos), http.StatusNotFound)
+			fail(w, fmt.Errorf("serve: rho=%g not in the preset densities %v", rho, st.pre.Rhos), http.StatusNotFound)
 			return
 		}
 		rowIdx, hasRho = idx, true
 	}
-	rhoPart := "all"
+	etag := st.fullETag
 	if hasRho {
-		rhoPart = rhoKey(pre.Rhos[rowIdx])
+		etag = st.rowETag[rowIdx]
 	}
-	etag := etagOf("surface", s.digest(simulated), rhoPart)
 	if notModified(w, r, etag) {
 		return
 	}
-	surf, err := s.loadSurface(r, pre, simulated)
+	snap, err := s.snapshot(r, st)
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	body := surfaceBody{Surface: r.URL.Query().Get("surface"), S: pre.S}
+	body := snap.fullBody
 	if hasRho {
-		body.Rhos = []float64{pre.Rhos[rowIdx]}
-		body.Rows = [][]pointBody{pointsBody(surf.Points[rowIdx])}
-	} else {
-		body.Rhos = pre.Rhos
-		for _, row := range surf.Points {
-			body.Rows = append(body.Rows, pointsBody(row))
-		}
+		body = snap.rowBody[rowIdx]
 	}
 	w.Header().Set("ETag", etag)
-	writeJSON(w, http.StatusOK, body)
+	writeRaw(w, http.StatusOK, body)
 }

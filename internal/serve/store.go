@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"sensornet/internal/experiments"
+	"sensornet/internal/optimize"
+)
+
+// The precompacted surface store. A warm server answers every
+// /api/optimal and /api/surface hit from an immutable in-memory
+// snapshot: the surface's rows loaded ONCE through the engine, packed
+// into flat per-metric float slices, the per-metric argmax tables
+// precomputed, and every 200-path response body pre-encoded to its
+// exact wire bytes. The snapshot is published through an atomic
+// pointer, so steady-state requests are a single atomic load plus a
+// []byte write — lock-free, alloc-light, zero cache reads.
+//
+// Cold surfaces coalesce: concurrent requests that find no snapshot
+// elect one leader to run the engine load while the rest wait on the
+// same buildCall, so N racing cold requests cost one pass over the
+// cache. A failed build (rows unpublished, the cache-only engine
+// reports Missing) is never stored — each wave of requests retries,
+// preserving the "shards publish later, requests start succeeding"
+// behaviour — and on a forced refresh the last good snapshot stays
+// published until a newer build succeeds.
+
+// compactSurface is the flat layout: one slice per metric, row-major
+// over (rho index, grid index), NaN preserved for infeasible cells.
+// Compared with [][]optimize.Point it is one allocation per metric and
+// keeps each metric's row contiguous for the argmax scan.
+type compactSurface struct {
+	s    int
+	rhos []float64
+	cols int
+	p    []float64
+
+	reachAtL, latency, broadcasts []float64
+	reachAtBudget, successRate    []float64
+	final                         []float64
+}
+
+func compactFrom(surf *experiments.Surface) *compactSurface {
+	rows := len(surf.Points)
+	cols := 0
+	if rows > 0 {
+		cols = len(surf.Points[0])
+	}
+	n := rows * cols
+	c := &compactSurface{
+		s:    surf.Pre.S,
+		rhos: append([]float64(nil), surf.Pre.Rhos...),
+		cols: cols,
+
+		p:             make([]float64, n),
+		reachAtL:      make([]float64, n),
+		latency:       make([]float64, n),
+		broadcasts:    make([]float64, n),
+		reachAtBudget: make([]float64, n),
+		successRate:   make([]float64, n),
+		final:         make([]float64, n),
+	}
+	for i, row := range surf.Points {
+		for j, pt := range row {
+			k := i*cols + j
+			c.p[k] = pt.P
+			c.reachAtL[k] = pt.ReachAtL
+			c.latency[k] = pt.Latency
+			c.broadcasts[k] = pt.Broadcasts
+			c.reachAtBudget[k] = pt.ReachAtBudget
+			c.successRate[k] = pt.SuccessRate
+			c.final[k] = pt.Final
+		}
+	}
+	return c
+}
+
+// point reconstructs the optimize.Point at (rho index i, grid index j).
+func (c *compactSurface) point(i, j int) optimize.Point {
+	k := i*c.cols + j
+	return optimize.Point{
+		P:             c.p[k],
+		ReachAtL:      c.reachAtL[k],
+		Latency:       c.latency[k],
+		Broadcasts:    c.broadcasts[k],
+		ReachAtBudget: c.reachAtBudget[k],
+		SuccessRate:   c.successRate[k],
+		Final:         c.final[k],
+	}
+}
+
+// row materialises one density's grid sweep.
+func (c *compactSurface) row(i int) []optimize.Point {
+	out := make([]optimize.Point, c.cols)
+	for j := range out {
+		out[j] = c.point(i, j)
+	}
+	return out
+}
+
+// optimumCell is one entry of a per-metric argmax table; ok is false
+// when no grid point at that density is feasible under the metric's
+// constraints.
+type optimumCell struct {
+	opt optimize.Optimum
+	ok  bool
+}
+
+// snapshot is everything a warm request needs, immutable once built.
+type snapshot struct {
+	compact *compactSurface
+	// optima[metric][rhoIdx] is the precomputed argmax table.
+	optima map[string][]optimumCell
+	// optimalBody[metric][rhoIdx] is the pre-encoded 200 body for
+	// /api/optimal (nil where the cell is infeasible).
+	optimalBody map[string][][]byte
+	// fullBody / rowBody[rhoIdx] are the pre-encoded /api/surface
+	// bodies.
+	fullBody []byte
+	rowBody  [][]byte
+}
+
+// encodeJSON renders v exactly as writeJSON puts it on the wire —
+// two-space indent, trailing newline — so pre-encoded snapshot bodies
+// are byte-identical to per-request encoding.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// buildSnapshot compacts a loaded surface and pre-encodes every
+// 200-path body it can serve. name is the canonical surface query
+// value ("analytic" or "sim") echoed in the bodies.
+func buildSnapshot(name string, surf *experiments.Surface) (*snapshot, error) {
+	c := compactFrom(surf)
+	snap := &snapshot{
+		compact:     c,
+		optima:      make(map[string][]optimumCell),
+		optimalBody: make(map[string][][]byte),
+		rowBody:     make([][]byte, len(c.rhos)),
+	}
+	rows := make([][]optimize.Point, len(c.rhos))
+	for i := range c.rhos {
+		rows[i] = c.row(i)
+	}
+	for _, sel := range optimize.Selectors() {
+		cells := make([]optimumCell, len(c.rhos))
+		bodies := make([][]byte, len(c.rhos))
+		for i, rho := range c.rhos {
+			opt, ok := sel.Pick(rows[i])
+			cells[i] = optimumCell{opt: opt, ok: ok}
+			if !ok {
+				continue
+			}
+			b, err := encodeJSON(optimalBody{
+				Surface: name, Metric: sel.Name, Rho: rho,
+				S: c.s, P: opt.P, Value: opt.Value,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bodies[i] = b
+		}
+		snap.optima[sel.Name] = cells
+		snap.optimalBody[sel.Name] = bodies
+	}
+	full := surfaceBody{Surface: name, S: c.s, Rhos: c.rhos}
+	for i, rho := range c.rhos {
+		pts := pointsBody(rows[i])
+		full.Rows = append(full.Rows, pts)
+		b, err := encodeJSON(surfaceBody{
+			Surface: name, S: c.s,
+			Rhos: []float64{rho}, Rows: [][]pointBody{pts},
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.rowBody[i] = b
+	}
+	fb, err := encodeJSON(full)
+	if err != nil {
+		return nil, err
+	}
+	snap.fullBody = fb
+	return snap, nil
+}
+
+// buildCall is one in-progress snapshot build; waiters share its
+// outcome instead of racing their own engine loads.
+type buildCall struct {
+	done chan struct{}
+	snap *snapshot
+	err  error
+}
+
+// store publishes one surface's snapshot.
+type store struct {
+	snap     atomic.Pointer[snapshot]
+	mu       sync.Mutex
+	inflight *buildCall
+}
+
+// get is the steady-state fast path: one atomic load, no locks.
+func (st *store) get() *snapshot { return st.snap.Load() }
+
+// join decides this caller's role: an already-published snapshot (with
+// force unset) short-circuits, an in-flight call is joined as a
+// follower, and otherwise the caller registers a fresh call as leader.
+func (st *store) join(force bool) (snap *snapshot, c *buildCall, leader bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !force {
+		if s := st.snap.Load(); s != nil {
+			return s, nil, false
+		}
+	}
+	if st.inflight != nil {
+		return nil, st.inflight, false
+	}
+	st.inflight = &buildCall{done: make(chan struct{})}
+	return nil, st.inflight, true
+}
+
+// publish installs the leader's outcome — the snapshot swap on
+// success, nothing on failure (the last good snapshot stays) — and
+// wakes every follower.
+func (st *store) publish(c *buildCall) {
+	st.mu.Lock()
+	st.inflight = nil
+	if c.err == nil {
+		st.snap.Store(c.snap)
+	}
+	st.mu.Unlock()
+	close(c.done)
+}
+
+// build returns a snapshot, coalescing concurrent builders: the leader
+// runs buildFn, everyone else waits on the shared call (or their own
+// ctx). With force unset a snapshot published meanwhile is returned
+// without building; with force set a build always runs (joining one
+// already in flight), and on failure the previously published snapshot
+// stays in place.
+func (st *store) build(ctx context.Context, buildFn func() (*snapshot, error), force bool) (*snapshot, error) {
+	snap, c, leader := st.join(force)
+	if snap != nil {
+		return snap, nil
+	}
+	if !leader {
+		select {
+		case <-c.done:
+			return c.snap, c.err
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	c.snap, c.err = buildFn()
+	st.publish(c)
+	return c.snap, c.err
+}

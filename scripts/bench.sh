@@ -1,11 +1,19 @@
 #!/usr/bin/env sh
 # bench.sh runs the repo's key benchmarks and writes the perf
 # trajectory snapshot BENCH_<n>.json (ns/op, B/op, allocs/op per
-# bench). The four benches cover the hot paths the snapshot tracks:
-# the slot-aligned simulator (SimulatorDenseFlooding), the analytic
-# surface behind Fig. 4 (Fig4Reachability), the simulated sweep behind
-# Fig. 8 (Fig8SimReachability), and the engine-scheduled campaign
-# (EngineCampaign).
+# bench, plus a loadgen latency section). The micro-bench set covers
+# the hot paths the snapshot tracks: the slot-aligned simulator
+# (SimulatorDenseFlooding), the analytic surface behind Fig. 4
+# (Fig4Reachability), the simulated sweep behind Fig. 8
+# (Fig8SimReachability), the engine-scheduled campaign
+# (EngineCampaign), and the serving fast path (ServeOptimal /
+# ServeSurfaceRow / ServeSurfaceFull — steady-state snapshot hits).
+#
+# The latency tier then boots a real `experiments -serve` over a
+# warmed quick cache, drives it with cmd/loadgen (closed loop, mixed
+# query distribution), and merges the p50/p90/p99 percentiles into the
+# snapshot's "latency" section, which cmd/benchgate gates alongside
+# the micro-benches.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #   output.json defaults to BENCH.json in the repo root
@@ -16,10 +24,10 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"
 benchtime="${2:-1x}"
 
-pattern='BenchmarkSimulatorDenseFlooding$|BenchmarkFig4Reachability$|BenchmarkFig8SimReachability$|BenchmarkEngineCampaign/workers=1$'
+pattern='BenchmarkSimulatorDenseFlooding$|BenchmarkFig4Reachability$|BenchmarkFig8SimReachability$|BenchmarkEngineCampaign/workers=1$|BenchmarkServeOptimal$|BenchmarkServeSurfaceRow$|BenchmarkServeSurfaceFull$'
 
 echo "== bench: $pattern (benchtime=$benchtime)" >&2
-go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem . |
+go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem . ./internal/serve/ |
 	tee /dev/stderr |
 	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		/^Benchmark/ && NF >= 7 {
@@ -37,5 +45,27 @@ go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem . |
 			printf "  ]\n}\n"
 		}
 	' > "$out"
+
+echo "== latency tier: loadgen against a warmed -serve instance" >&2
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -z "${serve_pid:-}" ] || kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$tmp/experiments" ./cmd/experiments
+go build -o "$tmp/loadgen" ./cmd/loadgen
+"$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" >/dev/null
+"$tmp/experiments" -quick -cache-dir "$tmp/cache" -serve 127.0.0.1:0 \
+    -dist-addr-file "$tmp/addr" 2>/dev/null &
+serve_pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "bench.sh: -serve never published its address" >&2; exit 1; }
+    sleep 0.1
+done
+"$tmp/loadgen" -url "http://$(cat "$tmp/addr")" -surfaces analytic -quick \
+    -name serve-analytic -qps 200 -duration 3s -out "$tmp/loadgen.json" \
+    -bench-merge "$out" >/dev/null
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
 
 echo "wrote $out" >&2

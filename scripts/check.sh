@@ -47,7 +47,7 @@ echo "== tier 2: two-process shard + merge smoke (fig4)"
 # merge assembles the figure strictly from the cache and must render
 # byte-identically to a direct single-process run.
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+trap 'rm -rf "$tmp"; [ -z "${serve_pid:-}" ] || kill "$serve_pid" 2>/dev/null || true' EXIT
 go build -o "$tmp/experiments" ./cmd/experiments
 "$tmp/experiments" -figure fig4 -quick -out "$tmp/direct.txt"
 "$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -shard 0/2 &
@@ -129,5 +129,27 @@ grep -q " 0 dup-ingests" "$tmp/coord-report.txt" || {
 }
 "$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/ccache" -merge 2 -out "$tmp/chaos.txt"
 cmp "$tmp/direct.txt" "$tmp/chaos.txt"
+
+echo "== tier 2: serve load smoke (loadgen burst against -serve over the warm cache)"
+# The snapshot-serving tier over the fig4-warmed cache from the shard
+# smoke: a short closed-loop loadgen burst must complete with zero
+# errors and a generous p99 bound, and SIGINT must shut the server
+# down gracefully (exit 0). The loadgen report is archived.
+go build -o "$tmp/loadgen" ./cmd/loadgen
+"$tmp/experiments" -quick -cache-dir "$tmp/cache" -serve 127.0.0.1:0 \
+    -dist-addr-file "$tmp/serveaddr" 2>"$tmp/serve.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$tmp/serveaddr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "-serve never published its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+"$tmp/loadgen" -url "http://$(cat "$tmp/serveaddr")" -surfaces analytic -quick \
+    -qps 150 -duration 2s -name serve-smoke \
+    -max-error-rate 0 -max-p99 750ms -out artifacts/loadgen.json
+kill -INT "$serve_pid"
+wait "$serve_pid" || { echo "-serve did not shut down cleanly" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+serve_pid=""
 
 echo "all checks passed"
