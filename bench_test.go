@@ -304,6 +304,23 @@ func BenchmarkSchemeComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkShootoutCampaign regenerates the cross-scheme shootout
+// (flooding, tuned PB, counter and distance suppression) across the
+// CFM, CAM and SINR channel columns at one density.
+func BenchmarkShootoutCampaign(b *testing.B) {
+	pre := benchPresetSim()
+	pre.Runs = 2
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Shootout(pre, []float64{40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Tables) == 0 {
+			b.Fatal("empty shootout figure")
+		}
+	}
+}
+
 // BenchmarkHeterogeneity regenerates the hotspot-field comparison.
 func BenchmarkHeterogeneity(b *testing.B) {
 	pre := benchPresetSim()

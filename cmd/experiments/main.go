@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -60,7 +61,7 @@ import (
 func main() {
 	var (
 		figure = flag.String("figure", "all",
-			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|degradation|all")
+			"fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig12sim|cfm|carrier|costfn|percolation|collisions|slots|field|schemes|hetero|refinedcfm|joint|mumode|degradation|shootout|all")
 		quick    = flag.Bool("quick", false, "coarse grids and few runs (fast)")
 		skipSim  = flag.Bool("skip-sim", false, "omit the simulated figures")
 		out      = flag.String("out", "", "write the report to a file instead of stdout")
@@ -92,9 +93,10 @@ func main() {
 		chaosProfile = flag.String("chaos-profile", "off", "fault injection: wrap the worker's HTTP transport in seed-deterministic chaos (off|mild|hostile); requires -worker")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "root seed for -chaos-profile fault streams; the same seed and profile replay the identical fault schedule")
 
-		degRho     = flag.Float64("deg-rho", 60, "density for the degradation study")
-		crashRates = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
-		lossRates  = flag.String("loss-rates", "", "comma-separated link-loss rates for -figure degradation (default 0,0.1,0.3)")
+		degRho       = flag.Float64("deg-rho", 60, "density for the degradation study")
+		crashRates   = flag.String("crash-rates", "", "comma-separated crash rates for -figure degradation (default 0,0.1,0.2,0.4)")
+		lossRates    = flag.String("loss-rates", "", "comma-separated link-loss rates for -figure degradation (default 0,0.1,0.3)")
+		shootRhoSpec = flag.String("shoot-rhos", "", "comma-separated densities for -figure shootout (default 40,100)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -121,6 +123,11 @@ func main() {
 	}
 	if deg.loss, err = parseRates(*lossRates); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: -loss-rates:", err)
+		os.Exit(2)
+	}
+	shootRhos, err := parseRhos(*shootRhoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -shoot-rhos:", err)
 		os.Exit(2)
 	}
 
@@ -211,20 +218,20 @@ func main() {
 	switch {
 	case *coordAddr != "":
 		err = runCoordinator(ctx, *coordAddr, *addrFile, cache, distConfig{
-			figure: *figure, pa: pa, ps: ps, deg: deg, skipSim: *skipSim,
+			figure: *figure, pa: pa, ps: ps, deg: deg, shootRhos: shootRhos, skipSim: *skipSim,
 			shards: *distShard, ttl: *leaseTTL, workers: eng.Workers(),
 		}, w)
 	case *workerURL != "":
 		err = runWorker(ctx, *workerURL, *workerID, eng, distConfig{
-			figure: *figure, pa: pa, ps: ps, deg: deg, skipSim: *skipSim,
+			figure: *figure, pa: pa, ps: ps, deg: deg, shootRhos: shootRhos, skipSim: *skipSim,
 			failAfter: *failAfter, chaosProf: chaosProf, chaosSeed: *chaosSeed,
 		}, w)
 	case *serveAddr != "":
-		err = runServe(ctx, *serveAddr, *addrFile, eng, pa, ps)
+		err = runServe(ctx, *serveAddr, *addrFile, eng, pa, ps, shootRhos)
 	case *shard != "":
-		err = runShard(ctx, eng, *figure, pa, ps, deg, *skipSim, w)
+		err = runShard(ctx, eng, *figure, pa, ps, deg, shootRhos, *skipSim, w)
 	default:
-		err = run(ctx, eng, *figure, pa, ps, deg, *skipSim, w, *csvDir)
+		err = run(ctx, eng, *figure, pa, ps, deg, shootRhos, *skipSim, w, *csvDir)
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, eng.Stats())
@@ -295,8 +302,8 @@ func printMissingJSON(w io.Writer, missing *engine.MissingError, total int) erro
 // shared cache and reports what it did; rendering is the merge step's
 // business.
 func runShard(ctx context.Context, eng *engine.Engine, figure string,
-	pa, ps experiments.Preset, deg degParams, skipSim bool, w io.Writer) error {
-	jobs, err := experiments.FigureJobs(figure, pa, ps, deg.rho, deg.crash, deg.loss, skipSim, eng.Workers())
+	pa, ps experiments.Preset, deg degParams, shootRhos []float64, skipSim bool, w io.Writer) error {
+	jobs, err := experiments.FigureJobs(figure, pa, ps, deg.rho, deg.crash, deg.loss, shootRhos, skipSim, eng.Workers())
 	if err != nil {
 		return err
 	}
@@ -315,6 +322,7 @@ type distConfig struct {
 	figure    string
 	pa, ps    experiments.Preset
 	deg       degParams
+	shootRhos []float64
 	skipSim   bool
 	shards    int
 	ttl       time.Duration
@@ -325,7 +333,7 @@ type distConfig struct {
 }
 
 func (d distConfig) jobs() ([]engine.Job, error) {
-	return experiments.FigureJobs(d.figure, d.pa, d.ps, d.deg.rho, d.deg.crash, d.deg.loss, d.skipSim, d.workers)
+	return experiments.FigureJobs(d.figure, d.pa, d.ps, d.deg.rho, d.deg.crash, d.deg.loss, d.shootRhos, d.skipSim, d.workers)
 }
 
 // runCoordinator serves the figure's job queue until every job is
@@ -486,8 +494,9 @@ func runWorker(ctx context.Context, url, id string, eng *engine.Engine,
 // are reported and left to retry per request (shards may publish
 // later). addrFile, when set, receives the bound listen address (for
 // :0 listeners in scripts).
-func runServe(ctx context.Context, addr, addrFile string, eng *engine.Engine, pa, ps experiments.Preset) error {
-	srv, err := serve.NewCtx(ctx, eng, pa, ps)
+func runServe(ctx context.Context, addr, addrFile string, eng *engine.Engine,
+	pa, ps experiments.Preset, shootRhos []float64) error {
+	srv, err := serve.NewCtx(ctx, eng, pa, ps, serve.WithShootoutRhos(shootRhos))
 	if err != nil {
 		return err
 	}
@@ -609,6 +618,28 @@ type degParams struct {
 	crash, loss []float64
 }
 
+// parseRhos parses a comma-separated list of positive densities; an
+// empty string means "use the default pair". Unlike parseRates, rhos
+// are not bounded by 1.
+func parseRhos(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rhos := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad density %q: %v", p, err)
+		}
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return nil, fmt.Errorf("density %v not a positive finite number", r)
+		}
+		rhos = append(rhos, r)
+	}
+	return rhos, nil
+}
+
 // parseRates parses a comma-separated list of rates in [0, 1]; an
 // empty string means "use the default grid".
 func parseRates(s string) ([]float64, error) {
@@ -656,7 +687,7 @@ func dumpCSV(dir string, rhos []float64, figs ...*experiments.FigureResult) erro
 }
 
 func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experiments.Preset,
-	deg degParams, skipSim bool, w io.Writer, csvDir string) error {
+	deg degParams, shootRhos []float64, skipSim bool, w io.Writer, csvDir string) error {
 	if figure == "all" {
 		c := experiments.Campaign{Analytic: pa, Sim: ps, SkipSim: skipSim,
 			Extras: true, Engine: eng}
@@ -726,6 +757,8 @@ func run(ctx context.Context, eng *engine.Engine, figure string, pa, ps experime
 		f, err = experiments.MuModeAblation(pa)
 	case figure == "degradation":
 		f, err = experiments.DegradationCtx(ctx, eng, ps, deg.rho, deg.crash, deg.loss)
+	case figure == "shootout":
+		f, err = experiments.ShootoutCtx(ctx, eng, ps, shootRhos)
 	case figure == "slots":
 		f, err = experiments.SlotSweep(80, []int{1, 2, 3, 4, 6, 8, 12}, pa.Grid, pa.Constraints)
 	case figure == "field":

@@ -93,18 +93,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: merged latency run %q into %s\n", rep.Name, *merge)
 	}
 
-	failed := false
-	if *maxP99 > 0 && rep.P99Ms > float64(*maxP99)/float64(time.Millisecond) {
-		fmt.Fprintf(os.Stderr, "loadgen: p99 %.2fms exceeds the %s bound\n", rep.P99Ms, *maxP99)
-		failed = true
-	}
-	if *maxErr >= 0 && rep.ErrorRate > *maxErr {
-		fmt.Fprintf(os.Stderr, "loadgen: error rate %.4f exceeds the %.4f bound\n", rep.ErrorRate, *maxErr)
-		failed = true
-	}
-	if failed {
+	if fails := gateFailures(rep, *maxP99, *maxErr); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "loadgen:", f)
+		}
 		os.Exit(1)
 	}
+}
+
+// gateFailures evaluates the -max-p99/-max-error-rate gate. A gated run
+// that produced no requests, or no successful ones, fails outright: the
+// percentile fields sit at their zero values (or describe only error
+// latencies), so the bound checks alone would pass trivially against a
+// dead server — exactly the green-gate-on-outage failure mode the gate
+// exists to catch.
+func gateFailures(rep *report, maxP99 time.Duration, maxErr float64) []string {
+	gated := maxP99 > 0 || maxErr >= 0
+	if !gated {
+		return nil
+	}
+	if rep.Requests == 0 {
+		return []string{"gate failed: the run produced zero requests, so the latency and error-rate bounds were never exercised (is the server up?)"}
+	}
+	var fails []string
+	if rep.Requests == rep.Errors {
+		fails = append(fails, fmt.Sprintf("gate failed: all %d requests errored, so the percentiles describe only failures", rep.Requests))
+	}
+	if maxP99 > 0 && rep.P99Ms > float64(maxP99)/float64(time.Millisecond) {
+		fails = append(fails, fmt.Sprintf("p99 %.2fms exceeds the %s bound", rep.P99Ms, maxP99))
+	}
+	if maxErr >= 0 && rep.ErrorRate > maxErr {
+		fails = append(fails, fmt.Sprintf("error rate %.4f exceeds the %.4f bound", rep.ErrorRate, maxErr))
+	}
+	return fails
 }
 
 // report is the loadgen JSON output; the latency fields mirror

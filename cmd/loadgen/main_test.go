@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGateFailsOnZeroRequests is the dead-server regression: a gated
+// run with zero requests leaves every percentile at its zero value, and
+// before the fix both bound checks passed trivially.
+func TestGateFailsOnZeroRequests(t *testing.T) {
+	rep := &report{}
+	fails := gateFailures(rep, 750*time.Millisecond, 0)
+	if len(fails) == 0 {
+		t.Fatal("zero-request gated run must fail")
+	}
+	if !strings.Contains(fails[0], "zero requests") {
+		t.Fatalf("failure message should name the zero-request cause, got %q", fails[0])
+	}
+	// Either bound alone arms the gate.
+	if len(gateFailures(rep, 750*time.Millisecond, -1)) == 0 {
+		t.Fatal("-max-p99 alone must arm the zero-request check")
+	}
+	if len(gateFailures(rep, 0, 0)) == 0 {
+		t.Fatal("-max-error-rate alone must arm the zero-request check")
+	}
+}
+
+// TestGateFailsOnAllErrors pins the all-failures case: the latency
+// percentiles then describe only error samples (timeouts, refused
+// connections), which says nothing about serving latency.
+func TestGateFailsOnAllErrors(t *testing.T) {
+	rep := &report{Requests: 10, Errors: 10, ErrorRate: 1, P99Ms: 0.1}
+	fails := gateFailures(rep, 750*time.Millisecond, 1)
+	if len(fails) == 0 {
+		t.Fatal("all-error gated run must fail even inside the bounds")
+	}
+	if !strings.Contains(fails[0], "errored") {
+		t.Fatalf("failure message should name the all-errors cause, got %q", fails[0])
+	}
+}
+
+func TestGateBoundsStillEnforced(t *testing.T) {
+	rep := &report{Requests: 100, Errors: 5, ErrorRate: 0.05, P99Ms: 900}
+	fails := gateFailures(rep, 750*time.Millisecond, 0.01)
+	if len(fails) != 2 {
+		t.Fatalf("want p99 and error-rate failures, got %v", fails)
+	}
+}
+
+func TestGatePassesHealthyRun(t *testing.T) {
+	rep := &report{Requests: 100, P99Ms: 10}
+	if fails := gateFailures(rep, 750*time.Millisecond, 0); len(fails) != 0 {
+		t.Fatalf("healthy run should pass, got %v", fails)
+	}
+}
+
+func TestGateUncheckedRunNeverFails(t *testing.T) {
+	// No bounds set: even a dead run is not gated (report-only mode).
+	if fails := gateFailures(&report{}, 0, -1); len(fails) != 0 {
+		t.Fatalf("ungated run should never fail, got %v", fails)
+	}
+}

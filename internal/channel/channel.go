@@ -1,4 +1,4 @@
-// Package channel implements the paper's two link-level communication
+// Package channel implements the paper's link-level communication
 // models over a fixed deployment.
 //
 // Under CFM (Collision Free Model, §3.2.1) every transmission is an
@@ -7,8 +7,12 @@
 // is the sole transmission audible at the receiver for its entire
 // duration; the carrier-sensing variant (Appendix A) additionally
 // requires silence from every node within twice the transmission
-// radius. Radios are half-duplex: a transmitting node receives nothing
-// during its own slot.
+// radius. ModelSINR sharpens CAM's binary collision disk into physical
+// interference (Halldórsson & Mitra's local-broadcasting setting): each
+// receiver sums the path-loss power of every audible transmitter and a
+// packet decodes iff its signal-to-interference-plus-noise ratio meets
+// the threshold β. Radios are half-duplex: a transmitting node receives
+// nothing during its own slot.
 package channel
 
 import (
@@ -30,6 +34,14 @@ const (
 	// CAMCarrierSense is CAM extended with a carrier-sensing range of
 	// twice the transmission radius (Appendix A).
 	CAMCarrierSense
+	// ModelSINR is the physical-interference model: a reception decodes
+	// iff signal/(N₀ + interference) >= β, where signal and interference
+	// are normalised path-loss gains (d/R)^-α precomputed per edge by
+	// the deployment. Interference is summed over transmitters within
+	// the sensing range 2R (gains beyond it are at most 2^-α and are
+	// truncated; the deployment must be generated WithSensing and with
+	// GainAlpha set).
+	ModelSINR
 )
 
 // String implements fmt.Stringer.
@@ -41,9 +53,47 @@ func (m Model) String() string {
 		return "CAM"
 	case CAMCarrierSense:
 		return "CAM+CS"
+	case ModelSINR:
+		return "SINR"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
+}
+
+// SINRParams parameterises ModelSINR.
+type SINRParams struct {
+	// Alpha is the path-loss exponent; gains fall off as (d/R)^-Alpha.
+	// It must match the deployment's GainAlpha.
+	Alpha float64
+	// Beta is the decode threshold: signal >= Beta·(N0 + interference).
+	Beta float64
+	// N0 is the noise floor in the same normalised power units as the
+	// gains (a transmitter at the range edge has power exactly 1).
+	N0 float64
+}
+
+// DefaultSINRParams returns the repo's reference SINR operating point:
+// α = 3 (a common terrestrial path-loss exponent), β = 1.5, N₀ = 0.2.
+// β·N₀ = 0.3 <= 1, so an interference-free transmitter still reaches
+// every neighbour out to the range edge — a lone SINR transmission
+// behaves exactly like a lone CAM transmission, which keeps the models
+// comparable in the shootout campaign.
+func DefaultSINRParams() SINRParams {
+	return SINRParams{Alpha: 3, Beta: 1.5, N0: 0.2}
+}
+
+// Validate reports whether the parameters describe a usable channel.
+func (p SINRParams) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("channel: SINR Alpha must be > 0, got %g", p.Alpha)
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("channel: SINR Beta must be > 0, got %g", p.Beta)
+	}
+	if p.N0 < 0 {
+		return fmt.Errorf("channel: SINR N0 must be >= 0, got %g", p.N0)
+	}
+	return nil
 }
 
 // Costs carries the per-transmission cost constants of a model: (t_f,
@@ -72,13 +122,16 @@ type Resolver struct {
 	model Model
 	dep   *deploy.Deployment
 
-	stamp    []uint32 // epoch of the last write to count/from
-	count    []int32  // in-range transmitters audible this slot
-	from     []int32  // the unique transmitter when count == 1
-	sense    []int32  // sensing-annulus transmitters audible this slot
-	txStamp  []uint32 // epoch marking nodes transmitting this slot
-	colStamp []uint32 // epoch deduplicating collision reports
+	stamp    []uint32  // epoch of the last write to count/from/power
+	count    []int32   // in-range transmitters audible this slot
+	from     []int32   // the unique transmitter when count == 1
+	sense    []int32   // sensing-annulus transmitters audible this slot
+	power    []float64 // SINR: total audible path-loss power this slot
+	txStamp  []uint32  // epoch marking nodes transmitting this slot
+	colStamp []uint32  // epoch deduplicating collision reports
 	epoch    uint32
+
+	sinr SINRParams // decode parameters when model is ModelSINR
 
 	unicastScratch []int32 // sender list reused by ResolveSlotUnicast
 	faultScratch   []int32 // up-transmitter list reused by ResolveSlotFaults
@@ -107,14 +160,51 @@ type Faults interface {
 }
 
 // NewResolver builds a resolver for the model over dep. Carrier sensing
-// requires the deployment to have been generated WithSensing.
+// requires the deployment to have been generated WithSensing; ModelSINR
+// additionally requires precomputed gain tables and uses
+// DefaultSINRParams (use NewResolverSINR to choose them).
 func NewResolver(model Model, dep *deploy.Deployment) (*Resolver, error) {
+	if model == ModelSINR {
+		return NewResolverSINR(dep, DefaultSINRParams())
+	}
 	if dep == nil {
 		return nil, errors.New("channel: nil deployment")
 	}
 	if model == CAMCarrierSense && dep.Sensing == nil {
 		return nil, errors.New("channel: carrier-sense model needs deploy.Config.WithSensing")
 	}
+	return newResolver(model, dep), nil
+}
+
+// NewResolverSINR builds a ModelSINR resolver with explicit decode
+// parameters. The deployment must carry both neighbour and sensing gain
+// tables (deploy.Config.WithSensing plus GainAlpha) and its GainAlpha
+// must equal params.Alpha — the tables are the precomputed form of the
+// model's path loss, so a mismatch would silently decode under a
+// different exponent than requested.
+func NewResolverSINR(dep *deploy.Deployment, params SINRParams) (*Resolver, error) {
+	if dep == nil {
+		return nil, errors.New("channel: nil deployment")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if dep.Gains == nil || dep.SensingGains == nil {
+		return nil, errors.New("channel: SINR model needs deploy.Config.WithSensing and GainAlpha (precomputed gain tables)")
+	}
+	//lint:ignore floateq both sides are the same configured constant, not computed values; any drift is a wiring bug
+	if dep.GainAlpha != params.Alpha {
+		return nil, fmt.Errorf("channel: deployment gains use alpha=%g but SINR params say alpha=%g",
+			dep.GainAlpha, params.Alpha)
+	}
+	r := newResolver(ModelSINR, dep)
+	r.power = make([]float64, dep.N())
+	r.sinr = params
+	return r, nil
+}
+
+// newResolver allocates the shared per-node scratch.
+func newResolver(model Model, dep *deploy.Deployment) *Resolver {
 	n := dep.N()
 	return &Resolver{
 		model:    model,
@@ -125,8 +215,12 @@ func NewResolver(model Model, dep *deploy.Deployment) (*Resolver, error) {
 		sense:    make([]int32, n),
 		txStamp:  make([]uint32, n),
 		colStamp: make([]uint32, n),
-	}, nil
+	}
 }
+
+// SINR returns the resolver's decode parameters (zero unless the model
+// is ModelSINR).
+func (r *Resolver) SINR() SINRParams { return r.sinr }
 
 // Model returns the resolver's communication model.
 func (r *Resolver) Model() Model { return r.model }
@@ -208,6 +302,10 @@ func (r *Resolver) resolve(txs []int32, deliver func(from, to int32), collided f
 		}
 		return
 	}
+	if r.model == ModelSINR {
+		r.resolveSINR(txs, deliver, collided, f, lost)
+		return
+	}
 	// Pass 1: tally audible transmitters per receiver.
 	for _, s := range txs {
 		for _, v := range r.dep.Neighbors[s] {
@@ -247,6 +345,77 @@ func (r *Resolver) resolve(txs []int32, deliver func(from, to int32), collided f
 			}
 			ok := r.count[v] == 1 && r.from[v] == s &&
 				(r.model != CAMCarrierSense || r.sense[v] == 0)
+			switch {
+			case ok && f != nil && f.DropPacket(s, v):
+				if lost != nil {
+					lost(s, v)
+				}
+			case ok:
+				deliver(s, v)
+			case collided != nil && r.colStamp[v] != r.epoch:
+				r.colStamp[v] = r.epoch
+				collided(v, r.count[v])
+			}
+		}
+	}
+}
+
+// resolveSINR is the physical-interference slot core. Pass 1 sums every
+// audible transmitter's precomputed path-loss gain into each receiver's
+// power accumulator — in-range edges via the neighbour gain table,
+// annulus edges (R, 2R] via the sensing gain table; interferers beyond
+// 2R contribute at most 2^-α each and are truncated, a documented
+// approximation that keeps the slot loop linear in the lists the
+// deployment already carries. Pass 2 decodes each in-range (s, v) pair
+// iff gain(s,v) >= β·(N₀ + totalPower(v) − gain(s,v)): the pair's own
+// signal is subtracted from the accumulated total, so no per-pair state
+// is needed beyond the shared accumulator. count/from are maintained
+// exactly as under CAM so collided reports carry the same heard
+// semantics, and accumulation order (txs order, then list order) is
+// fixed, making the float sums bit-reproducible.
+//
+// With β >= 1 at most one transmitter can decode at a receiver per
+// slot; with β < 1 several may (capture), and a receiver can then both
+// deliver and report a destroyed reception in the same slot.
+func (r *Resolver) resolveSINR(txs []int32, deliver func(from, to int32), collided func(to, heard int32),
+	f Faults, lost func(from, to int32)) {
+	for _, s := range txs {
+		gains := r.dep.Gains[s]
+		for i, v := range r.dep.Neighbors[s] {
+			if r.stamp[v] != r.epoch {
+				r.stamp[v] = r.epoch
+				r.count[v] = 0
+				r.power[v] = 0
+			}
+			r.count[v]++
+			r.from[v] = s
+			r.power[v] += gains[i]
+		}
+		sgains := r.dep.SensingGains[s]
+		for i, v := range r.dep.Sensing[s] {
+			if r.stamp[v] != r.epoch {
+				r.stamp[v] = r.epoch
+				r.count[v] = 0
+				r.power[v] = 0
+			}
+			r.power[v] += sgains[i]
+		}
+	}
+	beta, n0 := r.sinr.Beta, r.sinr.N0
+	for _, s := range txs {
+		gains := r.dep.Gains[s]
+		for i, v := range r.dep.Neighbors[s] {
+			if r.txStamp[v] == r.epoch {
+				continue // half-duplex: v is transmitting
+			}
+			if f != nil && !f.RxUp(v) {
+				if lost != nil {
+					lost(s, v)
+				}
+				continue
+			}
+			sig := gains[i]
+			ok := sig >= beta*(n0+r.power[v]-sig)
 			switch {
 			case ok && f != nil && f.DropPacket(s, v):
 				if lost != nil {

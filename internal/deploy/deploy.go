@@ -44,6 +44,14 @@ type Config struct {
 	// WithSensing additionally builds the carrier-sensing neighbour
 	// lists (nodes at distance in (r, 2r]).
 	WithSensing bool
+	// GainAlpha, when positive, additionally precomputes per-edge
+	// path-loss gains g = (d/R)^-GainAlpha for every neighbour (and,
+	// with WithSensing, every sensing-annulus) edge during the same
+	// single distance pass that builds the lists. The normalised form
+	// makes the gain exactly 1 at the range edge regardless of R, so
+	// SINR decode thresholds are radius-independent. Zero leaves the
+	// gain tables nil.
+	GainAlpha float64
 }
 
 func (c *Config) applyDefaults() {
@@ -67,6 +75,9 @@ func (c Config) Validate() error {
 	if c.N < 0 {
 		return fmt.Errorf("deploy: negative N %d", c.N)
 	}
+	if c.GainAlpha < 0 {
+		return fmt.Errorf("deploy: negative GainAlpha %g", c.GainAlpha)
+	}
 	return nil
 }
 
@@ -85,6 +96,15 @@ type Deployment struct {
 	// Sensing[i] lists nodes at distance in (R, 2R] of node i; nil
 	// unless requested at generation time.
 	Sensing [][]int32
+	// Gains[i][k] is the path-loss gain (d/R)^-GainAlpha of the edge to
+	// Neighbors[i][k]; SensingGains[i][k] likewise for Sensing[i][k].
+	// Both are nil unless Config.GainAlpha was positive. Gains are
+	// symmetric because distance is.
+	Gains        [][]float64
+	SensingGains [][]float64
+	// GainAlpha records the path-loss exponent the gain tables were
+	// built with (0 when absent).
+	GainAlpha float64
 }
 
 // N returns the number of nodes including the source.
@@ -121,8 +141,22 @@ func Generate(cfg Config, rng *rand.Rand) (*Deployment, error) {
 			d.Pos[i] = geom.Point{X: rr * math.Cos(th), Y: rr * math.Sin(th)}
 		}
 	}
-	d.buildNeighbors(cfg.WithSensing)
+	d.buildNeighbors(cfg.WithSensing, cfg.GainAlpha)
 	return d, nil
+}
+
+// PathGain is the normalised path-loss gain at squared distance dd for
+// squared range r2 and exponent alpha: (d/R)^-alpha computed directly
+// from the squared quantities, (dd/r2)^(-alpha/2). Coincident points
+// are clamped to a tiny positive squared distance so the gain stays a
+// large finite number instead of +Inf (whose interference arithmetic
+// would produce NaN). Exposed so brute-force cross-checks can
+// reproduce the precomputed tables bit for bit.
+func PathGain(dd, r2, alpha float64) float64 {
+	if dd < 1e-12*r2 {
+		dd = 1e-12 * r2
+	}
+	return math.Pow(dd/r2, -0.5*alpha)
 }
 
 // uniformRadius samples a normalised radius for a uniform disk:
@@ -191,11 +225,19 @@ func latticePositions(field, r float64) []geom.Point {
 // (~97% of allocs at ρ=140); the flat layout reduces the build to a
 // handful of allocations and keeps each node's neighbours contiguous —
 // without a second distance pass.
-func (d *Deployment) buildNeighbors(withSensing bool) {
+func (d *Deployment) buildNeighbors(withSensing bool, gainAlpha float64) {
 	n := len(d.Pos)
 	d.Neighbors = make([][]int32, n)
 	if withSensing {
 		d.Sensing = make([][]int32, n)
+	}
+	withGains := gainAlpha > 0
+	if withGains {
+		d.GainAlpha = gainAlpha
+		d.Gains = make([][]float64, n)
+		if withSensing {
+			d.SensingGains = make([][]float64, n)
+		}
 	}
 	reach := d.R
 	if withSensing {
@@ -221,6 +263,16 @@ func (d *Deployment) buildNeighbors(withSensing bool) {
 		senseCount = make([]int32, n)
 		senseFlat = make([]int32, 0, 3*est)
 	}
+	// Gain values ride the same flat-array discipline as the index
+	// lists: appended during the one distance pass (the squared distance
+	// is already in hand), carved into per-node sub-slices afterwards.
+	var nbrGainFlat, senseGainFlat []float64
+	if withGains {
+		nbrGainFlat = make([]float64, 0, est)
+		if withSensing {
+			senseGainFlat = make([]float64, 0, 3*est)
+		}
+	}
 	for i := 0; i < n; i++ {
 		pi := d.Pos[i]
 		idx.visitCandidates(pi, func(j int32) {
@@ -232,9 +284,15 @@ func (d *Deployment) buildNeighbors(withSensing bool) {
 			case dd <= r2:
 				nbrFlat = append(nbrFlat, j)
 				nbrCount[i]++
+				if withGains {
+					nbrGainFlat = append(nbrGainFlat, PathGain(dd, r2, gainAlpha))
+				}
 			case withSensing && dd <= s2:
 				senseFlat = append(senseFlat, j)
 				senseCount[i]++
+				if withGains {
+					senseGainFlat = append(senseGainFlat, PathGain(dd, r2, gainAlpha))
+				}
 			}
 		})
 	}
@@ -242,12 +300,18 @@ func (d *Deployment) buildNeighbors(withSensing bool) {
 	for i, off := 0, 0; i < n; i++ {
 		end := off + int(nbrCount[i])
 		d.Neighbors[i] = nbrFlat[off:end:end]
+		if withGains {
+			d.Gains[i] = nbrGainFlat[off:end:end]
+		}
 		off = end
 	}
 	if withSensing {
 		for i, off := 0, 0; i < n; i++ {
 			end := off + int(senseCount[i])
 			d.Sensing[i] = senseFlat[off:end:end]
+			if withGains {
+				d.SensingGains[i] = senseGainFlat[off:end:end]
+			}
 			off = end
 		}
 	}

@@ -1,0 +1,96 @@
+package deploy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGainTablesMatchPathGain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := Generate(Config{P: 3, Rho: 15, WithSensing: true, GainAlpha: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GainAlpha != 3 {
+		t.Fatalf("GainAlpha = %v, want 3", d.GainAlpha)
+	}
+	r2 := d.R * d.R
+	for i := range d.Pos {
+		if len(d.Gains[i]) != len(d.Neighbors[i]) {
+			t.Fatalf("node %d: %d gains for %d neighbours", i, len(d.Gains[i]), len(d.Neighbors[i]))
+		}
+		for k, j := range d.Neighbors[i] {
+			want := PathGain(d.Pos[i].Dist2(d.Pos[j]), r2, 3)
+			if d.Gains[i][k] != want {
+				t.Fatalf("gain(%d,%d) = %v, want %v (bit-exact)", i, j, d.Gains[i][k], want)
+			}
+			if d.Gains[i][k] < 1 {
+				t.Fatalf("in-range gain(%d,%d) = %v < 1: normalisation is (d/R)^-α", i, j, d.Gains[i][k])
+			}
+		}
+		if len(d.SensingGains[i]) != len(d.Sensing[i]) {
+			t.Fatalf("node %d: %d sensing gains for %d annulus nodes", i, len(d.SensingGains[i]), len(d.Sensing[i]))
+		}
+		for k, j := range d.Sensing[i] {
+			want := PathGain(d.Pos[i].Dist2(d.Pos[j]), r2, 3)
+			if d.SensingGains[i][k] != want {
+				t.Fatalf("sensing gain(%d,%d) = %v, want %v (bit-exact)", i, j, d.SensingGains[i][k], want)
+			}
+			if g := d.SensingGains[i][k]; g >= 1 {
+				t.Fatalf("annulus gain(%d,%d) = %v >= 1", i, j, g)
+			}
+		}
+	}
+}
+
+func TestGainTablesNilWithoutGainAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := Generate(Config{P: 3, Rho: 15, WithSensing: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Gains != nil || d.SensingGains != nil || d.GainAlpha != 0 {
+		t.Fatal("gain tables should stay nil when GainAlpha is unset")
+	}
+}
+
+// TestGainAlphaDoesNotPerturbPositions pins the common-random-numbers
+// property the shootout campaign leans on: positions are sampled before
+// the neighbour build, so enabling sensing lists or gain tables must
+// not shift a single node. The same seed therefore deploys identical
+// fields under CFM, CAM, and SINR.
+func TestGainAlphaDoesNotPerturbPositions(t *testing.T) {
+	base, err := Generate(Config{P: 3, Rho: 15}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gained, err := Generate(Config{P: 3, Rho: 15, WithSensing: true, GainAlpha: 3}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Pos) != len(gained.Pos) {
+		t.Fatalf("node counts differ: %d vs %d", len(base.Pos), len(gained.Pos))
+	}
+	for i := range base.Pos {
+		if base.Pos[i] != gained.Pos[i] {
+			t.Fatalf("node %d moved: %v vs %v", i, base.Pos[i], gained.Pos[i])
+		}
+	}
+}
+
+func TestValidateRejectsNegativeGainAlpha(t *testing.T) {
+	cfg := Config{P: 3, Rho: 15, GainAlpha: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative GainAlpha should be rejected")
+	}
+}
+
+func TestPathGainClampsCoincidentPoints(t *testing.T) {
+	g := PathGain(0, 1, 3)
+	if g != PathGain(1e-13, 1, 3) {
+		t.Fatal("sub-clamp distances should all hit the clamp value")
+	}
+	if g <= 0 || g != g || g > 1e20 {
+		t.Fatalf("clamped gain = %v, want large finite positive", g)
+	}
+}

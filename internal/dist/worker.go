@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sensornet/internal/engine"
@@ -97,6 +98,9 @@ type Worker struct {
 	cfg  WorkerConfig
 	jobs map[string]engine.Job
 	base string
+	// ttlMillis remembers the lease TTL the coordinator last granted
+	// (updated by Run, read by retryAfter to bound Retry-After hints).
+	ttlMillis atomic.Int64
 }
 
 // NewWorker validates the config and indexes the job set.
@@ -206,7 +210,7 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 		}
 		if res.StatusCode == http.StatusTooManyRequests {
 			lastErr = fmt.Errorf("dist: %s: coordinator backpressured the post", path)
-			if ra := retryAfter(res); ra > 0 {
+			if ra := w.retryAfter(res); ra > 0 {
 				wait = ra
 			}
 			continue
@@ -229,17 +233,41 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 
 // retryAfter parses a Retry-After header's delay-seconds form,
 // returning 0 when absent or unparseable (HTTP-date form is not worth
-// supporting for a header we mint ourselves).
-func retryAfter(res *http.Response) time.Duration {
+// supporting for a header we mint ourselves). A value that does parse
+// is clamped into the coordinator's own hint range, [50ms, TTL/4]: the
+// header crosses an untrusted (and, under internal/chaos, actively
+// corrupted) transport, so a flipped digit must not stall a worker for
+// hours ("9999999") or turn the backoff into a hot spin ("0", "-3").
+func (w *Worker) retryAfter(res *http.Response) time.Duration {
 	v := res.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
 	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := time.Duration(secs) * time.Second
+	lo, hi := 50*time.Millisecond, w.ttl()/4
+	if hi < lo {
+		hi = lo
+	}
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// ttl is the lease TTL the coordinator last granted, defaulting to the
+// protocol's usual 30s before the first lease response arrives.
+func (w *Worker) ttl() time.Duration {
+	if ms := w.ttlMillis.Load(); ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return 30 * time.Second
 }
 
 // Run pulls leases until the coordinator reports the campaign done (or
@@ -261,6 +289,9 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 			return rep, err
 		}
 		rep.Shard = lease.Shard
+		if lease.TTLMillis > 0 {
+			w.ttlMillis.Store(lease.TTLMillis)
+		}
 		if lease.Done {
 			return rep, nil
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"sensornet/internal/chaos"
 	"sensornet/internal/engine"
 )
 
@@ -275,5 +276,102 @@ func TestWorkerReLeaseAnsweredFromCache(t *testing.T) {
 	}
 	if rep.Completed != 2 || rep.FromCache != 1 {
 		t.Fatalf("report = %+v, want 2 completed with 1 from cache", rep)
+	}
+}
+
+// TestRetryAfterClamped pins the clamp on the Retry-After hint: the
+// header crosses an untrusted transport, so parsed values are forced
+// into the coordinator's own [50ms, TTL/4] hint range — no multi-hour
+// stalls from a corrupted digit, no hot spin from "0" or a negative.
+func TestRetryAfterClamped(t *testing.T) {
+	w := testWorker(t, "http://unused.invalid", nil)
+	resp := func(v string) *http.Response {
+		r := &http.Response{Header: http.Header{}}
+		if v != "" {
+			r.Header.Set("Retry-After", v)
+		}
+		return r
+	}
+	// Before any lease the TTL defaults to 30s, so the range is
+	// [50ms, 7.5s].
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},                             // absent: fall back to computed backoff
+		{"soon", 0},                         // unparseable: same
+		{"-3", 50 * time.Millisecond},       // negative: clamp low, not ignore
+		{"0", 50 * time.Millisecond},        // zero would hot-spin
+		{"2", 2 * time.Second},              // in range: honored
+		{"999999", 7500 * time.Millisecond}, // ~11 days: clamp to TTL/4
+	} {
+		if got := w.retryAfter(resp(tc.header)); got != tc.want {
+			t.Errorf("Retry-After %q: %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	// After a lease granted TTLMillis=200 the ceiling tightens to 50ms.
+	w.ttlMillis.Store(200)
+	if got := w.retryAfter(resp("999999")); got != 50*time.Millisecond {
+		t.Errorf("post-lease clamp = %v, want 50ms", got)
+	}
+	if got := w.retryAfter(resp("2")); got != 50*time.Millisecond {
+		t.Errorf("in-range value above the tightened ceiling = %v, want 50ms", got)
+	}
+}
+
+// TestWorkerHostileRetryAfterBounded runs a full lease→compute→result
+// round against a scripted coordinator that backpressures the result
+// post with an absurd Retry-After ("999999" seconds), under the chaos
+// hostile transport. Before the clamp a single such 429 stalled the
+// worker for ~11 days; with it, every deferred post waits at most
+// TTL/4, so the campaign completes promptly despite the hostile hint
+// plus the transport's drops, duplicates, and corruption.
+func TestWorkerHostileRetryAfterBounded(t *testing.T) {
+	var accepted atomic.Bool
+	var resultHits atomic.Int64
+	url := scriptedServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathLease:
+			if accepted.Load() {
+				writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+				return
+			}
+			writeJSON(w, http.StatusOK, LeaseResponse{
+				LeaseID: "L1", TTLMillis: 200,
+				Job: &JobSpec{Name: "j", Fingerprint: "fp-1"},
+			})
+		case PathHeartbeat:
+			writeJSON(w, http.StatusOK, HeartbeatResponse{Extended: true, TTLMillis: 200})
+		case PathResult:
+			if !accepted.Load() && resultHits.Add(1) <= 3 {
+				w.Header().Set("Retry-After", "999999")
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			accepted.Store(true)
+			writeJSON(w, http.StatusOK, ResultResponse{Accepted: true, Done: true})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	w := testWorker(t, url, func(c *WorkerConfig) {
+		c.PostAttempts = 50
+		c.Client = &http.Client{
+			Timeout:   5 * time.Second,
+			Transport: chaos.Wrap(http.DefaultTransport, chaos.Hostile(), 7),
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	rep, err := w.Run(ctx)
+	if err != nil {
+		t.Fatalf("worker run: %v (report %+v)", err, rep)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 (report %+v)", rep.Completed, rep)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("run took %v: the Retry-After clamp did not bound the backpressure wait", elapsed)
 	}
 }

@@ -32,7 +32,7 @@ func NeedsSimSurface(figure string) bool { return needSim[figure] }
 // replication parallelism inside simulated rows; it never affects job
 // identity.
 func FigureJobs(figure string, pa, ps Preset, degRho float64,
-	crashRates, lossRates []float64, skipSim bool, workers int) ([]engine.Job, error) {
+	crashRates, lossRates, shootRhos []float64, skipSim bool, workers int) ([]engine.Job, error) {
 	switch {
 	case figure == "all":
 		jobs := SurfaceJobs(pa, false, workers)
@@ -46,6 +46,8 @@ func FigureJobs(figure string, pa, ps Preset, degRho float64,
 		return SurfaceJobs(ps, true, workers), nil
 	case figure == "degradation":
 		return DegradationJobs(ps, degRho, crashRates, lossRates)
+	case figure == "shootout":
+		return ShootoutJobs(ps, shootRhos)
 	default:
 		return nil, fmt.Errorf("figure %q has no cacheable job set to distribute", figure)
 	}

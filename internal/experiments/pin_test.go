@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"sensornet/internal/engine"
+)
+
+// jobsDigest hashes the ordered fingerprints of a job set, the same
+// way the serving layer derives surface digests: the digest changes
+// iff any job's identity (presets, grids, code-version salt) changes.
+func jobsDigest(jobs []engine.Job) string {
+	h := sha256.New()
+	for _, j := range jobs {
+		h.Write([]byte(j.Fingerprint()))
+		h.Write([]byte{0x1f})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// mustJobs unwraps a (jobs, error) builder result.
+func mustJobs(jobs []engine.Job, err error) []engine.Job {
+	if err != nil {
+		panic(err)
+	}
+	return jobs
+}
+
+// TestExistingJobIdentityPinned pins the fingerprint digests of every
+// pre-existing campaign's cacheable job set. Cached results are
+// immutable under their fingerprints, so an unchanged digest proves
+// existing CFM/CAM figure outputs are byte-for-byte reusable — no
+// recomputation, no silent drift. If this test fails, either bump
+// CacheSalt (results changed deliberately, invalidating old caches) or
+// undo the accidental identity change.
+func TestExistingJobIdentityPinned(t *testing.T) {
+	pa, ps := PaperAnalytic(), PaperSim()
+	for _, tc := range []struct {
+		name   string
+		digest string
+		want   string
+	}{
+		{"analytic-surface",
+			jobsDigest(SurfaceJobs(pa, false, 1)),
+			"b6afe5f5e02ac10dc4803a8c46fa42c13766f6382feb611a7c0e9107713fc97b"},
+		{"sim-surface",
+			jobsDigest(SurfaceJobs(ps, true, 1)),
+			"a832d424d661879d611763dee1c4e10f2e90d15e0caa8c491a2ed64ea5e770f0"},
+		{"degradation",
+			jobsDigest(mustJobs(DegradationJobs(ps, 60, nil, nil))),
+			"6f8bf749901cd682bc07e57a8e0363ef23f34dd756a8b54ff4eab4838a643448"},
+	} {
+		if tc.digest != tc.want {
+			t.Errorf("%s job identity drifted:\n got %s\nwant %s\n(cached results keyed by the old fingerprints are now unreachable)",
+				tc.name, tc.digest, tc.want)
+		}
+	}
+}
+
+// TestShootoutJobIdentityPinned pins the new campaign's own job
+// identity from birth, so future refactors can prove shootout caches
+// stay valid the same way.
+func TestShootoutJobIdentityPinned(t *testing.T) {
+	got := jobsDigest(mustJobs(ShootoutJobs(PaperSim(), nil)))
+	const want = "58288a3c201d918111561288714880df39a596e5587a1645e90f45cebf713b8d"
+	if got != want {
+		t.Errorf("shootout job identity drifted:\n got %s\nwant %s", got, want)
+	}
+}

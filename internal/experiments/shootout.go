@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"sensornet/internal/analytic"
+	"sensornet/internal/channel"
+	"sensornet/internal/engine"
+	"sensornet/internal/optimize"
+	"sensornet/internal/protocol"
+	"sensornet/internal/sim"
+	"sensornet/internal/viz"
+)
+
+// shootCell is the cached aggregate of one shootout grid cell: the
+// mean, over replications, of one suppression scheme's behaviour under
+// one channel model at one density. Every field is finite, so the
+// struct round-trips through the disk cache's JSON layer directly.
+type shootCell struct {
+	Coverage   float64 `json:"coverage"`
+	ReachAtL   float64 `json:"reachAtL"`
+	Settle     float64 `json:"settle"`
+	Broadcasts float64 `json:"broadcasts"`
+	Delivered  float64 `json:"delivered"`
+	// LostColl counts receptions destroyed by collisions (zero under
+	// CFM, SINR outages under the physical model).
+	LostColl    float64 `json:"lostColl"`
+	SuccessRate float64 `json:"successRate"`
+}
+
+func encodeShootCell(v any) ([]byte, error) {
+	cell, ok := v.(shootCell)
+	if !ok {
+		return nil, fmt.Errorf("experiments: expected shootCell, got %T", v)
+	}
+	return json.Marshal(cell)
+}
+
+func decodeShootCell(data []byte) (any, error) {
+	var cell shootCell
+	err := json.Unmarshal(data, &cell)
+	return cell, err
+}
+
+// shootScheme is one compared suppression scheme. The key is the
+// stable identity that enters job fingerprints and the serving API;
+// display and proto may depend on the density (the law-tuned PB does).
+type shootScheme struct {
+	key     string
+	display func(rho float64) string
+	proto   func(rho float64) protocol.Protocol
+}
+
+// ShootoutModels returns the channel models the shootout crosses, in
+// table order.
+func ShootoutModels() []channel.Model {
+	return []channel.Model{channel.CFM, channel.CAM, channel.ModelSINR}
+}
+
+// DefaultShootoutRhos is the density pair the campaign sweeps when the
+// caller passes none: a sparse and a dense field.
+func DefaultShootoutRhos() []float64 { return []float64{40, 100} }
+
+// shootStudy is the normalised parameter set of one shootout: the
+// effective preset, the densities, the channel models crossed, the
+// SINR parameters, and the schemes compared. Extracting it keeps the
+// sharded job builder (ShootoutJobs) and the figure assembly
+// (ShootoutCtx) agreed on job identity, so a shard process and the
+// merge process address the same cache entries.
+type shootStudy struct {
+	pre     Preset
+	rhos    []float64
+	models  []channel.Model
+	sinr    channel.SINRParams
+	schemes []shootScheme
+	law     analytic.OptimalProbabilityLaw
+}
+
+func newShootStudy(pre Preset, rhos []float64) (*shootStudy, error) {
+	if pre.Runs < 1 {
+		return nil, fmt.Errorf("experiments: shootout needs Runs >= 1, got %d", pre.Runs)
+	}
+	if len(rhos) == 0 {
+		rhos = DefaultShootoutRhos()
+	}
+	for _, rho := range rhos {
+		if rho <= 0 {
+			return nil, fmt.Errorf("experiments: shootout density %g not positive", rho)
+		}
+	}
+	if pre.MaxPhases == 0 {
+		pre.MaxPhases = 2 * int(pre.Constraints.Latency)
+		if pre.MaxPhases < 10 {
+			pre.MaxPhases = 10
+		}
+	}
+	law, err := analytic.CalibrateLaw(pre.P, pre.S, 60, pre.Constraints.Latency, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	return &shootStudy{
+		pre:    pre,
+		rhos:   rhos,
+		models: ShootoutModels(),
+		sinr:   channel.DefaultSINRParams(),
+		schemes: []shootScheme{
+			{"flooding",
+				func(float64) string { return "flooding" },
+				func(float64) protocol.Protocol { return protocol.Flooding{} }},
+			{"pb",
+				func(rho float64) string { return fmt.Sprintf("PB(p=%.2f)", law.P(rho)) },
+				func(rho float64) protocol.Protocol { return protocol.Probability{P: law.P(rho)} }},
+			{"counter",
+				func(float64) string { return "counter(c=3)" },
+				func(float64) protocol.Protocol { return protocol.Counter{Threshold: 3} }},
+			{"distance",
+				func(float64) string { return "distance(d=0.4)" },
+				func(float64) protocol.Protocol { return protocol.Distance{MinDist: 0.4} }},
+		},
+		law: law,
+	}, nil
+}
+
+// cellJob builds the cached job averaging one scheme's metrics over
+// the preset's replications under one channel model at one density.
+// Replications use sequential seeds, so every scheme and every model
+// at a fixed density sees the same deployments (common random
+// numbers): the deployment stream is consumed before any model- or
+// scheme-dependent draw.
+func (st *shootStudy) cellJob(model channel.Model, rho float64, s shootScheme) engine.Job {
+	pre := st.pre
+	cfg := pre.SimConfig(rho)
+	cfg.Model = model
+	if model == channel.ModelSINR {
+		cfg.SINR = st.sinr
+	}
+	cfg.Protocol = s.proto(rho)
+	key := engine.Fingerprint("shoot-cell", CacheSalt,
+		cfg.P, cfg.R, cfg.Rho, cfg.N, cfg.S, int(model), cfg.Seed,
+		cfg.Async, cfg.MaxPhases, s.key,
+		st.sinr.Alpha, st.sinr.Beta, st.sinr.N0,
+		pre.Constraints.Latency, pre.Runs)
+	return engine.JobFunc{
+		JobName:  fmt.Sprintf("shoot(%s,%s,rho=%g)", model, s.key, rho),
+		Key:      key,
+		EncodeFn: encodeShootCell,
+		DecodeFn: decodeShootCell,
+		Fn: func(ctx context.Context) (any, error) {
+			var cell shootCell
+			for r := 0; r < pre.Runs; r++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				run := cfg
+				//lint:ignore seedderive sequential seeds pair replications across cells so model and scheme comparisons share deployments
+				run.Seed = pre.Seed + int64(r)
+				res, err := sim.Run(run)
+				if err != nil {
+					return nil, err
+				}
+				cell.Coverage += res.Timeline.FinalReachability()
+				cell.ReachAtL += res.Timeline.ReachabilityAtPhase(pre.Constraints.Latency)
+				cell.Settle += settlePhase(res.PhaseNew)
+				cell.Broadcasts += float64(res.Broadcasts)
+				cell.Delivered += float64(res.Delivered)
+				cell.LostColl += float64(res.LostToCollision)
+				cell.SuccessRate += res.SuccessRate
+			}
+			n := float64(pre.Runs)
+			cell.Coverage /= n
+			cell.ReachAtL /= n
+			cell.Settle /= n
+			cell.Broadcasts /= n
+			cell.Delivered /= n
+			cell.LostColl /= n
+			cell.SuccessRate /= n
+			return cell, nil
+		},
+	}
+}
+
+// jobs builds the study's cell-job batch, model-major in
+// (models, rhos, schemes) order — the positional contract ShootoutCtx
+// consumes results under.
+func (st *shootStudy) jobs() []engine.Job {
+	var jobs []engine.Job
+	for _, model := range st.models {
+		for _, rho := range st.rhos {
+			for _, s := range st.schemes {
+				jobs = append(jobs, st.cellJob(model, rho, s))
+			}
+		}
+	}
+	return jobs
+}
+
+// ShootoutJobs returns the cacheable job set behind the shootout — the
+// unit the shard layer and the coordinator/worker backend distribute.
+func ShootoutJobs(pre Preset, rhos []float64) ([]engine.Job, error) {
+	st, err := newShootStudy(pre, rhos)
+	if err != nil {
+		return nil, err
+	}
+	return st.jobs(), nil
+}
+
+// ShootoutScheme is one scheme's aggregate at a (model, density) cell,
+// in the serving shape.
+type ShootoutScheme struct {
+	// Scheme is the stable key ("flooding", "pb", "counter",
+	// "distance"); Display the human label with resolved parameters.
+	Scheme  string `json:"scheme"`
+	Display string `json:"display"`
+	shootCell
+}
+
+// ShootoutRow compares every scheme at one (channel model, density)
+// cell.
+type ShootoutRow struct {
+	Model string  `json:"model"`
+	Rho   float64 `json:"rho"`
+	// Schemes is in campaign scheme order.
+	Schemes []ShootoutScheme `json:"schemes"`
+	// Best maps each scheme-selector objective to the winning scheme
+	// key (first-wins on ties, in scheme order).
+	Best map[string]string `json:"best"`
+}
+
+// ShootoutData is the campaign's structured result: the cross of
+// suppression schemes and channel models the serving mode publishes.
+type ShootoutData struct {
+	Models []string      `json:"models"`
+	Rhos   []float64     `json:"rhos"`
+	Rows   []ShootoutRow `json:"rows"`
+}
+
+// Row returns the row at (model, rho), or false if the campaign did
+// not sweep that cell.
+func (d *ShootoutData) Row(model string, rho float64) (ShootoutRow, bool) {
+	for _, row := range d.Rows {
+		//lint:ignore floateq rho is a swept grid value compared for identity, not a computed quantity
+		if row.Model == model && row.Rho == rho {
+			return row, true
+		}
+	}
+	return ShootoutRow{}, false
+}
+
+// Shootout renders the shootout figure on a default engine: see
+// ShootoutCtx.
+func Shootout(pre Preset, rhos []float64) (*FigureResult, error) {
+	return ShootoutCtx(context.Background(), defaultEngine(pre), pre, rhos)
+}
+
+// ShootoutDataCtx runs the scheme-model cross and returns the
+// structured rows the serving mode publishes. One cached engine job
+// per (model, density, scheme) cell, so a killed campaign resumes from
+// the cache and a cache-only engine serves it without recomputation.
+func ShootoutDataCtx(ctx context.Context, eng *engine.Engine, pre Preset,
+	rhos []float64) (*ShootoutData, error) {
+
+	if err := surfaceEngineOK(eng); err != nil {
+		return nil, err
+	}
+	st, err := newShootStudy(pre, rhos)
+	if err != nil {
+		return nil, err
+	}
+	results, err := eng.Run(ctx, st.jobs())
+	if err != nil {
+		return nil, err
+	}
+
+	data := &ShootoutData{Rhos: st.rhos}
+	for _, m := range st.models {
+		data.Models = append(data.Models, m.String())
+	}
+	selectors := optimize.SchemeSelectors()
+	idx := 0
+	for _, model := range st.models {
+		for _, rho := range st.rhos {
+			row := ShootoutRow{Model: model.String(), Rho: rho,
+				Best: make(map[string]string, len(selectors))}
+			ms := make([]optimize.SchemeMetrics, 0, len(st.schemes))
+			for _, s := range st.schemes {
+				cell, ok := results[idx].Value.(shootCell)
+				if !ok {
+					return nil, fmt.Errorf("experiments: job %q returned %T, want shootCell",
+						results[idx].Name, results[idx].Value)
+				}
+				idx++
+				row.Schemes = append(row.Schemes, ShootoutScheme{
+					Scheme: s.key, Display: s.display(rho), shootCell: cell})
+				ms = append(ms, optimize.SchemeMetrics{
+					Coverage: cell.Coverage, ReachAtL: cell.ReachAtL,
+					Broadcasts: cell.Broadcasts, SuccessRate: cell.SuccessRate})
+			}
+			for _, sel := range selectors {
+				if best := optimize.BestScheme(sel, ms); best >= 0 {
+					row.Best[sel.Name] = st.schemes[best].key
+				}
+			}
+			data.Rows = append(data.Rows, row)
+		}
+	}
+	return data, nil
+}
+
+// ShootoutCtx renders the cross-scheme shootout: flooding, the
+// law-tuned PB, counter-based, and distance-based suppression crossed
+// over the CFM, CAM, and SINR channel models at each swept density.
+// The CFM column shows each scheme's collision-free ceiling; CAM
+// charges slot collisions; SINR replaces the binary collision rule
+// with cumulative-interference decoding, so dense-field flooding
+// degrades smoothly instead of cliff-dropping. When the preset leaves
+// MaxPhases unset the study caps it near the latency budget, like the
+// degradation study.
+func ShootoutCtx(ctx context.Context, eng *engine.Engine, pre Preset,
+	rhos []float64) (*FigureResult, error) {
+
+	data, err := ShootoutDataCtx(ctx, eng, pre, rhos)
+	if err != nil {
+		return nil, err
+	}
+	st, err := newShootStudy(pre, rhos)
+	if err != nil {
+		return nil, err
+	}
+	pre = st.pre
+
+	f := &FigureResult{ID: "shootout",
+		Title:  "Suppression-scheme shootout across channel models",
+		Series: map[string][]float64{"rhos": st.rhos}}
+	chart := viz.NewChart("coverage vs density (SINR column)")
+	chart.XLabel, chart.YLabel = "rho", "coverage"
+	rowAt := 0
+	for _, model := range data.Models {
+		t := Table{Title: fmt.Sprintf("%s (mean of %d runs, horizon %d phases)",
+			model, pre.Runs, pre.MaxPhases)}
+		t.Header = []string{"rho", "scheme", "coverage", "reach@L", "settle",
+			"broadcasts", "delivered", "lost/coll", "success"}
+		for range st.rhos {
+			row := data.Rows[rowAt]
+			rowAt++
+			for _, s := range row.Schemes {
+				t.Add(fmt.Sprintf("%g", row.Rho), s.Display,
+					fmtF(s.Coverage), fmtF(s.ReachAtL), fmtF1(s.Settle),
+					fmtF1(s.Broadcasts), fmtF1(s.Delivered),
+					fmtF1(s.LostColl), fmtF(s.SuccessRate))
+			}
+		}
+		f.Tables = append(f.Tables, t)
+	}
+	// Per-(model, scheme) series, plus one chart tracking the physical
+	// model's coverage ranking over density.
+	for si, s := range st.schemes {
+		for _, model := range data.Models {
+			coverage := make([]float64, 0, len(st.rhos))
+			for _, rho := range st.rhos {
+				row, ok := data.Row(model, rho)
+				if !ok {
+					return nil, fmt.Errorf("experiments: shootout missing row (%s, %g)", model, rho)
+				}
+				coverage = append(coverage, row.Schemes[si].Coverage)
+			}
+			f.Series["coverage:"+model+":"+s.key] = coverage
+			if model == channel.ModelSINR.String() {
+				_ = chart.Add(s.key, st.rhos, coverage)
+			}
+		}
+	}
+	f.Charts = []string{chart.Render()}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("PB probability comes from the calibrated law p* = %.1f/rho", st.law.C),
+		fmt.Sprintf("SINR decodes at alpha=%g, beta=%g, N0=%g with interference truncated at the 2R sensing range",
+			st.sinr.Alpha, st.sinr.Beta, st.sinr.N0),
+		"replications share seeds across cells (common random numbers), and deployments consume the stream before any model- or scheme-dependent draw, so every cell at a density sees the same fields")
+	return f, nil
+}

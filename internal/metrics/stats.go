@@ -20,15 +20,25 @@ type Summary struct {
 	CI95 float64
 }
 
-// Summarize computes a Summary over xs, skipping NaN entries (runs where
-// a constrained metric was infeasible). A summary over zero finite
-// observations has Count 0 and NaN moments.
+// finite reports whether x is an admissible observation: NaN marks an
+// infeasible run and ±Inf an unbounded one, and every aggregator here
+// must treat the two the same way — FeasibleFraction already counted
+// Inf as infeasible, so admitting it into moments or percentiles would
+// let one unbounded observation poison Mean/StdDev/CI95 while the
+// feasibility column claims it was excluded.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Summarize computes a Summary over xs, skipping non-finite entries
+// (runs where a constrained metric was infeasible or unbounded). A
+// summary over zero finite observations has Count 0 and NaN moments.
 func Summarize(xs []float64) Summary {
 	s := Summary{Mean: math.NaN(), StdDev: math.NaN(),
 		Min: math.NaN(), Max: math.NaN(), CI95: math.NaN()}
 	sum := 0.0
 	for _, x := range xs {
-		if math.IsNaN(x) {
+		if !finite(x) {
 			continue
 		}
 		if s.Count == 0 {
@@ -51,7 +61,7 @@ func Summarize(xs []float64) Summary {
 	}
 	var ss float64
 	for _, x := range xs {
-		if math.IsNaN(x) {
+		if !finite(x) {
 			continue
 		}
 		d := x - s.Mean
@@ -66,7 +76,7 @@ func Summarize(xs []float64) Summary {
 func Median(xs []float64) float64 {
 	clean := make([]float64, 0, len(xs))
 	for _, x := range xs {
-		if !math.IsNaN(x) {
+		if finite(x) {
 			clean = append(clean, x)
 		}
 	}
@@ -89,7 +99,7 @@ func Median(xs []float64) float64 {
 func Percentile(xs []float64, q float64) float64 {
 	clean := make([]float64, 0, len(xs))
 	for _, x := range xs {
-		if !math.IsNaN(x) {
+		if finite(x) {
 			clean = append(clean, x)
 		}
 	}
@@ -120,7 +130,7 @@ func FeasibleFraction(xs []float64) float64 {
 	}
 	n := 0
 	for _, x := range xs {
-		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+		if finite(x) {
 			n++
 		}
 	}

@@ -95,6 +95,51 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestNonFiniteSkippedConsistently pins the cross-function contract:
+// NaN (infeasible) and ±Inf (unbounded) are excluded by every
+// aggregator, so the moments, order statistics, and FeasibleFraction
+// all describe the same finite subsample. Before the fix, ±Inf slipped
+// into Summarize/Median/Percentile while FeasibleFraction excluded it:
+// one infinite observation made Mean/StdDev/CI95 infinite (or NaN, via
+// Inf−Inf) and dragged every upper percentile to +Inf.
+func TestNonFiniteSkippedConsistently(t *testing.T) {
+	xs := []float64{1, math.Inf(1), 3, math.NaN(), 5, math.Inf(-1)}
+
+	s := Summarize(xs)
+	if s.Count != 3 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary admitted non-finite entries: %+v", s)
+	}
+	if !almostEqual(s.StdDev, 2, 1e-12) || math.IsInf(s.CI95, 0) || math.IsNaN(s.CI95) {
+		t.Fatalf("moments poisoned by non-finite entries: %+v", s)
+	}
+
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median = %v, want 3 (finite subsample only)", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("Percentile(100) = %v, want 5, not +Inf", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("Percentile(0) = %v, want 1, not -Inf", got)
+	}
+
+	if got := FeasibleFraction(xs); got != 0.5 {
+		t.Fatalf("FeasibleFraction = %v, want 0.5", got)
+	}
+
+	// All-non-finite input degrades exactly like all-NaN input.
+	inf := []float64{math.Inf(1), math.Inf(-1)}
+	if s := Summarize(inf); s.Count != 0 || !math.IsNaN(s.Mean) {
+		t.Fatalf("all-Inf summary should be empty: %+v", s)
+	}
+	if !math.IsNaN(Median(inf)) || !math.IsNaN(Percentile(inf, 50)) {
+		t.Fatal("all-Inf median/percentile should be NaN")
+	}
+	if got := FeasibleFraction(inf); got != 0 {
+		t.Fatalf("all-Inf feasible fraction = %v, want 0", got)
+	}
+}
+
 func TestFeasibleFraction(t *testing.T) {
 	if got := FeasibleFraction([]float64{1, math.NaN(), 2, math.Inf(1)}); got != 0.5 {
 		t.Fatalf("feasible fraction = %v, want 0.5", got)

@@ -34,15 +34,24 @@ func benchServer(b *testing.B) *serve.Server {
 		ps.Grid = []float64{0.05, 0.2, 0.6, 1}
 		ps.Runs = 2
 
+		shootRhos := []float64{40}
+
 		cache := engine.NewCache("", experiments.CacheSalt)
 		fill := engine.New(engine.Config{Workers: 4, Cache: cache})
 		jobs := experiments.SurfaceJobs(pa, false, 4)
 		jobs = append(jobs, experiments.SurfaceJobs(ps, true, 4)...)
+		shootJobs, err := experiments.ShootoutJobs(ps, shootRhos)
+		if err != nil {
+			benchSrv.err = err
+			return
+		}
+		jobs = append(jobs, shootJobs...)
 		if _, benchSrv.err = fill.Run(b.Context(), jobs); benchSrv.err != nil {
 			return
 		}
 		eng := engine.New(engine.Config{Workers: 4, Cache: cache, CacheOnly: true})
-		if benchSrv.srv, benchSrv.err = serve.New(eng, pa, ps); benchSrv.err != nil {
+		if benchSrv.srv, benchSrv.err = serve.New(eng, pa, ps,
+			serve.WithShootoutRhos(shootRhos)); benchSrv.err != nil {
 			return
 		}
 		benchSrv.err = benchSrv.srv.Warm(b.Context())
@@ -89,4 +98,10 @@ func BenchmarkServeSurfaceRow(b *testing.B) {
 // pre-encoded body on the fast path.
 func BenchmarkServeSurfaceFull(b *testing.B) {
 	benchRequest(b, "/api/surface?surface=analytic")
+}
+
+// BenchmarkServeShootoutCell is one steady-state shootout cell query
+// (single model, single density) off the pre-encoded snapshot.
+func BenchmarkServeShootoutCell(b *testing.B) {
+	benchRequest(b, "/api/shootout?model=SINR&rho=40")
 }

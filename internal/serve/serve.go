@@ -35,7 +35,7 @@ type surfaceState struct {
 	pre       experiments.Preset
 	simulated bool
 	digest    string
-	store     store
+	store     store[snapshot]
 	// optimalETag[metric][rhoIdx], rowETag[rhoIdx], fullETag: the
 	// strong validators for every 200 shape this surface can serve.
 	optimalETag map[string][]string
@@ -78,6 +78,7 @@ type Server struct {
 	eng      *engine.Engine
 	analytic *surfaceState
 	sim      *surfaceState
+	shoot    *shootState
 	mux      *http.ServeMux
 	// baseCtx bounds snapshot builds. Builds are coalesced across
 	// requests, so they run on the server's context, not the leader
@@ -86,10 +87,26 @@ type Server struct {
 	baseCtx context.Context
 }
 
+// Option customises a Server beyond the two surface presets.
+type Option func(*options)
+
+type options struct {
+	shootRhos []float64
+}
+
+// WithShootoutRhos sets the densities of the shootout campaign the
+// server publishes on /api/shootout. An empty or absent list picks
+// experiments.DefaultShootoutRhos. The list must match what the shard
+// or worker processes computed — like the presets, it pins the job
+// fingerprints the server reads.
+func WithShootoutRhos(rhos []float64) Option {
+	return func(o *options) { o.shootRhos = rhos }
+}
+
 // New builds a Server over eng on a background base context; see
 // NewCtx.
-func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) {
-	return NewCtx(context.Background(), eng, analytic, sim)
+func New(eng *engine.Engine, analytic, sim experiments.Preset, opts ...Option) (*Server, error) {
+	return NewCtx(context.Background(), eng, analytic, sim, opts...)
 }
 
 // NewCtx builds a Server over eng, which must be cache-only — the
@@ -97,18 +114,24 @@ func New(eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) 
 // unbounded recomputation" (an engine.Budget may admit bounded
 // write-through fills) — and should carry the same cache (and presets)
 // the shard processes populated. ctx bounds coalesced snapshot builds;
-// cancel it to abort in-flight builds at shutdown.
-func NewCtx(ctx context.Context, eng *engine.Engine, analytic, sim experiments.Preset) (*Server, error) {
+// cancel it to abort in-flight builds at shutdown. The shootout
+// surface uses the sim preset.
+func NewCtx(ctx context.Context, eng *engine.Engine, analytic, sim experiments.Preset, opts ...Option) (*Server, error) {
 	if !eng.CacheOnly() {
 		return nil, errors.New("serve: engine must be cache-only (engine.Config.CacheOnly)")
 	}
 	if eng.Shard().Sharded() {
 		return nil, errors.New("serve: engine must be unsharded: serving reads every shard's cached rows")
 	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s := &Server{
 		eng:      eng,
 		analytic: newSurfaceState("analytic", analytic, false),
 		sim:      newSurfaceState("sim", sim, true),
+		shoot:    newShootState(sim, o.shootRhos),
 		mux:      http.NewServeMux(),
 		baseCtx:  ctx,
 	}
@@ -117,6 +140,7 @@ func NewCtx(ctx context.Context, eng *engine.Engine, analytic, sim experiments.P
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/optimal", s.handleOptimal)
 	s.mux.HandleFunc("GET /api/surface", s.handleSurface)
+	s.mux.HandleFunc("GET /api/shootout", s.handleShootout)
 	s.mux.HandleFunc("POST /api/refresh", s.handleRefresh)
 	return s, nil
 }
@@ -124,10 +148,11 @@ func NewCtx(ctx context.Context, eng *engine.Engine, analytic, sim experiments.P
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Warm eagerly builds both surface snapshots, so a server started over
-// a populated cache pays its cache reads before the first request.
-// Surfaces whose rows are not yet published are left cold (their
-// requests keep retrying); the first error is returned for logging.
+// Warm eagerly builds every snapshot — both surfaces and the shootout
+// — so a server started over a populated cache pays its cache reads
+// before the first request. Surfaces whose rows are not yet published
+// are left cold (their requests keep retrying); the first error is
+// returned for logging.
 func (s *Server) Warm(ctx context.Context) error {
 	var firstErr error
 	for _, st := range []*surfaceState{s.analytic, s.sim} {
@@ -136,6 +161,11 @@ func (s *Server) Warm(ctx context.Context) error {
 		}, false); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if _, err := s.shoot.store.build(ctx, func() (*shootSnapshot, error) {
+		return s.loadShootout(ctx)
+	}, false); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -220,6 +250,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"snapshots": map[string]bool{
 			"analytic": s.analytic.store.get() != nil,
 			"sim":      s.sim.store.get() != nil,
+			"shootout": s.shoot.store.get() != nil,
 		},
 	}
 	if b := s.eng.Budget(); b != nil {
@@ -259,27 +290,61 @@ type refreshResult struct {
 	MissingJobs []string `json:"missingJobs,omitempty"`
 }
 
+// refreshTarget is one rebuildable snapshot: the (ρ, p) surfaces and
+// the shootout share the refresh endpoint through it.
+type refreshTarget struct {
+	name    string
+	rebuild func(ctx context.Context) error
+}
+
+// refreshTargets lists every snapshot /api/refresh can rebuild, in
+// response order.
+func (s *Server) refreshTargets() []refreshTarget {
+	targets := make([]refreshTarget, 0, 3)
+	for _, st := range []*surfaceState{s.analytic, s.sim} {
+		st := st
+		targets = append(targets, refreshTarget{name: st.name,
+			rebuild: func(ctx context.Context) error {
+				_, err := st.store.build(ctx, func() (*snapshot, error) {
+					return s.loadSnapshot(s.baseCtx, st)
+				}, true)
+				return err
+			}})
+	}
+	targets = append(targets, refreshTarget{name: "shootout",
+		rebuild: func(ctx context.Context) error {
+			_, err := s.shoot.store.build(ctx, func() (*shootSnapshot, error) {
+				return s.loadShootout(s.baseCtx)
+			}, true)
+			return err
+		}})
+	return targets
+}
+
 // handleRefresh forces snapshot rebuilds — after shards publish new
 // rows, hit this instead of restarting the server. A failed rebuild
-// keeps the last good snapshot published. Refreshing every surface is
-// the default; surface=analytic|sim narrows it.
+// keeps the last good snapshot published. Refreshing every snapshot is
+// the default; surface=analytic|sim|shootout narrows it.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	states := []*surfaceState{s.analytic, s.sim}
+	targets := s.refreshTargets()
 	if name := r.URL.Query().Get("surface"); name != "" {
-		st, err := s.surfaceState(name)
-		if err != nil {
-			fail(w, err, http.StatusBadRequest)
+		found := false
+		for _, t := range targets {
+			if t.name == name {
+				targets, found = []refreshTarget{t}, true
+				break
+			}
+		}
+		if !found {
+			fail(w, fmt.Errorf("serve: surface=%q: want analytic, sim or shootout", name), http.StatusBadRequest)
 			return
 		}
-		states = []*surfaceState{st}
 	}
 	status := http.StatusOK
-	out := make([]refreshResult, len(states))
-	for i, st := range states {
-		res := refreshResult{Surface: st.name, OK: true}
-		if _, err := st.store.build(r.Context(), func() (*snapshot, error) {
-			return s.loadSnapshot(s.baseCtx, st)
-		}, true); err != nil {
+	out := make([]refreshResult, len(targets))
+	for i, t := range targets {
+		res := refreshResult{Surface: t.name, OK: true}
+		if err := t.rebuild(r.Context()); err != nil {
 			status = http.StatusServiceUnavailable
 			res.OK = false
 			res.Error = err.Error()
@@ -316,7 +381,11 @@ func (s *Server) surfaceState(name string) (*surfaceState, error) {
 // preset grid values echoed back by clients, so matching is by small
 // absolute tolerance rather than float equality.
 func rhoIndex(pre experiments.Preset, rho float64) (int, bool) {
-	for i, r := range pre.Rhos {
+	return rhoIndexIn(pre.Rhos, rho)
+}
+
+func rhoIndexIn(rhos []float64, rho float64) (int, bool) {
+	for i, r := range rhos {
 		if math.Abs(r-rho) < 1e-9 {
 			return i, true
 		}
@@ -332,6 +401,12 @@ func parseRho(r *http.Request) (float64, error) {
 	rho, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
 		return 0, fmt.Errorf("serve: rho=%q: %v", raw, err)
+	}
+	// ParseFloat accepts "NaN" and "Inf", which can never match a grid
+	// density: reject them here with a clear 400 instead of letting them
+	// fall through to a confusing unknown-rho 404.
+	if math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return 0, fmt.Errorf("serve: rho=%q: must be a finite number", raw)
 	}
 	return rho, nil
 }

@@ -230,6 +230,13 @@ func TestServeBadParams(t *testing.T) {
 		{"/api/optimal?surface=nope&metric=reach&rho=40", http.StatusBadRequest},
 		{"/api/surface?surface=nope", http.StatusBadRequest},
 		{"/api/optimal?metric=reach&rho=40", http.StatusBadRequest},
+		// ParseFloat accepts these spellings, but a non-finite rho can
+		// never match a grid density: 400, not a confusing 404.
+		{"/api/optimal?surface=analytic&metric=reach&rho=NaN", http.StatusBadRequest},
+		{"/api/optimal?surface=analytic&metric=reach&rho=Inf", http.StatusBadRequest},
+		{"/api/optimal?surface=analytic&metric=reach&rho=-Inf", http.StatusBadRequest},
+		{"/api/surface?surface=analytic&rho=nan", http.StatusBadRequest},
+		{"/api/surface?surface=analytic&rho=%2Binf", http.StatusBadRequest},
 	} {
 		var body struct {
 			Error string `json:"error"`

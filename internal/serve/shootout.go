@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+
+	"sensornet/internal/experiments"
+)
+
+// The shootout serving surface. Like the (ρ, p) surfaces, the
+// cross-scheme shootout is published as an immutable precompacted
+// snapshot: every 200 shape — the full cross, one channel model's
+// rows, one density's rows, or a single (model, rho) cell — is
+// pre-encoded to its exact wire bytes at build time, and its strong
+// ETag is a pure function of the campaign's job fingerprints, so even
+// a cold server answers If-None-Match with 304 before any cache read.
+
+// shootState is the shootout's serving state: the preset, the
+// normalised densities, and the validator tables.
+type shootState struct {
+	pre    experiments.Preset
+	rhos   []float64
+	models []string
+	digest string
+	store  store[shootSnapshot]
+	// etags is keyed by the normalised (model, rho) filter — see
+	// shootKey; "" model or rho means "all".
+	etags map[string]string
+}
+
+// shootKey normalises a (model, rho) filter pair into the map key
+// shared by ETags and pre-encoded bodies. hasRho distinguishes "no rho
+// filter" from any real density.
+func shootKey(model string, rho float64, hasRho bool) string {
+	if !hasRho {
+		return model + "|"
+	}
+	return model + "|" + rhoKey(rho)
+}
+
+func newShootState(pre experiments.Preset, rhos []float64) *shootState {
+	if len(rhos) == 0 {
+		rhos = experiments.DefaultShootoutRhos()
+	}
+	st := &shootState{pre: pre, rhos: rhos}
+	for _, m := range experiments.ShootoutModels() {
+		st.models = append(st.models, m.String())
+	}
+	// The digest hashes the ordered fingerprints of the campaign's
+	// jobs, which encode every parameter that can change a cached cell.
+	h := sha256.New()
+	if jobs, err := experiments.ShootoutJobs(pre, rhos); err == nil {
+		for _, j := range jobs {
+			h.Write([]byte(j.Fingerprint()))
+			h.Write([]byte{0x1f})
+		}
+	}
+	st.digest = hex.EncodeToString(h.Sum(nil))
+	st.etags = make(map[string]string)
+	for _, key := range st.filterKeys() {
+		st.etags[key] = etagOf("shootout", st.digest, key)
+	}
+	return st
+}
+
+// filterKeys enumerates every servable filter combination: all, per
+// model, per rho, and per (model, rho) cell.
+func (st *shootState) filterKeys() []string {
+	keys := []string{shootKey("", 0, false)}
+	for _, m := range st.models {
+		keys = append(keys, shootKey(m, 0, false))
+	}
+	for _, rho := range st.rhos {
+		keys = append(keys, shootKey("", rho, true))
+		for _, m := range st.models {
+			keys = append(keys, shootKey(m, rho, true))
+		}
+	}
+	return keys
+}
+
+// shootSnapshot is the immutable warm state: the structured campaign
+// plus every filter's pre-encoded body.
+type shootSnapshot struct {
+	data *experiments.ShootoutData
+	body map[string][]byte
+}
+
+// shootoutBody is the JSON shape of every /api/shootout response: the
+// (possibly narrowed) model and density axes plus the matching rows.
+type shootoutBody struct {
+	Models []string                  `json:"models"`
+	Rhos   []float64                 `json:"rhos"`
+	Rows   []experiments.ShootoutRow `json:"rows"`
+}
+
+// buildShootSnapshot pre-encodes every filter combination's body.
+func buildShootSnapshot(st *shootState, data *experiments.ShootoutData) (*shootSnapshot, error) {
+	snap := &shootSnapshot{data: data, body: make(map[string][]byte)}
+	encode := func(model string, rho float64, hasRho bool) error {
+		body := shootoutBody{}
+		for _, m := range st.models {
+			if model == "" || m == model {
+				body.Models = append(body.Models, m)
+			}
+		}
+		for _, r := range st.rhos {
+			//lint:ignore floateq rho is a swept grid value compared for identity, not a computed quantity
+			if !hasRho || r == rho {
+				body.Rhos = append(body.Rhos, r)
+			}
+		}
+		for _, row := range data.Rows {
+			if model != "" && row.Model != model {
+				continue
+			}
+			//lint:ignore floateq same grid-identity comparison as above
+			if hasRho && row.Rho != rho {
+				continue
+			}
+			body.Rows = append(body.Rows, row)
+		}
+		b, err := encodeJSON(body)
+		if err != nil {
+			return err
+		}
+		snap.body[shootKey(model, rho, hasRho)] = b
+		return nil
+	}
+	if err := encode("", 0, false); err != nil {
+		return nil, err
+	}
+	for _, m := range st.models {
+		if err := encode(m, 0, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, rho := range st.rhos {
+		if err := encode("", rho, true); err != nil {
+			return nil, err
+		}
+		for _, m := range st.models {
+			if err := encode(m, rho, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return snap, nil
+}
+
+// loadShootout runs the campaign load through the (cache-only) engine
+// and compacts it.
+func (s *Server) loadShootout(ctx context.Context) (*shootSnapshot, error) {
+	data, err := experiments.ShootoutDataCtx(ctx, s.eng, s.shoot.pre, s.shoot.rhos)
+	if err != nil {
+		return nil, err
+	}
+	return buildShootSnapshot(s.shoot, data)
+}
+
+// shootSnapshot returns the published shootout snapshot, building it
+// (coalesced) when necessary, like Server.snapshot for surfaces.
+func (s *Server) shootSnapshot(r *http.Request) (*shootSnapshot, error) {
+	if snap := s.shoot.store.get(); snap != nil {
+		return snap, nil
+	}
+	return s.shoot.store.build(r.Context(), func() (*shootSnapshot, error) {
+		return s.loadShootout(s.baseCtx)
+	}, false)
+}
+
+// handleShootout answers GET /api/shootout[?model=<name>][&rho=<density>]
+// from the precompacted campaign snapshot.
+func (s *Server) handleShootout(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model != "" {
+		known := false
+		for _, m := range s.shoot.models {
+			if m == model {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fail(w, fmt.Errorf("serve: model=%q: want one of %v", model, s.shoot.models), http.StatusBadRequest)
+			return
+		}
+	}
+	rho, hasRho := 0.0, false
+	if r.URL.Query().Get("rho") != "" {
+		parsed, err := parseRho(r)
+		if err != nil {
+			fail(w, err, http.StatusBadRequest)
+			return
+		}
+		idx, ok := rhoIndexIn(s.shoot.rhos, parsed)
+		if !ok {
+			fail(w, fmt.Errorf("serve: rho=%g not in the shootout densities %v", parsed, s.shoot.rhos), http.StatusNotFound)
+			return
+		}
+		// Echo the canonical density, keeping the body a pure function
+		// of the ETag.
+		rho, hasRho = s.shoot.rhos[idx], true
+	}
+	etag := s.shoot.etags[shootKey(model, rho, hasRho)]
+	if notModified(w, r, etag) {
+		return
+	}
+	snap, err := s.shootSnapshot(r)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	writeRaw(w, http.StatusOK, snap.body[shootKey(model, rho, hasRho)])
+}

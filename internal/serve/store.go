@@ -196,26 +196,29 @@ func buildSnapshot(name string, surf *experiments.Surface) (*snapshot, error) {
 
 // buildCall is one in-progress snapshot build; waiters share its
 // outcome instead of racing their own engine loads.
-type buildCall struct {
+type buildCall[T any] struct {
 	done chan struct{}
-	snap *snapshot
+	snap *T
 	err  error
 }
 
-// store publishes one surface's snapshot.
-type store struct {
-	snap     atomic.Pointer[snapshot]
+// store publishes one surface's snapshot. It is generic over the
+// snapshot type: the (ρ, p) surfaces publish *snapshot, the shootout
+// publishes *shootSnapshot, and both get the same coalescing and
+// last-good-stays semantics.
+type store[T any] struct {
+	snap     atomic.Pointer[T]
 	mu       sync.Mutex
-	inflight *buildCall
+	inflight *buildCall[T]
 }
 
 // get is the steady-state fast path: one atomic load, no locks.
-func (st *store) get() *snapshot { return st.snap.Load() }
+func (st *store[T]) get() *T { return st.snap.Load() }
 
 // join decides this caller's role: an already-published snapshot (with
 // force unset) short-circuits, an in-flight call is joined as a
 // follower, and otherwise the caller registers a fresh call as leader.
-func (st *store) join(force bool) (snap *snapshot, c *buildCall, leader bool) {
+func (st *store[T]) join(force bool) (snap *T, c *buildCall[T], leader bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if !force {
@@ -226,14 +229,14 @@ func (st *store) join(force bool) (snap *snapshot, c *buildCall, leader bool) {
 	if st.inflight != nil {
 		return nil, st.inflight, false
 	}
-	st.inflight = &buildCall{done: make(chan struct{})}
+	st.inflight = &buildCall[T]{done: make(chan struct{})}
 	return nil, st.inflight, true
 }
 
 // publish installs the leader's outcome — the snapshot swap on
 // success, nothing on failure (the last good snapshot stays) — and
 // wakes every follower.
-func (st *store) publish(c *buildCall) {
+func (st *store[T]) publish(c *buildCall[T]) {
 	st.mu.Lock()
 	st.inflight = nil
 	if c.err == nil {
@@ -249,7 +252,7 @@ func (st *store) publish(c *buildCall) {
 // without building; with force set a build always runs (joining one
 // already in flight), and on failure the previously published snapshot
 // stays in place.
-func (st *store) build(ctx context.Context, buildFn func() (*snapshot, error), force bool) (*snapshot, error) {
+func (st *store[T]) build(ctx context.Context, buildFn func() (*T, error), force bool) (*T, error) {
 	snap, c, leader := st.join(force)
 	if snap != nil {
 		return snap, nil

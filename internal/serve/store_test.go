@@ -196,14 +196,17 @@ func TestServeRefreshReportsPerSurface(t *testing.T) {
 		MissingJobs []string `json:"missingJobs"`
 	}
 	decodeJSON(t, body, &results)
-	if len(results) != 2 || results[0].Surface != "analytic" || results[1].Surface != "sim" {
+	if len(results) != 3 || results[0].Surface != "analytic" ||
+		results[1].Surface != "sim" || results[2].Surface != "shootout" {
 		t.Fatalf("refresh results %+v", results)
 	}
 	if !results[0].OK || results[0].Error != "" {
 		t.Fatalf("analytic rebuild should succeed: %+v", results[0])
 	}
-	if results[1].OK || results[1].Error == "" || len(results[1].MissingJobs) == 0 {
-		t.Fatalf("sim rebuild should fail naming missing jobs: %+v", results[1])
+	for _, res := range results[1:] {
+		if res.OK || res.Error == "" || len(res.MissingJobs) == 0 {
+			t.Fatalf("%s rebuild should fail naming missing jobs: %+v", res.Surface, res)
+		}
 	}
 
 	// The analytic snapshot survived the partial failure, byte for byte.

@@ -19,6 +19,22 @@ import (
 // without sensing neighbour lists.
 var errSensingLists = errors.New("sim: carrier-sense model needs deploy.Config.WithSensing")
 
+// errSINRGains reports an SINR run over a deployment built without
+// precomputed path-gain tables.
+var errSINRGains = errors.New("sim: SINR model needs deploy.Config.WithSensing and GainAlpha (precomputed gain tables)")
+
+// sinrCand tracks one in-flight reception at a receiver under the SINR
+// model: the transmitter, its precomputed path gain at this receiver,
+// and the peak interference power observed so far over the transmission
+// window. Decode succeeds iff gain >= β·(N₀ + peakI) at transmission
+// end — the continuous-time worst case over the window, matching the
+// slot engine's whole-slot overlap semantics.
+type sinrCand struct {
+	from  int32
+	gain  float64
+	peakI float64
+}
+
 // Phase attribution convention.
 //
 // The async engine stamps every event with a 1-based phase index on the
@@ -99,6 +115,18 @@ func runAsyncOffsets(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *f
 	if cfg.Model == channel.CAMCarrierSense && dep.Sensing == nil {
 		return nil, errSensingLists
 	}
+	if cfg.Model == channel.ModelSINR {
+		if err := cfg.SINR.Validate(); err != nil {
+			return nil, err
+		}
+		if dep.Gains == nil || dep.SensingGains == nil {
+			return nil, errSINRGains
+		}
+		//lint:ignore floateq both sides are the same configured constant, not computed values; any drift is a wiring bug
+		if dep.GainAlpha != cfg.SINR.Alpha {
+			return nil, errors.New("sim: deployment gain tables were built for a different path-loss exponent")
+		}
+	}
 	n := dep.N()
 	state := cfg.Protocol.NewState(n)
 	phaseLen := float64(cfg.S)
@@ -121,6 +149,27 @@ func runAsyncOffsets(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *f
 	corrupted := make([]bool, n)  // current reception window overlapped
 	currentTx := make([]int32, n) // transmitter of the sole reception
 	transmitting := make([]bool, n)
+
+	// SINR bookkeeping (allocated only under ModelSINR): per-receiver
+	// total on-air power and the in-flight reception candidates.
+	var curPower []float64
+	var cands [][]sinrCand
+	if cfg.Model == channel.ModelSINR {
+		curPower = make([]float64, n)
+		cands = make([][]sinrCand, n)
+	}
+	// bumpPeaks refreshes every in-flight candidate's peak interference
+	// at receiver v after curPower[v] grew (a new transmission came on
+	// air). Ends never raise interference, so only starts call this.
+	bumpPeaks := func(v int32) {
+		cl := cands[v]
+		p := curPower[v]
+		for i := range cl {
+			if inf := p - cl[i].gain; inf > cl[i].peakI {
+				cl[i].peakI = inf
+			}
+		}
+	}
 
 	reached := 1
 	broadcasts := 0
@@ -219,6 +268,61 @@ func runAsyncOffsets(cfg Config, dep *deploy.Deployment, rng *rand.Rand, plan *f
 					if deliverTo(v, u, end) {
 						delivered++
 					}
+				}
+				if deg := dep.Degree(int(u)); deg > 0 {
+					succSum += float64(delivered) / float64(deg)
+				}
+				succN++
+			})
+			return
+		}
+		if cfg.Model == channel.ModelSINR {
+			// Physical interference: every audible transmission adds its
+			// precomputed path gain to the receivers it can reach; each
+			// in-range pair becomes a decode candidate judged at the
+			// transmission's end against the peak interference it saw.
+			// A start and an end sharing an instant resolve end-first
+			// (desim.PriorityEnd < PriorityStart), so back-to-back
+			// transmissions do not interfere — the same closed-open
+			// interval convention the CAM bookkeeping follows.
+			gains := dep.Gains[u]
+			for i, v := range dep.Neighbors[u] {
+				g := gains[i]
+				curPower[v] += g
+				bumpPeaks(v)
+				cands[v] = append(cands[v], sinrCand{from: u, gain: g, peakI: curPower[v] - g})
+			}
+			sgains := dep.SensingGains[u]
+			for i, v := range dep.Sensing[u] {
+				curPower[v] += sgains[i]
+				bumpPeaks(v)
+			}
+			eng.At(end, desim.PriorityEnd, func() {
+				transmitting[u] = false
+				delivered := 0
+				for i, v := range dep.Neighbors[u] {
+					cl := cands[v]
+					for ci := range cl {
+						if cl[ci].from != u {
+							continue
+						}
+						ok := cl[ci].gain >= cfg.SINR.Beta*(cfg.SINR.N0+cl[ci].peakI)
+						cl[ci] = cl[len(cl)-1]
+						cands[v] = cl[:len(cl)-1]
+						if ok {
+							if deliverTo(v, u, end) {
+								delivered++
+							}
+						} else {
+							nLostColl++
+							record(trace.KindCollision, end, v, -1, true)
+						}
+						break
+					}
+					curPower[v] -= gains[i]
+				}
+				for i, v := range dep.Sensing[u] {
+					curPower[v] -= sgains[i]
 				}
 				if deg := dep.Degree(int(u)); deg > 0 {
 					succSum += float64(delivered) / float64(deg)

@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/rand"
 
-	"sensornet/internal/channel"
 	"sensornet/internal/deploy"
 	"sensornet/internal/engine"
 	"sensornet/internal/metrics"
@@ -67,14 +66,12 @@ func ReplicationDeployments(cfg Config, runs int) ([]*deploy.Deployment, error) 
 	if runs <= 0 {
 		return nil, fmt.Errorf("sim: runs must be > 0, got %d", runs)
 	}
+	cfg.applyDefaults()
 	out := make([]*deploy.Deployment, runs)
 	for i := range out {
 		seed := replicationConfig(cfg, i).Seed
 		rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, "sim", "deployment")))
-		d, err := deploy.Generate(deploy.Config{
-			P: cfg.P, R: cfg.R, Rho: cfg.Rho, N: cfg.N,
-			WithSensing: cfg.Model == channel.CAMCarrierSense,
-		}, rng)
+		d, err := deploy.Generate(deployConfig(&cfg), rng)
 		if err != nil {
 			return nil, err
 		}

@@ -39,6 +39,10 @@ type Config struct {
 	S int
 	// Model is the link-level communication model (default CAM).
 	Model channel.Model
+	// SINR parameterises the physical-interference model; consulted
+	// only when Model is channel.ModelSINR. The zero value means
+	// channel.DefaultSINRParams().
+	SINR channel.SINRParams
 	// Protocol is the broadcast scheme (default Flooding).
 	Protocol protocol.Protocol
 	// Seed drives deployment sampling and every protocol coin flip.
@@ -74,6 +78,26 @@ func (c *Config) applyDefaults() {
 	if c.Protocol == nil {
 		c.Protocol = protocol.Flooding{}
 	}
+	if c.Model == channel.ModelSINR && c.SINR == (channel.SINRParams{}) {
+		c.SINR = channel.DefaultSINRParams()
+	}
+}
+
+// deployConfig is the deployment the run samples when none is supplied:
+// sensing lists for carrier sensing and SINR (the interference annulus),
+// gain tables only for SINR. GainAlpha does not perturb positions — the
+// sampler consumes the rng before the neighbour build — so the same seed
+// places nodes identically across all three channel models (common
+// random numbers across the model axis).
+func deployConfig(cfg *Config) deploy.Config {
+	dc := deploy.Config{
+		P: cfg.P, R: cfg.R, Rho: cfg.Rho, N: cfg.N,
+		WithSensing: cfg.Model == channel.CAMCarrierSense || cfg.Model == channel.ModelSINR,
+	}
+	if cfg.Model == channel.ModelSINR {
+		dc.GainAlpha = cfg.SINR.Alpha
+	}
+	return dc
 }
 
 // Validate reports whether the configuration is runnable.
@@ -155,10 +179,7 @@ func Run(cfg Config) (*Result, error) {
 	dep := cfg.Deployment
 	if dep == nil {
 		var err error
-		dep, err = deploy.Generate(deploy.Config{
-			P: cfg.P, R: cfg.R, Rho: cfg.Rho, N: cfg.N,
-			WithSensing: cfg.Model == channel.CAMCarrierSense,
-		}, rng)
+		dep, err = deploy.Generate(deployConfig(&cfg), rng)
 		if err != nil {
 			return nil, err
 		}
@@ -176,6 +197,15 @@ func Run(cfg Config) (*Result, error) {
 		return runAsync(cfg, dep, rng, plan)
 	}
 	return runSync(cfg, dep, rng, plan)
+}
+
+// newResolver builds the slot resolver for the configured model,
+// threading the run's SINR parameters through when they apply.
+func newResolver(cfg *Config, dep *deploy.Deployment) (*channel.Resolver, error) {
+	if cfg.Model == channel.ModelSINR {
+		return channel.NewResolverSINR(dep, cfg.SINR)
+	}
+	return channel.NewResolver(cfg.Model, dep)
 }
 
 // noTx marks a node with no pending transmission.
@@ -230,7 +260,7 @@ type syncRun struct {
 
 // newSyncRun allocates the run state and binds the resolver callbacks.
 func newSyncRun(cfg *Config, dep *deploy.Deployment, rng *rand.Rand, plan *faults.Plan) (*syncRun, error) {
-	resolver, err := channel.NewResolver(cfg.Model, dep)
+	resolver, err := newResolver(cfg, dep)
 	if err != nil {
 		return nil, err
 	}

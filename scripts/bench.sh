@@ -6,7 +6,8 @@
 # (SimulatorDenseFlooding), the analytic surface behind Fig. 4
 # (Fig4Reachability), the simulated sweep behind Fig. 8
 # (Fig8SimReachability), the engine-scheduled campaign
-# (EngineCampaign), and the serving fast path (ServeOptimal /
+# (EngineCampaign), the cross-scheme channel-model shootout
+# (ShootoutCampaign), and the serving fast path (ServeOptimal /
 # ServeSurfaceRow / ServeSurfaceFull — steady-state snapshot hits).
 #
 # The latency tier then boots a real `experiments -serve` over a
@@ -24,7 +25,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"
 benchtime="${2:-1x}"
 
-pattern='BenchmarkSimulatorDenseFlooding$|BenchmarkFig4Reachability$|BenchmarkFig8SimReachability$|BenchmarkEngineCampaign/workers=1$|BenchmarkServeOptimal$|BenchmarkServeSurfaceRow$|BenchmarkServeSurfaceFull$'
+pattern='BenchmarkSimulatorDenseFlooding$|BenchmarkFig4Reachability$|BenchmarkFig8SimReachability$|BenchmarkEngineCampaign/workers=1$|BenchmarkShootoutCampaign$|BenchmarkServeOptimal$|BenchmarkServeSurfaceRow$|BenchmarkServeSurfaceFull$|BenchmarkServeShootoutCell$'
 
 echo "== bench: $pattern (benchtime=$benchtime)" >&2
 go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem . ./internal/serve/ |

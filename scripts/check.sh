@@ -57,6 +57,21 @@ wait "$shard0"
 "$tmp/experiments" -figure fig4 -quick -cache-dir "$tmp/cache" -merge 2 -out "$tmp/merged.txt"
 cmp "$tmp/direct.txt" "$tmp/merged.txt"
 
+echo "== tier 2: sharded shootout slice smoke (one density, CFM/CAM/SINR columns)"
+# A one-density slice of the cross-scheme shootout campaign through the
+# same shard/merge machinery: two shard processes fill one cache, and
+# the merged figure must render byte-identically to the direct run.
+"$tmp/experiments" -figure shootout -quick -shoot-rhos 30 -out "$tmp/shoot-direct.txt"
+"$tmp/experiments" -figure shootout -quick -shoot-rhos 30 \
+    -cache-dir "$tmp/shootcache" -shard 0/2 &
+shard0=$!
+"$tmp/experiments" -figure shootout -quick -shoot-rhos 30 \
+    -cache-dir "$tmp/shootcache" -shard 1/2
+wait "$shard0"
+"$tmp/experiments" -figure shootout -quick -shoot-rhos 30 \
+    -cache-dir "$tmp/shootcache" -merge 2 -out "$tmp/shoot-merged.txt"
+cmp "$tmp/shoot-direct.txt" "$tmp/shoot-merged.txt"
+
 echo "== tier 2: merge -json missing-shard smoke"
 # An empty cache must fail the merge with exit 3 and emit the missing
 # shard set machine-readably on stdout.
